@@ -1,0 +1,351 @@
+//! The BD Allocation Mechanism (Definition 5).
+//!
+//! Given the bottleneck decomposition, the allocation is assembled pair by
+//! pair:
+//!
+//! * For `(B_i, C_i)` with `α_i < 1`: a bipartite max-flow on the *actual*
+//!   edges between `B_i` and `C_i`, with source caps `w_u` (`u ∈ B_i`) and
+//!   sink caps `w_v/α_i` (`v ∈ C_i`). Feasibility (every cap saturated) is
+//!   exactly the tightness of the pair. The allocation is `x_{uv} = f_{uv}`
+//!   and the proportional response back, `x_{vu} = α_i · f_{uv}`.
+//! * For the terminal pair with `α_k = 1` (`B_k = C_k`): the same
+//!   construction on the bipartite double cover of `G[B_k]`.
+//! * Every other edge carries zero.
+//!
+//! The resulting utilities satisfy Proposition 6, which is asserted by the
+//! test-suite across graph families.
+
+use crate::decomposition::BottleneckDecomposition;
+use prs_flow::{Cap, FlowNetwork};
+use prs_graph::{Graph, VertexId};
+use prs_numeric::Rational;
+
+/// A full resource allocation `X = {x_uv}` on a graph: how much each agent
+/// sends to each neighbor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allocation {
+    n: usize,
+    /// For edge index `e = (u, v)` with `u < v` (graph edge order):
+    /// `forward[e]` is `x_{uv}`, `backward[e]` is `x_{vu}`.
+    forward: Vec<Rational>,
+    backward: Vec<Rational>,
+    /// Cached edge list mirroring the graph's.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl Allocation {
+    /// The zero allocation on `g`.
+    pub fn zeros(g: &Graph) -> Self {
+        Allocation {
+            n: g.n(),
+            forward: vec![Rational::zero(); g.m()],
+            backward: vec![Rational::zero(); g.m()],
+            edges: g.edges().to_vec(),
+        }
+    }
+
+    fn edge_index(&self, u: VertexId, v: VertexId) -> Option<(usize, bool)> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges
+            .binary_search(&key)
+            .ok()
+            .map(|e| (e, u < v))
+    }
+
+    /// `x_{uv}`: the amount `u` sends to `v`. Zero when `(u,v)` is not an
+    /// edge.
+    pub fn sent(&self, u: VertexId, v: VertexId) -> Rational {
+        match self.edge_index(u, v) {
+            Some((e, true)) => self.forward[e].clone(),
+            Some((e, false)) => self.backward[e].clone(),
+            None => Rational::zero(),
+        }
+    }
+
+    fn add_sent(&mut self, u: VertexId, v: VertexId, amount: &Rational) {
+        let (e, fwd) = self
+            .edge_index(u, v)
+            .expect("allocation on a non-edge");
+        if fwd {
+            self.forward[e] += amount;
+        } else {
+            self.backward[e] += amount;
+        }
+    }
+
+    /// The utility `U_v(X) = Σ_u x_{uv}` — total resource received.
+    pub fn utility(&self, v: VertexId) -> Rational {
+        let mut total = Rational::zero();
+        for (e, &(a, b)) in self.edges.iter().enumerate() {
+            if a == v {
+                total += &self.backward[e];
+            } else if b == v {
+                total += &self.forward[e];
+            }
+        }
+        total
+    }
+
+    /// All utilities in vertex order.
+    pub fn utilities(&self) -> Vec<Rational> {
+        let mut out = vec![Rational::zero(); self.n];
+        for (e, &(a, b)) in self.edges.iter().enumerate() {
+            out[b] += &self.forward[e];
+            out[a] += &self.backward[e];
+        }
+        out
+    }
+
+    /// Total resource sent by `v`.
+    pub fn sent_total(&self, v: VertexId) -> Rational {
+        let mut total = Rational::zero();
+        for (e, &(a, b)) in self.edges.iter().enumerate() {
+            if a == v {
+                total += &self.forward[e];
+            } else if b == v {
+                total += &self.backward[e];
+            }
+        }
+        total
+    }
+
+    /// Check `Σ_u x_{vu} = w_v` for every vertex with at least one positive
+    /// outgoing share, and `x ≥ 0` everywhere (testing hook).
+    ///
+    /// Budget balance holds for every agent in a pair (B-side by source
+    /// saturation, C-side by the `α·f` return shares).
+    pub fn check_budget_balance(&self, g: &Graph) -> Result<(), String> {
+        for x in self.forward.iter().chain(&self.backward) {
+            if x.is_negative() {
+                return Err("negative share".into());
+            }
+        }
+        for v in 0..self.n {
+            let sent = self.sent_total(v);
+            if &sent != g.weight(v) {
+                return Err(format!(
+                    "vertex {v} sends {sent} but owns {}",
+                    g.weight(v)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compute the BD allocation of `g` under decomposition `bd` (Definition 5).
+///
+/// Panics if `bd` was not produced from `g` (the per-pair flows would then
+/// fail to saturate, which is asserted).
+pub fn allocate(g: &Graph, bd: &BottleneckDecomposition) -> Allocation {
+    let mut alloc = Allocation::zeros(g);
+    let one = Rational::one();
+    for pair in bd.pairs() {
+        if pair.alpha == one {
+            allocate_terminal_pair(g, pair, &mut alloc);
+        } else {
+            allocate_regular_pair(g, pair, &mut alloc);
+        }
+    }
+    alloc
+}
+
+/// `α_i < 1`: bipartite flow `B_i → C_i` over the actual graph edges.
+fn allocate_regular_pair(
+    g: &Graph,
+    pair: &crate::decomposition::BottleneckPair,
+    alloc: &mut Allocation,
+) {
+    let b: Vec<VertexId> = pair.b.to_vec();
+    let c: Vec<VertexId> = pair.c.to_vec();
+    // Network nodes: 0 = s, 1 = t, 2.. = B members, then C members.
+    let mut net = FlowNetwork::new(2 + b.len() + c.len());
+    let b_node = |i: usize| 2 + i;
+    let c_node = |j: usize| 2 + b.len() + j;
+    let c_pos: std::collections::HashMap<VertexId, usize> =
+        c.iter().enumerate().map(|(j, &v)| (v, j)).collect();
+
+    let mut expected = Rational::zero();
+    for (i, &u) in b.iter().enumerate() {
+        net.add_edge(0, b_node(i), Cap::Finite(g.weight(u).clone()));
+        expected += g.weight(u);
+    }
+    for (j, &v) in c.iter().enumerate() {
+        net.add_edge(c_node(j), 1, Cap::Finite(g.weight(v) / &pair.alpha));
+    }
+    let mut mid = Vec::new(); // (edge id, u, v)
+    for (i, &u) in b.iter().enumerate() {
+        for &v in g.neighbors(u) {
+            if let Some(&j) = c_pos.get(&v) {
+                let id = net.add_edge(b_node(i), c_node(j), Cap::Infinite);
+                mid.push((id, u, v));
+            }
+        }
+    }
+    let flow = net.max_flow(0, 1);
+    assert_eq!(
+        flow, expected,
+        "pair flow must saturate B-side (decomposition/graph mismatch?)"
+    );
+    for (id, u, v) in mid {
+        let f = net.flow_on(id).clone();
+        if f.is_positive() {
+            alloc.add_sent(u, v, &f);
+            alloc.add_sent(v, u, &(&f * &pair.alpha));
+        }
+    }
+}
+
+/// `α_k = 1`: flow on the bipartite double cover of `G[B_k]`.
+fn allocate_terminal_pair(
+    g: &Graph,
+    pair: &crate::decomposition::BottleneckPair,
+    alloc: &mut Allocation,
+) {
+    let b: Vec<VertexId> = pair.b.to_vec();
+    let pos: std::collections::HashMap<VertexId, usize> =
+        b.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut net = FlowNetwork::new(2 + 2 * b.len());
+    let l_node = |i: usize| 2 + i;
+    let r_node = |i: usize| 2 + b.len() + i;
+
+    let mut expected = Rational::zero();
+    for (i, &u) in b.iter().enumerate() {
+        net.add_edge(0, l_node(i), Cap::Finite(g.weight(u).clone()));
+        net.add_edge(r_node(i), 1, Cap::Finite(g.weight(u).clone()));
+        expected += g.weight(u);
+    }
+    let mut mid = Vec::new();
+    for (i, &u) in b.iter().enumerate() {
+        for &v in g.neighbors(u) {
+            if let Some(&j) = pos.get(&v) {
+                // Directed u → v' arc of the double cover.
+                let id = net.add_edge(l_node(i), r_node(j), Cap::Infinite);
+                mid.push((id, u, v));
+            }
+        }
+    }
+    let flow = net.max_flow(0, 1);
+    assert_eq!(
+        flow, expected,
+        "terminal pair flow must saturate (α = 1 tightness)"
+    );
+    // Symmetrize: if f is a feasible double-cover flow so is its transpose,
+    // hence (f + fᵀ)/2 — which has the same row sums and utilities but is
+    // additionally a *fixed point* of the proportional response dynamics
+    // (α = 1 forces x_vu = x_uv at the fixed point since U_v = w_v).
+    let half = Rational::from_ratio(1, 2);
+    for (id, u, v) in mid {
+        let f = net.flow_on(id).clone();
+        if f.is_positive() {
+            let h = &f * &half;
+            alloc.add_sent(u, v, &h);
+            alloc.add_sent(v, u, &h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose;
+    use prs_graph::{builders, random};
+    use prs_numeric::{int, ratio, Rational};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ints(vals: &[i64]) -> Vec<Rational> {
+        vals.iter().map(|&v| int(v)).collect()
+    }
+
+    fn check_prop6(g: &Graph) {
+        let bd = decompose(g).unwrap();
+        let alloc = allocate(g, &bd);
+        alloc.check_budget_balance(g).unwrap();
+        for v in 0..g.n() {
+            assert_eq!(
+                alloc.utility(v),
+                bd.utility(g, v),
+                "Prop 6 utility mismatch at vertex {v} on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_allocation_utilities() {
+        check_prop6(&builders::figure1_example());
+    }
+
+    #[test]
+    fn two_vertex_exchange() {
+        let g = builders::path(ints(&[1, 4])).unwrap();
+        let bd = decompose(&g).unwrap();
+        let alloc = allocate(&g, &bd);
+        // Everything flows across the single edge.
+        assert_eq!(alloc.sent(1, 0), int(4));
+        assert_eq!(alloc.sent(0, 1), int(1));
+        assert_eq!(alloc.utility(0), int(4));
+        assert_eq!(alloc.utility(1), int(1));
+    }
+
+    #[test]
+    fn uniform_rings_all_receive_their_weight() {
+        for n in [3usize, 4, 5, 6, 7] {
+            let g = builders::uniform_ring(n, int(2)).unwrap();
+            let bd = decompose(&g).unwrap();
+            let alloc = allocate(&g, &bd);
+            alloc.check_budget_balance(&g).unwrap();
+            for v in 0..n {
+                assert_eq!(alloc.utility(v), int(2), "n={n} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_rings_satisfy_prop6() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in 3..=10 {
+            for _ in 0..10 {
+                check_prop6(&random::random_ring(&mut rng, n, 1, 20));
+            }
+        }
+    }
+
+    #[test]
+    fn random_connected_graphs_satisfy_prop6() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            check_prop6(&random::random_connected(&mut rng, 9, 0.3, 1, 15));
+        }
+    }
+
+    #[test]
+    fn rational_weights_satisfy_prop6() {
+        let g = builders::ring(vec![ratio(1, 2), ratio(1, 3), ratio(2, 5), ratio(7, 4)]).unwrap();
+        check_prop6(&g);
+    }
+
+    #[test]
+    fn zero_weight_leaf_path_allocation() {
+        let g = builders::path(vec![int(0), int(2), int(3)]).unwrap();
+        check_prop6(&g);
+    }
+
+    #[test]
+    fn allocation_zero_outside_pairs() {
+        // Fig. 1: the edge v3–v4 joins C₁ to B₂, so it must carry nothing.
+        let g = builders::figure1_example();
+        let bd = decompose(&g).unwrap();
+        let alloc = allocate(&g, &bd);
+        assert_eq!(alloc.sent(2, 3), int(0));
+        assert_eq!(alloc.sent(3, 2), int(0));
+    }
+
+    #[test]
+    fn sent_on_non_edge_is_zero() {
+        let g = builders::path(ints(&[1, 1, 1])).unwrap();
+        let bd = decompose(&g).unwrap();
+        let alloc = allocate(&g, &bd);
+        assert_eq!(alloc.sent(0, 2), int(0));
+    }
+}

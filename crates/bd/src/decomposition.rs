@@ -1,0 +1,552 @@
+//! Exact bottleneck decomposition via parametric max-flow.
+//!
+//! ## Algorithm
+//!
+//! For a parameter `α`, build the Hall-type feasibility network
+//!
+//! ```text
+//!   s ──w_v──▶ v_L      (every alive vertex v)
+//!   v_L ──∞──▶ u_R      (every alive edge (v,u), both directions)
+//!   u_R ──w_u/α──▶ t
+//! ```
+//!
+//! The max flow saturates the source arcs **iff** `w(S) ≤ w(Γ(S))/α` for all
+//! alive `S`, i.e. iff `α ≤ min_S α(S)` (a deficiency-version of Hall's
+//! theorem). Dinkelbach iteration then computes `α* = min_S α(S)` exactly:
+//! start at `α = α(V_alive)`, and while infeasible, read a violating set off
+//! the min cut (its α-ratio is strictly smaller) and retry with that ratio.
+//! Each step strictly decreases `α` within the finite set
+//! `{w(Γ(S))/w(S) : S ⊆ V}`, so the loop terminates at the exact optimum.
+//!
+//! At the optimum, the **maximal bottleneck** is recovered from the residual
+//! graph of the feasible flow: `v` belongs to it iff `v_L` has *no* residual
+//! path to `t`. (Tight sets form a union-closed family; the unreachable set
+//! is exactly their union — see DESIGN.md §3.1 for the exchange argument.)
+
+use crate::error::BdError;
+use prs_flow::{Cap, FlowNetwork};
+use prs_graph::{Graph, VertexId, VertexSet};
+use prs_numeric::Rational;
+
+/// Which side of its bottleneck pair an agent is on (Definition 4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AgentClass {
+    /// In `B_i` with `α_i < 1`.
+    B,
+    /// In `C_i` with `α_i < 1`.
+    C,
+    /// In the terminal pair `B_k = C_k` with `α_k = 1`: simultaneously B- and
+    /// C-class.
+    Both,
+}
+
+impl AgentClass {
+    /// True for `B` and `Both`.
+    pub fn is_b(self) -> bool {
+        matches!(self, AgentClass::B | AgentClass::Both)
+    }
+
+    /// True for `C` and `Both`.
+    pub fn is_c(self) -> bool {
+        matches!(self, AgentClass::C | AgentClass::Both)
+    }
+}
+
+/// One bottleneck pair `(B_i, C_i)` with its α-ratio.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BottleneckPair {
+    /// The maximal bottleneck `B_i`.
+    pub b: VertexSet,
+    /// Its neighbor set `C_i = Γ(B_i)` in the round's subgraph.
+    pub c: VertexSet,
+    /// `α_i = w(C_i)/w(B_i)`.
+    pub alpha: Rational,
+}
+
+/// The bottleneck decomposition `𝓑 = {(B₁,C₁), …, (B_k,C_k)}` of a graph,
+/// together with the per-vertex class partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BottleneckDecomposition {
+    pairs: Vec<BottleneckPair>,
+    pair_of: Vec<usize>,
+    class_of: Vec<AgentClass>,
+}
+
+impl BottleneckDecomposition {
+    /// Assemble a decomposition from raw parts (used by the brute-force
+    /// reference implementation; invariants are the caller's burden).
+    pub(crate) fn from_parts(
+        pairs: Vec<BottleneckPair>,
+        pair_of: Vec<usize>,
+        class_of: Vec<AgentClass>,
+    ) -> Self {
+        BottleneckDecomposition {
+            pairs,
+            pair_of,
+            class_of,
+        }
+    }
+
+    /// The ordered pairs `(B_i, C_i)`, `α` strictly increasing.
+    pub fn pairs(&self) -> &[BottleneckPair] {
+        &self.pairs
+    }
+
+    /// Number of pairs `k`.
+    pub fn k(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Index `i` of the pair containing vertex `v`.
+    pub fn pair_of(&self, v: VertexId) -> usize {
+        self.pair_of[v]
+    }
+
+    /// The class of vertex `v` (Definition 4).
+    pub fn class_of(&self, v: VertexId) -> AgentClass {
+        self.class_of[v]
+    }
+
+    /// `α_v`: the α-ratio of the pair containing `v`.
+    pub fn alpha_of(&self, v: VertexId) -> &Rational {
+        &self.pairs[self.pair_of[v]].alpha
+    }
+
+    /// The equilibrium utility of `v` under the BD allocation
+    /// (Proposition 6): `w_v·α_i` for B-class, `w_v/α_i` for C-class,
+    /// `w_v` for the terminal `α = 1` pair.
+    pub fn utility(&self, g: &Graph, v: VertexId) -> Rational {
+        let alpha = self.alpha_of(v);
+        match self.class_of[v] {
+            AgentClass::B => g.weight(v) * alpha,
+            AgentClass::C => g.weight(v) / alpha,
+            AgentClass::Both => g.weight(v).clone(),
+        }
+    }
+
+    /// All equilibrium utilities in vertex order.
+    pub fn utilities(&self, g: &Graph) -> Vec<Rational> {
+        (0..g.n()).map(|v| self.utility(g, v)).collect()
+    }
+
+    /// A canonical, comparable description of the decomposition: for each
+    /// pair, the sorted members of `B_i` and `C_i` plus `α_i`. Two graphs
+    /// (over the same vertex ids) have equal signatures iff their
+    /// decompositions coincide — used by the misreport sweep to detect
+    /// breakpoints.
+    pub fn signature(&self) -> Vec<(Vec<VertexId>, Vec<VertexId>, Rational)> {
+        self.pairs
+            .iter()
+            .map(|p| (p.b.to_vec(), p.c.to_vec(), p.alpha.clone()))
+            .collect()
+    }
+
+    /// The combinatorial part of the signature (pair memberships only,
+    /// ignoring the α values, which move continuously with weights).
+    pub fn shape(&self) -> Vec<(Vec<VertexId>, Vec<VertexId>)> {
+        self.pairs
+            .iter()
+            .map(|p| (p.b.to_vec(), p.c.to_vec()))
+            .collect()
+    }
+
+    /// Check every clause of Proposition 3 plus partition-ness; returns a
+    /// description of the first violated invariant, if any.
+    pub fn check_proposition3(&self, g: &Graph) -> Result<(), String> {
+        let n = g.n();
+        let k = self.pairs.len();
+        let one = Rational::one();
+        // Pairs partition V.
+        let mut seen = VertexSet::empty(n);
+        for (i, p) in self.pairs.iter().enumerate() {
+            let bc = p.b.union(&p.c);
+            if !seen.is_disjoint(&bc) {
+                return Err(format!("pair {i} overlaps earlier pairs"));
+            }
+            seen.union_with(&bc);
+        }
+        if seen.len() != n {
+            return Err("pairs do not cover V".into());
+        }
+        for (i, p) in self.pairs.iter().enumerate() {
+            // (1) strictly increasing, positive, ≤ 1.
+            if !p.alpha.is_positive() {
+                return Err(format!("α_{i} not positive"));
+            }
+            if p.alpha > one {
+                return Err(format!("α_{i} > 1"));
+            }
+            if i + 1 < k && self.pairs[i].alpha >= self.pairs[i + 1].alpha {
+                return Err(format!("α_{i} ≥ α_{}", i + 1));
+            }
+            // (2) α_i = 1 ⟹ i = k−1 and B = C; else B independent, B∩C = ∅.
+            if p.alpha == one {
+                if i != k - 1 {
+                    return Err(format!("α_{i} = 1 but pair is not last"));
+                }
+                if p.b != p.c {
+                    return Err("α = 1 pair has B ≠ C".into());
+                }
+            } else {
+                if !p.b.is_disjoint(&p.c) {
+                    return Err(format!("pair {i}: B ∩ C ≠ ∅ with α < 1"));
+                }
+                let full = VertexSet::full(n);
+                if !g.is_independent_in(&p.b, &full) {
+                    return Err(format!("pair {i}: B not independent with α < 1"));
+                }
+            }
+        }
+        // (3) no B_i – B_j edges; (4) B_i – C_j edges need j ≤ i.
+        for &(u, v) in g.edges() {
+            for (x, y) in [(u, v), (v, u)] {
+                if self.class_of[x] == AgentClass::B {
+                    let i = self.pair_of[x];
+                    let j = self.pair_of[y];
+                    match self.class_of[y] {
+                        AgentClass::B if i != j => {
+                            return Err(format!("edge between B_{i} and B_{j}"))
+                        }
+                        AgentClass::C | AgentClass::Both if j > i => {
+                            return Err(format!("edge from B_{i} into C_{j} with j > i"))
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Node layout of the feasibility network.
+struct Layout {
+    n: usize,
+}
+
+impl Layout {
+    const S: usize = 0;
+    const T: usize = 1;
+    fn left(&self, v: VertexId) -> usize {
+        2 + v
+    }
+    fn right(&self, v: VertexId) -> usize {
+        2 + self.n + v
+    }
+    fn nodes(&self) -> usize {
+        2 + 2 * self.n
+    }
+}
+
+/// Build the Hall feasibility network for parameter `alpha` on the induced
+/// subgraph `alive`.
+fn feasibility_network(g: &Graph, alive: &VertexSet, alpha: &Rational) -> FlowNetwork {
+    let layout = Layout { n: g.n() };
+    let mut net = FlowNetwork::new(layout.nodes());
+    for v in alive.iter() {
+        net.add_edge(Layout::S, layout.left(v), Cap::Finite(g.weight(v).clone()));
+        net.add_edge(
+            layout.right(v),
+            Layout::T,
+            Cap::Finite(g.weight(v) / alpha),
+        );
+        for &u in g.neighbors(v) {
+            if alive.contains(u) {
+                net.add_edge(layout.left(v), layout.right(u), Cap::Infinite);
+            }
+        }
+    }
+    net
+}
+
+/// Find the maximal bottleneck of the induced subgraph on `alive` and its
+/// α-ratio, exactly.
+fn maximal_bottleneck(
+    g: &Graph,
+    alive: &VertexSet,
+    round: usize,
+) -> Result<(VertexSet, Rational), BdError> {
+    let layout = Layout { n: g.n() };
+    let w_alive = g.set_weight_of(alive);
+    debug_assert!(!w_alive.is_zero());
+
+    // α₀ = α(V_alive) = w(Γ(V_alive) ∩ alive) / w(alive) ≤ 1.
+    let mut alpha = g
+        .alpha_ratio_in(alive, alive)
+        .expect("w(alive) > 0 checked by caller");
+    if alpha.is_zero() {
+        return Err(BdError::ZeroAlpha { round });
+    }
+
+    loop {
+        let mut net = feasibility_network(g, alive, &alpha);
+        let flow = net.max_flow(Layout::S, Layout::T);
+        if flow == w_alive {
+            // Feasible: α = min_S α(S). Extract the maximal tight set.
+            let reaches = net.residual_reaches_sink(Layout::T);
+            let mut b = VertexSet::empty(g.n());
+            for v in alive.iter() {
+                if !reaches[layout.left(v)] {
+                    b.insert(v);
+                }
+            }
+            debug_assert!(!b.is_empty(), "a tight set must exist at the optimum");
+            return Ok((b, alpha));
+        }
+        // Infeasible: the s-side of the min cut yields a violating set.
+        let side = net.min_cut_source_side(Layout::S);
+        let mut s_set = VertexSet::empty(g.n());
+        for v in alive.iter() {
+            if side[layout.left(v)] {
+                s_set.insert(v);
+            }
+        }
+        let new_alpha = g
+            .alpha_ratio_in(&s_set, alive)
+            .expect("violating sets have positive weight");
+        if new_alpha.is_zero() {
+            return Err(BdError::ZeroAlpha { round });
+        }
+        debug_assert!(
+            new_alpha < alpha,
+            "Dinkelbach step must strictly decrease α"
+        );
+        alpha = new_alpha;
+    }
+}
+
+/// Compute the bottleneck decomposition of `g` (Definition 2), exactly.
+///
+/// Errors on the degenerate inputs for which the decomposition is undefined:
+/// empty graphs, subgraphs whose minimum α-ratio is 0 (isolated
+/// positive-weight agents), or residues of total weight 0.
+pub fn decompose(g: &Graph) -> Result<BottleneckDecomposition, BdError> {
+    if g.n() == 0 {
+        return Err(BdError::EmptyGraph);
+    }
+    let n = g.n();
+    let mut alive = VertexSet::full(n);
+    let mut pairs = Vec::new();
+    let mut pair_of = vec![usize::MAX; n];
+    let mut class_of = vec![AgentClass::B; n];
+    let mut round = 0;
+
+    while !alive.is_empty() {
+        if g.set_weight_of(&alive).is_zero() {
+            return Err(BdError::ZeroWeightResidue { round });
+        }
+        let (b, alpha) = maximal_bottleneck(g, &alive, round)?;
+        let c = g.neighborhood_in(&b, &alive);
+        let one = Rational::one();
+        debug_assert!(alpha <= one, "α(S) ≤ α(V) ≤ 1 on every subgraph");
+
+        for v in b.iter() {
+            pair_of[v] = round;
+            class_of[v] = if alpha == one {
+                AgentClass::Both
+            } else {
+                AgentClass::B
+            };
+        }
+        for v in c.iter() {
+            if !b.contains(v) {
+                pair_of[v] = round;
+                class_of[v] = if alpha == one {
+                    AgentClass::Both
+                } else {
+                    AgentClass::C
+                };
+            }
+        }
+        let removed = b.union(&c);
+        alive.subtract(&removed);
+        pairs.push(BottleneckPair { b, c, alpha });
+        round += 1;
+    }
+
+    let bd = BottleneckDecomposition {
+        pairs,
+        pair_of,
+        class_of,
+    };
+    debug_assert_eq!(bd.check_proposition3(g), Ok(()));
+    Ok(bd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_graph::builders;
+    use prs_numeric::{int, ratio, Rational};
+
+    fn ints(vals: &[i64]) -> Vec<Rational> {
+        vals.iter().map(|&v| int(v)).collect()
+    }
+
+    #[test]
+    fn figure1_decomposition() {
+        let g = builders::figure1_example();
+        let bd = decompose(&g).unwrap();
+        assert_eq!(bd.k(), 2);
+        assert_eq!(bd.pairs()[0].b.to_vec(), vec![0, 1]); // {v1, v2}
+        assert_eq!(bd.pairs()[0].c.to_vec(), vec![2]); // {v3}
+        assert_eq!(bd.pairs()[0].alpha, ratio(1, 3));
+        assert_eq!(bd.pairs()[1].b.to_vec(), vec![3, 4, 5]); // {v4, v5, v6}
+        assert_eq!(bd.pairs()[1].c.to_vec(), vec![3, 4, 5]);
+        assert_eq!(bd.pairs()[1].alpha, int(1));
+        assert_eq!(bd.class_of(0), AgentClass::B);
+        assert_eq!(bd.class_of(2), AgentClass::C);
+        assert_eq!(bd.class_of(4), AgentClass::Both);
+        assert_eq!(bd.check_proposition3(&g), Ok(()));
+    }
+
+    #[test]
+    fn figure1_utilities_match_prop6() {
+        let g = builders::figure1_example();
+        let bd = decompose(&g).unwrap();
+        // v1 ∈ B₁: U = 2·(1/3). v2 ∈ B₁: U = 1·(1/3). v3 ∈ C₁:
+        // U = 1/(1/3) = 3. v4..v6 (α = 1): U = w = 1.
+        assert_eq!(bd.utility(&g, 0), ratio(2, 3));
+        assert_eq!(bd.utility(&g, 1), ratio(1, 3));
+        assert_eq!(bd.utility(&g, 2), int(3));
+        for v in 3..6 {
+            assert_eq!(bd.utility(&g, v), int(1));
+        }
+        // Total utility equals total weight (everything given is received).
+        let total: Rational = bd.utilities(&g).iter().sum();
+        assert_eq!(total, g.total_weight());
+    }
+
+    #[test]
+    fn uniform_even_ring_alpha_one() {
+        let g = builders::uniform_ring(6, int(1)).unwrap();
+        let bd = decompose(&g).unwrap();
+        assert_eq!(bd.k(), 1);
+        assert_eq!(bd.pairs()[0].alpha, int(1));
+        assert_eq!(bd.pairs()[0].b.len(), 6);
+        assert!((0..6).all(|v| bd.class_of(v) == AgentClass::Both));
+    }
+
+    #[test]
+    fn uniform_odd_ring_alpha_one() {
+        let g = builders::uniform_ring(5, int(1)).unwrap();
+        let bd = decompose(&g).unwrap();
+        assert_eq!(bd.k(), 1);
+        assert_eq!(bd.pairs()[0].alpha, int(1));
+        assert_eq!(bd.pairs()[0].b.len(), 5);
+    }
+
+    #[test]
+    fn two_vertex_path() {
+        // Weights 1 and 4: B = {light}, C = {heavy}, α = 1/4? No: α(S) for
+        // S={0}: w({1})/w({0}) = 4; S={1}: 1/4; S={0,1}: 5/5 = 1. Min = 1/4.
+        let g = builders::path(ints(&[1, 4])).unwrap();
+        let bd = decompose(&g).unwrap();
+        assert_eq!(bd.k(), 1);
+        assert_eq!(bd.pairs()[0].alpha, ratio(1, 4));
+        assert_eq!(bd.pairs()[0].b.to_vec(), vec![1]);
+        assert_eq!(bd.pairs()[0].c.to_vec(), vec![0]);
+        assert_eq!(bd.utility(&g, 1), int(1)); // 4 · 1/4
+        assert_eq!(bd.utility(&g, 0), int(4)); // 1 / (1/4)
+    }
+
+    #[test]
+    fn balanced_two_vertex_path_is_alpha_one() {
+        let g = builders::path(ints(&[3, 3])).unwrap();
+        let bd = decompose(&g).unwrap();
+        assert_eq!(bd.k(), 1);
+        assert_eq!(bd.pairs()[0].alpha, int(1));
+        assert_eq!(bd.pairs()[0].b.to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn star_heavy_center() {
+        // Center weight 10, three leaves weight 1: min α = 3/10 (S = center),
+        // so B = {center}, C = leaves.
+        let g = builders::star(ints(&[10, 1, 1, 1])).unwrap();
+        let bd = decompose(&g).unwrap();
+        assert_eq!(bd.k(), 1);
+        assert_eq!(bd.pairs()[0].alpha, ratio(3, 10));
+        assert_eq!(bd.pairs()[0].b.to_vec(), vec![0]);
+        assert_eq!(bd.pairs()[0].c.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn star_light_center() {
+        // Center 1, leaves 10 each: min α = 1/30 (S = leaves), B = leaves.
+        let g = builders::star(ints(&[1, 10, 10, 10])).unwrap();
+        let bd = decompose(&g).unwrap();
+        assert_eq!(bd.pairs()[0].alpha, ratio(1, 30));
+        assert_eq!(bd.pairs()[0].b.to_vec(), vec![1, 2, 3]);
+        assert_eq!(bd.pairs()[0].c.to_vec(), vec![0]);
+    }
+
+    #[test]
+    fn heavy_interior_path_single_pair() {
+        // Path 1 – 100 – 1 – 1. Candidate ratios: α({1}) = 2/100 = 1/50,
+        // α({1,3}) = w({0,2})/w({1,3}) = 2/101 < 1/50 — and {1,3} is
+        // independent, so the maximal bottleneck absorbs the far leaf:
+        // B = {1,3}, C = Γ(B) = {0,2}, one pair, α = 2/101.
+        let g = builders::path(ints(&[1, 100, 1, 1])).unwrap();
+        let bd = decompose(&g).unwrap();
+        assert_eq!(bd.k(), 1);
+        assert_eq!(bd.pairs()[0].alpha, ratio(2, 101));
+        assert_eq!(bd.pairs()[0].b.to_vec(), vec![1, 3]);
+        assert_eq!(bd.pairs()[0].c.to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn multi_pair_path() {
+        // Path 10 – 1 – 5 – 5. Round 0: α({1}) = 15/1 large; α({0})=1/10;
+        // α({0,2}) = (1+5)/15 = 2/5; α({0}) = 1/10 is the minimum
+        // (independent sets only can win; {0} beats {0,2} since vertex 2's
+        // neighborhood adds weight 5+1=6 for weight 5).
+        // So B₁={0}, C₁={1}, α₁=1/10; residue {2,3} has α = 1 (balanced edge).
+        let g = builders::path(ints(&[10, 1, 5, 5])).unwrap();
+        let bd = decompose(&g).unwrap();
+        assert_eq!(bd.k(), 2);
+        assert_eq!(bd.pairs()[0].alpha, ratio(1, 10));
+        assert_eq!(bd.pairs()[0].b.to_vec(), vec![0]);
+        assert_eq!(bd.pairs()[0].c.to_vec(), vec![1]);
+        assert_eq!(bd.pairs()[1].alpha, int(1));
+        assert_eq!(bd.pairs()[1].b.to_vec(), vec![2, 3]);
+        assert_eq!(bd.check_proposition3(&g), Ok(()));
+    }
+
+    #[test]
+    fn zero_weight_leaf_joins_its_neighbors_pair() {
+        // Path 0(w=0) – 1(w=2) – 2(w=3): the zero-weight leaf lands in the
+        // same pair as vertex 1's pair, B side (cf. Case C-2 of Lemma 14).
+        let g = builders::path(vec![int(0), int(2), int(3)]).unwrap();
+        let bd = decompose(&g).unwrap();
+        assert_eq!(bd.check_proposition3(&g), Ok(()));
+        let total: Rational = bd.utilities(&g).iter().sum();
+        assert_eq!(total, g.total_weight());
+        assert_eq!(bd.utility(&g, 0), int(0));
+    }
+
+    #[test]
+    fn isolated_positive_vertex_is_zero_alpha_error() {
+        let g = prs_graph::Graph::new(ints(&[1, 1, 1]), &[(0, 1)]).unwrap();
+        assert!(matches!(
+            decompose(&g),
+            Err(BdError::ZeroAlpha { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_error() {
+        let g = prs_graph::Graph::new(vec![], &[]).unwrap();
+        assert_eq!(decompose(&g), Err(BdError::EmptyGraph));
+    }
+
+    #[test]
+    fn signature_detects_combinatorial_change() {
+        let g1 = builders::path(ints(&[1, 4])).unwrap();
+        let g2 = builders::path(ints(&[1, 5])).unwrap();
+        let s1 = decompose(&g1).unwrap();
+        let s2 = decompose(&g2).unwrap();
+        assert_eq!(s1.shape(), s2.shape()); // same B/C split
+        assert_ne!(s1.signature(), s2.signature()); // different α
+    }
+}

@@ -1,0 +1,44 @@
+//! Errors surfaced by the decomposition / allocation pipeline.
+
+use std::fmt;
+
+/// Why a bottleneck decomposition or BD allocation could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BdError {
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// Some subgraph reached during the decomposition has a set `S` with
+    /// `w(Γ(S)) = 0 < w(S)` (α-ratio 0), e.g. an isolated positive-weight
+    /// vertex. The sharing model assigns such agents no exchange partner, so
+    /// the decomposition is undefined (Proposition 3 requires `α₁ > 0`).
+    ZeroAlpha {
+        /// Decomposition round at which the degenerate set appeared.
+        round: usize,
+    },
+    /// A residual subgraph consists solely of zero-weight vertices; every
+    /// α-ratio in it is undefined.
+    ZeroWeightResidue {
+        /// Decomposition round at which the residue appeared.
+        round: usize,
+    },
+}
+
+impl fmt::Display for BdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BdError::EmptyGraph => write!(f, "cannot decompose the empty graph"),
+            BdError::ZeroAlpha { round } => write!(
+                f,
+                "α-ratio 0 encountered at decomposition round {round} \
+                 (a vertex set has a zero-weight neighborhood)"
+            ),
+            BdError::ZeroWeightResidue { round } => write!(
+                f,
+                "residual subgraph at round {round} has total weight 0; \
+                 α-ratios are undefined there"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BdError {}

@@ -1,0 +1,114 @@
+//! Property tests for the bottleneck decomposition and BD allocation.
+
+use proptest::prelude::*;
+use prs_bd::{allocate, decompose, reference::brute_force_decompose, AgentClass};
+use prs_graph::{builders, Graph};
+use prs_numeric::{int, Rational};
+
+/// Random small connected graph from a spanning-tree skeleton plus extras.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..9).prop_flat_map(|n| {
+        let parents = proptest::collection::vec(0usize..8, n - 1);
+        let extras = proptest::collection::vec((0usize..8, 0usize..8), 0..6);
+        let weights = proptest::collection::vec(1i64..12, n);
+        (Just(n), parents, extras, weights).prop_map(|(n, parents, extras, weights)| {
+            let mut edges: Vec<(usize, usize)> = parents
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p % (i + 1), i + 1))
+                .collect();
+            for (u, v) in extras {
+                let (u, v) = (u % n, v % n);
+                if u != v && !edges.contains(&(u.min(v), u.max(v))) {
+                    edges.push((u.min(v), u.max(v)));
+                }
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            Graph::new(weights.into_iter().map(int).collect(), &edges).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flow_decomposition_matches_brute_force(g in arb_graph()) {
+        let flow_bd = decompose(&g).unwrap();
+        let brute_bd = brute_force_decompose(&g).unwrap();
+        prop_assert_eq!(flow_bd.signature(), brute_bd.signature(), "on {:?}", g);
+    }
+
+    #[test]
+    fn proposition3_invariants(g in arb_graph()) {
+        let bd = decompose(&g).unwrap();
+        prop_assert!(bd.check_proposition3(&g).is_ok());
+    }
+
+    #[test]
+    fn allocation_realizes_prop6(g in arb_graph()) {
+        let bd = decompose(&g).unwrap();
+        let alloc = allocate(&g, &bd);
+        prop_assert!(alloc.check_budget_balance(&g).is_ok());
+        for v in 0..g.n() {
+            prop_assert_eq!(alloc.utility(v), bd.utility(&g, v));
+        }
+    }
+
+    #[test]
+    fn utilities_conserve_total_weight(g in arb_graph()) {
+        let bd = decompose(&g).unwrap();
+        let total: Rational = bd.utilities(&g).iter().sum();
+        prop_assert_eq!(total, g.total_weight());
+    }
+
+    #[test]
+    fn b_class_gives_more_than_it_gets(g in arb_graph()) {
+        // For α < 1: B-class agents receive w·α < w (they subsidize),
+        // C-class receive w/α > w. Both-class receive exactly w.
+        let bd = decompose(&g).unwrap();
+        for v in 0..g.n() {
+            let u = bd.utility(&g, v);
+            let w = g.weight(v);
+            match bd.class_of(v) {
+                AgentClass::B => prop_assert!(&u <= w),
+                AgentClass::C => prop_assert!(&u >= w),
+                AgentClass::Both => prop_assert_eq!(&u, w),
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_scaling_preserves_shape(g in arb_graph(), k in 2i64..9) {
+        // α(S) is scale-invariant: multiplying every weight by k preserves
+        // the decomposition shape and all α-ratios.
+        let scaled = Graph::new(
+            g.weights().iter().map(|w| w * &int(k)).collect(),
+            g.edges(),
+        ).unwrap();
+        let bd1 = decompose(&g).unwrap();
+        let bd2 = decompose(&scaled).unwrap();
+        prop_assert_eq!(bd1.signature(), bd2.signature());
+    }
+
+    #[test]
+    fn decomposition_is_deterministic(g in arb_graph()) {
+        let a = decompose(&g).unwrap();
+        let b = decompose(&g).unwrap();
+        prop_assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn path_decompositions_with_zero_leaf(weights in proptest::collection::vec(1i64..10, 2..8)) {
+        // Sybil-style: a zero-weight leaf attached to a positive path.
+        let mut ws: Vec<Rational> = weights.into_iter().map(int).collect();
+        ws.insert(0, Rational::zero());
+        let g = builders::path(ws).unwrap();
+        let bd = decompose(&g).unwrap();
+        prop_assert!(bd.check_proposition3(&g).is_ok());
+        prop_assert_eq!(bd.utility(&g, 0), Rational::zero());
+        let brute = brute_force_decompose(&g).unwrap();
+        prop_assert_eq!(bd.signature(), brute.signature());
+    }
+}

@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * A1 — attack optimizer refinement: coarse grid only vs grid + zoom
+//!   (accuracy is reported by experiment E11; this bench shows the cost).
+//! * A2 — exact rational decomposition vs an f64 re-implementation of the
+//!   same Dinkelbach loop (the f64 variant is cheaper but unsound for tie
+//!   decisions — the experiment harness counts its combinatorial mistakes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prs_bench::ring_family;
+use prs_core::prelude::*;
+use std::hint::black_box;
+
+fn a1_optimizer_refinement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_refinement");
+    g.sample_size(10);
+    let ring = ring_family(7700, 1, 8, 1, 16).pop().unwrap();
+    let coarse = AttackConfig {
+        grid: 32,
+        zoom_levels: 0,
+        keep: 1,
+    };
+    let zoomed = AttackConfig {
+        grid: 32,
+        zoom_levels: 5,
+        keep: 3,
+    };
+    g.bench_function("grid_only", |b| {
+        b.iter(|| best_sybil_split(black_box(&ring), 0, &coarse))
+    });
+    g.bench_function("grid_plus_zoom", |b| {
+        b.iter(|| best_sybil_split(black_box(&ring), 0, &zoomed))
+    });
+    g.finish();
+}
+
+/// Minimal f64 mirror of the Dinkelbach α-minimization (single round,
+/// ring-specialized by exhaustive independent-set scan for small n) — just
+/// enough to price the exact-arithmetic overhead.
+fn f64_min_alpha(weights: &[f64]) -> f64 {
+    let n = weights.len();
+    assert!(n <= 20);
+    let mut best = f64::INFINITY;
+    for mask in 1u32..(1 << n) {
+        // Independence on the ring: no two adjacent bits (cyclically).
+        let indep = (0..n).all(|i| mask >> i & 1 == 0 || mask >> ((i + 1) % n) & 1 == 0);
+        if !indep {
+            continue;
+        }
+        let mut gamma = 0u32;
+        for i in 0..n {
+            if mask >> i & 1 == 1 {
+                gamma |= 1 << ((i + 1) % n);
+                gamma |= 1 << ((i + n - 1) % n);
+            }
+        }
+        let wg: f64 = (0..n)
+            .filter(|&i| gamma >> i & 1 == 1)
+            .map(|i| weights[i])
+            .sum();
+        let ws: f64 = (0..n)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| weights[i])
+            .sum();
+        if ws > 0.0 {
+            best = best.min(wg / ws);
+        }
+    }
+    best
+}
+
+fn a2_exact_vs_f64(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a2_exact_vs_f64");
+    g.sample_size(10);
+    for n in [8usize, 12] {
+        let ring = ring_family(7800 + n as u64, 1, n, 1, 30).pop().unwrap();
+        let wf: Vec<f64> = ring.weights_f64();
+        g.bench_function(format!("exact_decompose/n={n}"), |b| {
+            b.iter(|| decompose(black_box(&ring)).unwrap())
+        });
+        g.bench_function(format!("f64_min_alpha/n={n}"), |b| {
+            b.iter(|| f64_min_alpha(black_box(&wf)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, a1_optimizer_refinement, a2_exact_vs_f64);
+criterion_main!(benches);

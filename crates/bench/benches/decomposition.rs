@@ -1,0 +1,62 @@
+//! Scaling of the exact bottleneck decomposition and BD allocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prs_bench::ring_family;
+use prs_core::prelude::*;
+use std::hint::black_box;
+
+fn decomposition_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decompose");
+    g.sample_size(20);
+    for n in [8usize, 16, 32, 64] {
+        let ring = ring_family(9000 + n as u64, 1, n, 1, 50).pop().unwrap();
+        g.bench_function(format!("ring/n={n}"), |b| {
+            b.iter(|| decompose(black_box(&ring)).unwrap())
+        });
+    }
+    for n in [8usize, 16, 32] {
+        let graph = prs_bench::connected_family(9100 + n as u64, 1, n, 0.3).pop().unwrap();
+        g.bench_function(format!("gnp/n={n}"), |b| {
+            b.iter(|| decompose(black_box(&graph)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn allocation_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocate");
+    g.sample_size(20);
+    for n in [8usize, 32, 64] {
+        let ring = ring_family(9200 + n as u64, 1, n, 1, 50).pop().unwrap();
+        let bd = decompose(&ring).unwrap();
+        g.bench_function(format!("ring/n={n}"), |b| {
+            b.iter(|| allocate(black_box(&ring), black_box(&bd)))
+        });
+    }
+    g.finish();
+}
+
+fn flow_kernel(c: &mut Criterion) {
+    // The max-flow engine on a Definition 2 feasibility network shape.
+    use prs_core::flow::{Cap, FlowNetwork};
+    let mut g = c.benchmark_group("maxflow");
+    g.sample_size(20);
+    for n in [16usize, 64, 128] {
+        g.bench_function(format!("bipartite/n={n}"), |b| {
+            b.iter(|| {
+                let mut net = FlowNetwork::new(2 + 2 * n);
+                for i in 0..n {
+                    net.add_edge(0, 2 + i, Cap::Finite(Rational::from_integer(1 + i as i64)));
+                    net.add_edge(2 + n + i, 1, Cap::Finite(Rational::from_integer(1 + i as i64)));
+                    net.add_edge(2 + i, 2 + n + i, Cap::Infinite);
+                    net.add_edge(2 + i, 2 + n + (i + 1) % n, Cap::Infinite);
+                }
+                net.max_flow(0, 1)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, decomposition_scaling, allocation_scaling, flow_kernel);
+criterion_main!(benches);

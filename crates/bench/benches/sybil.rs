@@ -1,0 +1,59 @@
+//! Cost of the Sybil attack machinery: honest splits, single payoff
+//! evaluations, full attack optimizations, and whole-ring Theorem 8 audits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prs_bench::ring_family;
+use prs_core::prelude::*;
+use prs_core::sybil::SybilSplitFamily;
+use std::hint::black_box;
+
+fn split_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sybil_primitives");
+    let ring = ring_family(8800, 1, 12, 1, 20).pop().unwrap();
+    g.bench_function("honest_split/n=12", |b| {
+        b.iter(|| honest_split(black_box(&ring), 0))
+    });
+    let fam = SybilSplitFamily::new(ring.clone(), 0);
+    let w1 = ring.weight(0) * &ratio(1, 3);
+    g.bench_function("payoff_eval/n=12", |b| {
+        b.iter(|| fam.payoff(black_box(&w1)).unwrap())
+    });
+    g.finish();
+}
+
+fn attack_optimization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sybil_attack");
+    g.sample_size(10);
+    let cfg = AttackConfig {
+        grid: 24,
+        zoom_levels: 4,
+        keep: 2,
+    };
+    for n in [6usize, 12, 24] {
+        let ring = ring_family(8900 + n as u64, 1, n, 1, 20).pop().unwrap();
+        g.bench_function(format!("best_split/n={n}"), |b| {
+            b.iter(|| best_sybil_split(black_box(&ring), 0, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn whole_ring_audit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem8_audit");
+    g.sample_size(10);
+    let cfg = AttackConfig {
+        grid: 12,
+        zoom_levels: 2,
+        keep: 2,
+    };
+    for n in [5usize, 8] {
+        let ring = ring_family(8950 + n as u64, 1, n, 1, 12).pop().unwrap();
+        g.bench_function(format!("ring/n={n}"), |b| {
+            b.iter(|| check_ring_theorem8(black_box(&ring), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, split_primitives, attack_optimization, whole_ring_audit);
+criterion_main!(benches);

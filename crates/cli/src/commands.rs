@@ -1,0 +1,344 @@
+//! CLI subcommand implementations (pure functions printing to a writer, so
+//! they are unit-testable without spawning processes).
+
+use prs_core::prelude::*;
+use std::io::Write;
+
+/// `prs decompose`: print the bottleneck decomposition and classes.
+pub fn cmd_decompose(g: &Graph, out: &mut dyn Write) -> std::io::Result<()> {
+    let bd = match decompose(g) {
+        Ok(bd) => bd,
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(());
+        }
+    };
+    writeln!(out, "bottleneck decomposition ({} pairs):", bd.k())?;
+    for (i, p) in bd.pairs().iter().enumerate() {
+        writeln!(
+            out,
+            "  (B_{i}, C_{i}) = ({:?}, {:?})   α_{i} = {}",
+            p.b.to_vec(),
+            p.c.to_vec(),
+            p.alpha
+        )?;
+    }
+    for v in 0..g.n() {
+        writeln!(
+            out,
+            "  agent {v}: w = {}, class {:?}, α_v = {}, U_v = {}",
+            g.weight(v),
+            bd.class_of(v),
+            bd.alpha_of(v),
+            bd.utility(g, v)
+        )?;
+    }
+    Ok(())
+}
+
+/// `prs allocate`: print the BD allocation edge by edge.
+pub fn cmd_allocate(g: &Graph, out: &mut dyn Write) -> std::io::Result<()> {
+    let bd = match decompose(g) {
+        Ok(bd) => bd,
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(());
+        }
+    };
+    let alloc = allocate(g, &bd);
+    writeln!(out, "BD allocation:")?;
+    for &(u, v) in g.edges() {
+        let f = alloc.sent(u, v);
+        let b = alloc.sent(v, u);
+        writeln!(out, "  {u} → {v}: {f}    {v} → {u}: {b}")?;
+    }
+    for v in 0..g.n() {
+        writeln!(out, "  U_{v} = {}", alloc.utility(v))?;
+    }
+    Ok(())
+}
+
+/// `prs dynamics`: run the protocol and report convergence.
+pub fn cmd_dynamics(g: &Graph, eps: f64, out: &mut dyn Write) -> std::io::Result<()> {
+    let bd = match decompose(g) {
+        Ok(bd) => bd,
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(());
+        }
+    };
+    let target: Vec<f64> = bd.utilities(g).iter().map(|u| u.to_f64()).collect();
+    let mut eng = F64Engine::new(g);
+    let rep = eng.run_until_close(&target, eps, 2_000_000);
+    writeln!(
+        out,
+        "proportional response: converged = {} after {} rounds (residual {:.3e})",
+        rep.converged, rep.rounds, rep.final_error
+    )?;
+    for (v, u) in eng.utilities().iter().enumerate() {
+        writeln!(out, "  U_{v}(t) = {u:.6}   (equilibrium {:.6})", target[v])?;
+    }
+    Ok(())
+}
+
+/// `prs attack`: optimize a Sybil attack for one ring agent.
+pub fn cmd_attack(g: &Graph, v: usize, out: &mut dyn Write) -> std::io::Result<()> {
+    if !g.is_ring() {
+        writeln!(out, "error: `attack` requires a ring instance (use `general-attack`)")?;
+        return Ok(());
+    }
+    if v >= g.n() {
+        writeln!(out, "error: vertex {v} out of range")?;
+        return Ok(());
+    }
+    let outcome = best_sybil_split(g, v, &AttackConfig::default());
+    let w2 = g.weight(v) - &outcome.best.w1;
+    writeln!(out, "agent {v} (w = {}):", g.weight(v))?;
+    writeln!(out, "  honest utility U_v = {}", outcome.honest_utility)?;
+    writeln!(out, "  best split        = ({}, {})", outcome.best.w1, w2)?;
+    writeln!(out, "  attack payoff     = {}", outcome.best.total())?;
+    writeln!(
+        out,
+        "  incentive ratio ζ = {} (≈{:.6}; Theorem 8 bound: 2)",
+        outcome.ratio,
+        outcome.ratio_f64()
+    )?;
+    Ok(())
+}
+
+/// `prs general-attack`: the Definition 7 attack on an arbitrary graph.
+pub fn cmd_general_attack(g: &Graph, v: usize, out: &mut dyn Write) -> std::io::Result<()> {
+    use prs_core::sybil::{best_general_sybil, GeneralAttackConfig};
+    if v >= g.n() {
+        writeln!(out, "error: vertex {v} out of range")?;
+        return Ok(());
+    }
+    if g.degree(v) < 2 {
+        writeln!(out, "error: agent {v} has degree < 2; no Sybil split exists")?;
+        return Ok(());
+    }
+    let outcome = best_general_sybil(g, v, &GeneralAttackConfig::default());
+    writeln!(out, "agent {v} (degree {}):", g.degree(v))?;
+    writeln!(out, "  honest utility U_v  = {}", outcome.honest_utility)?;
+    writeln!(out, "  best payoff found   = {}", outcome.best_payoff)?;
+    writeln!(out, "  neighbor partition  = {:?}", outcome.best_partition)?;
+    writeln!(
+        out,
+        "  identity weights    = {:?}",
+        outcome.best_weights.iter().map(|w| w.to_string()).collect::<Vec<_>>()
+    )?;
+    writeln!(
+        out,
+        "  ζ_v lower bound     = {} (≈{:.6}; conjectured bound: 2)",
+        outcome.ratio,
+        outcome.ratio.to_f64()
+    )?;
+    Ok(())
+}
+
+/// `prs audit`: the full paper-claim battery on a ring instance.
+pub fn cmd_audit(g: &Graph, out: &mut dyn Write) -> std::io::Result<()> {
+    if !g.is_ring() {
+        writeln!(out, "error: `audit` requires a ring instance")?;
+        return Ok(());
+    }
+    let ring = match prs_core::RingInstance::new(g.weights().to_vec()) {
+        Ok(r) => r,
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(());
+        }
+    };
+    let audit = audit_paper_claims(
+        &ring,
+        &AttackConfig {
+            grid: 16,
+            zoom_levels: 3,
+            keep: 2,
+        },
+        12,
+    );
+    writeln!(out, "paper-claim audit:")?;
+    writeln!(out, "  Proposition 3 (invariants)      : {}", mark(audit.prop3))?;
+    writeln!(out, "  Proposition 6 (allocation)      : {}", mark(audit.prop6))?;
+    writeln!(out, "  Lemma 9 (honest split neutral)  : {}", mark(audit.lemma9))?;
+    writeln!(out, "  Theorem 10 (misreport monotone) : {}", mark(audit.theorem10))?;
+    writeln!(out, "  Proposition 11 (α monotone)     : {}", mark(audit.prop11))?;
+    writeln!(out, "  Lemmas 14/20 (path cases)       : {}", mark(audit.cases))?;
+    writeln!(out, "  Stage lemmas 16/18/22/24        : {}", mark(audit.stages))?;
+    writeln!(out, "  Theorem 8 (ζ ≤ 2)               : {}", mark(audit.theorem8))?;
+    writeln!(out, "  max ζ_v observed                : {} (≈{:.6})", audit.max_ratio, audit.max_ratio.to_f64())?;
+    Ok(())
+}
+
+/// `prs certified-attack`: symbolic per-interval attack optimization.
+pub fn cmd_certified_attack(g: &Graph, v: usize, out: &mut dyn Write) -> std::io::Result<()> {
+    if !g.is_ring() {
+        writeln!(out, "error: `certified-attack` requires a ring instance")?;
+        return Ok(());
+    }
+    if v >= g.n() {
+        writeln!(out, "error: vertex {v} out of range")?;
+        return Ok(());
+    }
+    let cert = prs_core::sybil::certified_best_split(g, v, 32, 35);
+    writeln!(out, "agent {v} (w = {}):", g.weight(v))?;
+    writeln!(out, "  honest utility U_v  = {}", cert.honest_utility)?;
+    writeln!(out, "  certified best w1   = {}", cert.best_w1)?;
+    writeln!(out, "  certified payoff    = {}", cert.best_payoff)?;
+    writeln!(
+        out,
+        "  incentive ratio ζ   = {} (≈{:.6}; analyzed {} shape intervals)",
+        cert.ratio,
+        cert.ratio.to_f64(),
+        cert.intervals
+    )?;
+    Ok(())
+}
+
+/// `prs eg`: solve the Eisenberg–Gale program and compare to Prop. 6.
+pub fn cmd_eg(g: &Graph, out: &mut dyn Write) -> std::io::Result<()> {
+    use prs_core::eg::{solve, EgConfig};
+    let bd = match decompose(g) {
+        Ok(bd) => bd,
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(());
+        }
+    };
+    let sol = solve(g, &EgConfig::default());
+    writeln!(
+        out,
+        "Eisenberg–Gale mirror descent: {} iterations (converged = {})",
+        sol.iters, sol.converged
+    )?;
+    writeln!(out, "  v | EG utility | BD utility (Prop. 6)")?;
+    for v in 0..g.n() {
+        writeln!(
+            out,
+            "  {v} | {:>10.6} | {:>10.6}",
+            sol.utilities[v],
+            bd.utility(g, v).to_f64()
+        )?;
+    }
+    Ok(())
+}
+
+fn mark(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "VIOLATED"
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+prs — resource sharing over rings (IPPS'20 reproduction)
+
+USAGE:
+    prs <command> <instance-file> [args]
+
+COMMANDS:
+    decompose <file>              bottleneck decomposition, classes, utilities
+    allocate <file>               the BD allocation, edge by edge
+    dynamics <file> [eps]         run the proportional response protocol
+    attack <file> <vertex>        optimal Sybil attack on a ring agent
+    general-attack <file> <vertex>   Definition 7 attack on any graph
+    certified-attack <file> <vertex> symbolic (certified) attack optimum
+    eg <file>                     Eisenberg–Gale solve vs Proposition 6
+    audit <file>                  run every paper-claim check on a ring
+
+INSTANCE FILES:
+    ring                          # or `path` / `graph`
+    weights: 3 1 4 1/2 5          # exact rationals
+    edges: 0-1 1-2                # only for `graph`
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_core::graph::builders;
+    use prs_core::numeric::int;
+
+    fn ring() -> Graph {
+        builders::ring(vec![int(3), int(1), int(4), int(1), int(5)]).unwrap()
+    }
+
+    fn capture(f: impl FnOnce(&mut dyn Write) -> std::io::Result<()>) -> String {
+        let mut buf = Vec::new();
+        f(&mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn decompose_output_lists_all_agents() {
+        let out = capture(|w| cmd_decompose(&ring(), w));
+        for v in 0..5 {
+            assert!(out.contains(&format!("agent {v}")), "{out}");
+        }
+        assert!(out.contains("α_0 = 1/2"), "{out}");
+    }
+
+    #[test]
+    fn allocate_output_balances() {
+        let out = capture(|w| cmd_allocate(&ring(), w));
+        assert!(out.contains("U_0 = 5"), "{out}");
+    }
+
+    #[test]
+    fn dynamics_reports_convergence() {
+        let out = capture(|w| cmd_dynamics(&ring(), 1e-8, w));
+        assert!(out.contains("converged = true"), "{out}");
+    }
+
+    #[test]
+    fn attack_reports_ratio_within_bound() {
+        let out = capture(|w| cmd_attack(&ring(), 0, w));
+        assert!(out.contains("incentive ratio"), "{out}");
+        assert!(!out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn attack_rejects_non_ring() {
+        let path = builders::path(vec![int(1), int(2), int(3)]).unwrap();
+        let out = capture(|w| cmd_attack(&path, 0, w));
+        assert!(out.contains("requires a ring"), "{out}");
+    }
+
+    #[test]
+    fn general_attack_works_on_graphs() {
+        let star = builders::star(vec![int(4), int(1), int(2), int(3)]).unwrap();
+        let out = capture(|w| cmd_general_attack(&star, 0, w));
+        assert!(out.contains("ζ_v lower bound"), "{out}");
+        let leaf = capture(|w| cmd_general_attack(&star, 1, w));
+        assert!(leaf.contains("degree < 2"), "{leaf}");
+    }
+
+    #[test]
+    fn audit_prints_all_checks() {
+        let out = capture(|w| cmd_audit(&ring(), w));
+        assert_eq!(out.matches(": ok").count(), 8, "{out}");
+        assert!(!out.contains("VIOLATED"), "{out}");
+    }
+
+    #[test]
+    fn certified_attack_reports() {
+        let out = capture(|w| cmd_certified_attack(&ring(), 0, w));
+        assert!(out.contains("certified payoff"), "{out}");
+    }
+
+    #[test]
+    fn eg_command_compares_utilities() {
+        let out = capture(|w| cmd_eg(&ring(), w));
+        assert!(out.contains("EG utility"), "{out}");
+        assert!(out.contains("Eisenberg"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let degenerate = Graph::new(vec![int(1), int(1), int(1)], &[(0, 1)]).unwrap();
+        let out = capture(|w| cmd_decompose(&degenerate, w));
+        assert!(out.contains("error"), "{out}");
+    }
+}

@@ -1,0 +1,58 @@
+//! `prs` — command-line front end for the resource-sharing toolkit.
+//!
+//! See [`commands::USAGE`] or run `prs` with no arguments.
+
+mod commands;
+mod parse;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(commands::USAGE.to_string());
+    };
+    let file = args
+        .get(1)
+        .ok_or_else(|| format!("missing instance file\n\n{}", commands::USAGE))?;
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let graph = parse::parse_instance(&text).map_err(|e| format!("{file}: {e}"))?;
+
+    let mut stdout = std::io::stdout().lock();
+    let vertex_arg = |idx: usize| -> Result<usize, String> {
+        args.get(idx)
+            .ok_or_else(|| "missing vertex argument".to_string())?
+            .parse::<usize>()
+            .map_err(|_| "vertex must be a non-negative integer".to_string())
+    };
+
+    let result = match cmd.as_str() {
+        "decompose" => commands::cmd_decompose(&graph, &mut stdout),
+        "allocate" => commands::cmd_allocate(&graph, &mut stdout),
+        "dynamics" => {
+            let eps = args
+                .get(2)
+                .map(|s| s.parse::<f64>().map_err(|_| "bad eps".to_string()))
+                .transpose()?
+                .unwrap_or(1e-8);
+            commands::cmd_dynamics(&graph, eps, &mut stdout)
+        }
+        "attack" => commands::cmd_attack(&graph, vertex_arg(2)?, &mut stdout),
+        "certified-attack" => commands::cmd_certified_attack(&graph, vertex_arg(2)?, &mut stdout),
+        "eg" => commands::cmd_eg(&graph, &mut stdout),
+        "general-attack" => commands::cmd_general_attack(&graph, vertex_arg(2)?, &mut stdout),
+        "audit" => commands::cmd_audit(&graph, &mut stdout),
+        other => return Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    result.map_err(|e| format!("io error: {e}"))
+}

@@ -1,0 +1,155 @@
+//! Instance file parser.
+//!
+//! Plain-text format, one directive per line, `#` comments:
+//!
+//! ```text
+//! # a 5-agent ring
+//! ring
+//! weights: 3 1 4 1/2 5
+//! ```
+//!
+//! ```text
+//! # an arbitrary graph
+//! graph
+//! weights: 1 2 3 4
+//! edges: 0-1 1-2 2-3 3-0 0-2
+//! ```
+//!
+//! Weights accept the same literals as [`Rational::from_str`]: integers,
+//! `p/q` fractions, and exact decimals.
+
+use prs_core::graph::{builders, Graph};
+use prs_core::numeric::Rational;
+use std::fmt;
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse an instance file into a [`Graph`].
+pub fn parse_instance(text: &str) -> Result<Graph, ParseError> {
+    let mut kind: Option<&str> = None;
+    let mut weights: Option<Vec<Rational>> = None;
+    let mut edges: Option<Vec<(usize, usize)>> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("weights:") {
+            let parsed: Result<Vec<Rational>, _> = rest
+                .split_whitespace()
+                .map(|tok| {
+                    tok.parse::<Rational>()
+                        .map_err(|_| err(lineno, format!("invalid weight `{tok}`")))
+                })
+                .collect();
+            weights = Some(parsed?);
+        } else if let Some(rest) = line.strip_prefix("edges:") {
+            let mut list = Vec::new();
+            for tok in rest.split_whitespace() {
+                let (a, b) = tok
+                    .split_once('-')
+                    .ok_or_else(|| err(lineno, format!("invalid edge `{tok}` (want `u-v`)")))?;
+                let a: usize = a
+                    .parse()
+                    .map_err(|_| err(lineno, format!("invalid endpoint `{a}`")))?;
+                let b: usize = b
+                    .parse()
+                    .map_err(|_| err(lineno, format!("invalid endpoint `{b}`")))?;
+                list.push((a, b));
+            }
+            edges = Some(list);
+        } else if kind.is_none() && (line == "ring" || line == "path" || line == "graph") {
+            kind = Some(match line {
+                "ring" => "ring",
+                "path" => "path",
+                _ => "graph",
+            });
+        } else {
+            return Err(err(lineno, format!("unrecognized directive `{line}`")));
+        }
+    }
+
+    let kind = kind.ok_or_else(|| err(0, "missing topology line (`ring`, `path` or `graph`)"))?;
+    let weights = weights.ok_or_else(|| err(0, "missing `weights:` line"))?;
+    match kind {
+        "ring" => builders::ring(weights).map_err(|e| err(0, e.to_string())),
+        "path" => builders::path(weights).map_err(|e| err(0, e.to_string())),
+        _ => {
+            let edges = edges.ok_or_else(|| err(0, "`graph` instances need an `edges:` line"))?;
+            Graph::new(weights, &edges).map_err(|e| err(0, e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_core::numeric::{int, ratio};
+
+    #[test]
+    fn parses_ring() {
+        let g = parse_instance("# demo\nring\nweights: 3 1 4 1/2 5\n").unwrap();
+        assert!(g.is_ring());
+        assert_eq!(g.weight(3), &ratio(1, 2));
+    }
+
+    #[test]
+    fn parses_path_and_decimals() {
+        let g = parse_instance("path\nweights: 0.5 2 0.25").unwrap();
+        assert!(g.is_path());
+        assert_eq!(g.weight(0), &ratio(1, 2));
+        assert_eq!(g.weight(2), &ratio(1, 4));
+    }
+
+    #[test]
+    fn parses_general_graph() {
+        let g = parse_instance("graph\nweights: 1 2 3\nedges: 0-1 1-2 2-0").unwrap();
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.weight(2), &int(3));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = parse_instance("\n# heading\nring  # inline\nweights: 1 1 1 # w\n\n").unwrap();
+        assert_eq!(g.n(), 3);
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse_instance("").is_err());
+        assert!(parse_instance("ring\n").is_err());
+        let e = parse_instance("ring\nweights: 1 x 3").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains('x'));
+        let e = parse_instance("graph\nweights: 1 2\nedges: 0_1").unwrap_err();
+        assert!(e.message.contains("0_1"));
+        assert!(parse_instance("torus\nweights: 1 2 3").is_err());
+        // Graphs need edges.
+        assert!(parse_instance("graph\nweights: 1 2").is_err());
+        // Invalid topology bubbles up the GraphError text.
+        let e = parse_instance("graph\nweights: 1 2\nedges: 0-0").unwrap_err();
+        assert!(e.message.contains("self-loop"));
+    }
+}

@@ -1,0 +1,97 @@
+//! One-parameter families of weighted graphs.
+
+use prs_graph::{Graph, VertexId};
+use prs_numeric::Rational;
+
+/// A family of graphs indexed by a rational parameter on a closed interval.
+///
+/// The misreport analysis (`x` = reported weight) and the Sybil split
+/// analysis (`x` = weight of the first fictitious node) are both instances.
+pub trait GraphFamily {
+    /// The graph at parameter value `x ∈ [domain.0, domain.1]`.
+    fn graph_at(&self, x: &Rational) -> Graph;
+
+    /// The closed parameter interval.
+    fn domain(&self) -> (Rational, Rational);
+
+    /// The vertex whose deviation is being analyzed (used by sweeps to
+    /// track `α_v(x)`, `U_v(x)`, classes).
+    fn focus_vertex(&self) -> VertexId;
+
+    /// `d w_u / d x`: how vertex `u`'s weight moves with the parameter.
+    /// All families in this workspace are affine in `x` with slopes in
+    /// `{-1, 0, +1}` — which is what makes every pair's α-ratio a Möbius
+    /// function of `x` inside a constant-shape interval (see
+    /// [`crate::moebius`]). Default: only the focus vertex moves, slope +1.
+    fn weight_slope(&self, u: VertexId) -> i64 {
+        if u == self.focus_vertex() {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// The misreporting family of Section III-B: agent `v` reports `x ∈ [0, w_v]`
+/// while all other weights stay fixed.
+#[derive(Clone)]
+pub struct MisreportFamily {
+    base: Graph,
+    v: VertexId,
+}
+
+impl MisreportFamily {
+    /// Family for agent `v` on graph `g`; domain is `[0, w_v]`.
+    pub fn new(base: Graph, v: VertexId) -> Self {
+        assert!(v < base.n(), "vertex out of range");
+        MisreportFamily { base, v }
+    }
+
+    /// The underlying graph (with the true weight).
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// The deviating agent.
+    pub fn agent(&self) -> VertexId {
+        self.v
+    }
+
+    /// The agent's true weight `w_v`.
+    pub fn true_weight(&self) -> &Rational {
+        self.base.weight(self.v)
+    }
+}
+
+impl GraphFamily for MisreportFamily {
+    fn graph_at(&self, x: &Rational) -> Graph {
+        self.base.with_weight(self.v, x.clone())
+    }
+
+    fn domain(&self) -> (Rational, Rational) {
+        (Rational::zero(), self.base.weight(self.v).clone())
+    }
+
+    fn focus_vertex(&self) -> VertexId {
+        self.v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_graph::builders;
+    use prs_numeric::{int, ratio};
+
+    #[test]
+    fn misreport_family_basics() {
+        let g = builders::ring(vec![int(4), int(2), int(3)]).unwrap();
+        let fam = MisreportFamily::new(g, 0);
+        assert_eq!(fam.domain(), (int(0), int(4)));
+        assert_eq!(fam.focus_vertex(), 0);
+        let g_half = fam.graph_at(&ratio(1, 2));
+        assert_eq!(g_half.weight(0), &ratio(1, 2));
+        assert_eq!(g_half.weight(1), &int(2)); // others untouched
+        assert_eq!(fam.base().weight(0), &int(4)); // base untouched
+    }
+}

@@ -1,0 +1,271 @@
+//! Exact interval algebra: α-ratios as Möbius functions of the parameter.
+//!
+//! Inside a constant-shape interval of a one-parameter family, pair
+//! memberships are fixed, and every vertex weight is affine in the
+//! parameter (`w_u(x) = a_u + c_u·x`, slopes `c_u ∈ {-1, 0, +1}` — see
+//! [`GraphFamily::weight_slope`]). Hence each pair's α-ratio is the Möbius
+//! function
+//!
+//! ```text
+//! α_i(x) = w(C_i)(x) / w(B_i)(x) = (p + q·x) / (r + s·x)
+//! ```
+//!
+//! with integer-slope numerator/denominator. This module materializes those
+//! coefficients **exactly** from a single sample, which buys two things the
+//! bisection-only sweep cannot provide:
+//!
+//! 1. **Exact breakpoints** ([`exact_breakpoint`]): a merge/split event
+//!    between the pair containing the focus vertex and a neighboring pair
+//!    is an α-equality; since at most one of the two pairs contains the
+//!    moving vertices, the equality is *linear* in `x` and solvable in
+//!    closed form. The bisection bracket certifies which root is the event.
+//! 2. **Exact Proposition 12 junction identities**: the α-ratios of the
+//!    merging/splitting pairs agree exactly at the breakpoint
+//!    (`α_j^i(b_i) = α_j^{i+1}(b_i) = …` in the paper's notation).
+
+use crate::family::GraphFamily;
+use crate::sweep::{ShapeInterval, SweepResult};
+use prs_bd::decompose;
+use prs_numeric::Rational;
+
+/// The exact Möbius form `(p + q·x) / (r + s·x)` of one pair's α-ratio on a
+/// constant-shape interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Moebius {
+    /// Numerator constant term.
+    pub p: Rational,
+    /// Numerator slope.
+    pub q: Rational,
+    /// Denominator constant term.
+    pub r: Rational,
+    /// Denominator slope.
+    pub s: Rational,
+}
+
+impl Moebius {
+    /// Evaluate at `x`; `None` if the denominator vanishes there.
+    pub fn eval(&self, x: &Rational) -> Option<Rational> {
+        let den = &self.r + &(&self.s * x);
+        if den.is_zero() {
+            return None;
+        }
+        let num = &self.p + &(&self.q * x);
+        Some(&num / &den)
+    }
+
+    /// Solve `self(x) = other(x)` when the equation is linear — which it is
+    /// whenever at most one operand has nonzero slopes (at most one pair
+    /// contains the moving vertices). Returns `None` for the degenerate
+    /// identical / parallel cases or a genuinely quadratic instance.
+    pub fn equality_root(&self, other: &Moebius) -> Option<Rational> {
+        // (p1 + q1 x)(r2 + s2 x) = (p2 + q2 x)(r1 + s1 x)
+        // A x² + B x + C = 0 with
+        let a = &(&self.q * &other.s) - &(&other.q * &self.s);
+        let b = &(&(&self.p * &other.s) + &(&self.q * &other.r))
+            - &(&(&other.p * &self.s) + &(&other.q * &self.r));
+        let c = &(&self.p * &other.r) - &(&other.p * &self.r);
+        if !a.is_zero() {
+            return None; // quadratic: not produced by our families
+        }
+        if b.is_zero() {
+            return None; // identical or parallel
+        }
+        Some(&(-&c) / &b)
+    }
+}
+
+/// Compute the exact Möbius coefficients of pair `pair_idx` of the
+/// decomposition shape valid around sample `x0`.
+///
+/// Uses the family's weight model: `p = w(C)(x0) − slope(C)·x0`,
+/// `q = slope(C)`, and likewise for `B` — all exact rationals.
+pub fn pair_moebius<F: GraphFamily>(
+    fam: &F,
+    x0: &Rational,
+    pair_idx: usize,
+) -> Option<Moebius> {
+    let g = fam.graph_at(x0);
+    let bd = decompose(&g).ok()?;
+    let pair = bd.pairs().get(pair_idx)?;
+
+    let mut p = Rational::zero();
+    let mut q = 0i64;
+    for u in pair.c.iter() {
+        p += g.weight(u);
+        q += fam.weight_slope(u);
+    }
+    let mut r = Rational::zero();
+    let mut s = 0i64;
+    for u in pair.b.iter() {
+        r += g.weight(u);
+        s += fam.weight_slope(u);
+    }
+    let q = Rational::from_integer(q);
+    let s = Rational::from_integer(s);
+    // Shift the affine parts back to x = 0.
+    let p = &p - &(&q * x0);
+    let r = &r - &(&s * x0);
+    Some(Moebius { p, q, r, s })
+}
+
+/// Verify that the Möbius model fitted at one end of a shape interval
+/// reproduces the exact α-ratios at the other end — a consistency proof of
+/// the piecewise-Möbius structure on this instance.
+pub fn verify_interval<F: GraphFamily>(fam: &F, interval: &ShapeInterval) -> Result<(), String> {
+    for pair_idx in 0..interval.shape.len() {
+        let model = pair_moebius(fam, &interval.lo, pair_idx)
+            .ok_or_else(|| format!("pair {pair_idx} not decomposable at interval start"))?;
+        let at_hi = model
+            .eval(&interval.hi)
+            .ok_or_else(|| format!("pair {pair_idx}: denominator vanished"))?;
+        if at_hi != interval.alphas_hi[pair_idx] {
+            return Err(format!(
+                "pair {pair_idx}: Möbius model predicts α = {at_hi} at x = {}, measured {}",
+                interval.hi, interval.alphas_hi[pair_idx]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Compute the **exact** breakpoint between two adjacent shape intervals,
+/// by solving the α-equality of the focus pair against every pair of the
+/// other interval and returning the unique root inside the bisection
+/// bracket `[left.hi, right.lo]` (closed with a hair of slack on both
+/// sides, since the bracket endpoints are themselves samples).
+pub fn exact_breakpoint<F: GraphFamily>(
+    fam: &F,
+    left: &ShapeInterval,
+    right: &ShapeInterval,
+) -> Option<Rational> {
+    let bracket_lo = &left.hi;
+    let bracket_hi = &right.lo;
+
+    let mut candidates: Vec<Rational> = Vec::new();
+    for li in 0..left.shape.len() {
+        let lm = pair_moebius(fam, &left.lo, li)?;
+        for ri in 0..right.shape.len() {
+            let rm = pair_moebius(fam, &right.hi, ri)?;
+            if let Some(root) = lm.equality_root(&rm) {
+                if &root >= bracket_lo && &root <= bracket_hi {
+                    candidates.push(root);
+                }
+            }
+        }
+        // Also check α_i = 1 events (class crossovers at the terminal pair).
+        let one = Moebius {
+            p: Rational::one(),
+            q: Rational::zero(),
+            r: Rational::one(),
+            s: Rational::zero(),
+        };
+        if let Some(root) = lm.equality_root(&one) {
+            if &root >= bracket_lo && &root <= bracket_hi {
+                candidates.push(root);
+            }
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+    match candidates.len() {
+        1 => Some(candidates.pop().expect("len checked")),
+        _ => None, // ambiguous bracket: refine the sweep further
+    }
+}
+
+/// Exact breakpoints for a whole sweep (one entry per interval boundary;
+/// `None` where the α-equality system was ambiguous at this bracket width).
+pub fn exact_breakpoints<F: GraphFamily>(fam: &F, res: &SweepResult) -> Vec<Option<Rational>> {
+    res.intervals
+        .windows(2)
+        .map(|w| exact_breakpoint(fam, &w[0], &w[1]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::MisreportFamily;
+    use crate::sweep::{sweep, SweepConfig};
+    use prs_graph::builders;
+    use prs_numeric::{int, ratio, Rational};
+
+    fn ints(vals: &[i64]) -> Vec<Rational> {
+        vals.iter().map(|&v| int(v)).collect()
+    }
+
+    #[test]
+    fn moebius_eval_and_linear_root() {
+        // f = (2 + x) / 4, g = 3/2 constant: equal at x = 4.
+        let f = Moebius {
+            p: int(2),
+            q: int(1),
+            r: int(4),
+            s: int(0),
+        };
+        let g = Moebius {
+            p: ratio(3, 2),
+            q: int(0),
+            r: int(1),
+            s: int(0),
+        };
+        assert_eq!(f.eval(&int(2)).unwrap(), int(1));
+        assert_eq!(f.equality_root(&g).unwrap(), int(4));
+    }
+
+    #[test]
+    fn equality_root_rejects_parallel_and_quadratic() {
+        let f = Moebius { p: int(1), q: int(1), r: int(2), s: int(0) };
+        assert_eq!(f.equality_root(&f), None); // identical
+        let g = Moebius { p: int(0), q: int(1), r: int(1), s: int(1) };
+        let h = Moebius { p: int(1), q: int(1), r: int(1), s: int(0) };
+        // g vs h: a = q_g·s_h − q_h·s_g = 0·? … compute: (0+x)(1+0x) vs
+        // (1+x)(1+x): a = 1·0 − 1·1 = −1 ≠ 0 → quadratic → None.
+        assert_eq!(g.equality_root(&h), None);
+    }
+
+    #[test]
+    fn pair_moebius_matches_sampled_alphas() {
+        let g = builders::ring(ints(&[6, 2, 4, 3, 5])).unwrap();
+        let fam = MisreportFamily::new(g, 0);
+        // At x = 1 the shape is B = {2,4}, C = {0,1,3} (cf. experiment E7):
+        // α₀(x) = (x + 2 + 3)/(4 + 5) = (5 + x)/9.
+        let m = pair_moebius(&fam, &int(1), 0).unwrap();
+        assert_eq!(m.eval(&int(1)).unwrap(), ratio(6, 9));
+        assert_eq!(m.eval(&int(3)).unwrap(), ratio(8, 9));
+        assert_eq!(m, Moebius { p: int(5), q: int(1), r: int(9), s: int(0) });
+    }
+
+    #[test]
+    fn interval_models_verify_across_sweeps() {
+        let g = builders::ring(ints(&[6, 2, 4, 3, 5])).unwrap();
+        let fam = MisreportFamily::new(g, 0);
+        let res = sweep(&fam, &SweepConfig { grid: 24, refine_bits: 20 });
+        for iv in &res.intervals {
+            verify_interval(&fam, iv).unwrap();
+        }
+    }
+
+    #[test]
+    fn exact_breakpoint_on_known_instance() {
+        // Ring (6,2,4,3,5), agent 0: E7 showed the single breakpoint sits at
+        // x = 4 — where α₀(x) = (5+x)/9 crosses 1.
+        let g = builders::ring(ints(&[6, 2, 4, 3, 5])).unwrap();
+        let fam = MisreportFamily::new(g, 0);
+        let res = sweep(&fam, &SweepConfig { grid: 24, refine_bits: 22 });
+        assert_eq!(res.intervals.len(), 2);
+        let bp = exact_breakpoint(&fam, &res.intervals[0], &res.intervals[1]);
+        assert_eq!(bp, Some(int(4)));
+    }
+
+    #[test]
+    fn exact_breakpoint_two_path() {
+        // Path (1, x), agent 1: breakpoint exactly at x = 1 (α = x meets
+        // α = 1/x ⇔ both meet 1).
+        let g = builders::path(ints(&[1, 10])).unwrap();
+        let fam = MisreportFamily::new(g, 1);
+        let res = sweep(&fam, &SweepConfig { grid: 24, refine_bits: 22 });
+        let bps = exact_breakpoints(&fam, &res);
+        assert!(bps.iter().flatten().any(|b| b == &int(1)), "{bps:?}");
+    }
+}

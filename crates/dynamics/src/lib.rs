@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # prs-dynamics — proportional response dynamics
+//!
+//! Definition 1 of the paper (after Wu–Zhang STOC'07): every agent starts by
+//! splitting its resource evenly among its neighbors,
+//! `x_vu(0) = w_v / d_v`, and from then on responds proportionally to what it
+//! received in the previous period,
+//!
+//! ```text
+//! x_vu(t+1) = w_v · x_uv(t) / Σ_{k ∈ Γ(v)} x_kv(t).
+//! ```
+//!
+//! Wu–Zhang proved these dynamics converge to the fixed-point **BD
+//! allocation** (Proposition 6), which `prs-bd` computes in closed form —
+//! giving this crate a ground truth to converge against, and the test-suite
+//! a strong cross-validation: a distributed, message-passing protocol and an
+//! exact combinatorial algorithm must agree.
+//!
+//! Two engines are provided:
+//!
+//! * [`F64Engine`] — fast floating-point iteration for large instances and
+//!   benchmarks, with per-round utility traces and convergence detection
+//!   (both cycle-averaged and raw).
+//! * [`ExactEngine`] — exact rational iteration (denominators grow with the
+//!   round count; intended for small instances and short horizons, where it
+//!   certifies the `f64` engine bit-for-bit against drift).
+//!
+//! [`parallel::convergence_sweep`] runs many instances concurrently with
+//! crossbeam scoped threads (one instance per task, work-stealing via a
+//! shared atomic cursor).
+
+pub mod engine_async;
+pub mod engine_exact;
+pub mod engine_f64;
+pub mod parallel;
+pub mod trace;
+
+pub use engine_async::{AsyncEngine, Schedule};
+pub use engine_exact::ExactEngine;
+pub use engine_f64::{ConvergenceReport, F64Engine};
+pub use trace::ConvergenceTrace;

@@ -1,0 +1,142 @@
+//! Parallel convergence sweeps over many instances.
+//!
+//! Follows the crossbeam scoped-thread idiom: a shared atomic cursor hands
+//! out instance indices (work stealing), each worker owns its engine and
+//! writes its result into a disjoint slot — no locks on the hot path, and
+//! data-race freedom is enforced by the scope.
+
+use crate::engine_f64::{ConvergenceReport, F64Engine};
+use prs_graph::Graph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-instance outcome of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Index into the input instance list.
+    pub instance: usize,
+    /// Instance size (vertices).
+    pub n: usize,
+    /// Convergence outcome.
+    pub report: ConvergenceReport,
+}
+
+/// Run the proportional response dynamics on every `(graph, target)` pair
+/// concurrently, with `threads` workers, stopping each instance at
+/// tolerance `eps` or `max_rounds`.
+pub fn convergence_sweep(
+    instances: &[(Graph, Vec<f64>)],
+    eps: f64,
+    max_rounds: usize,
+    threads: usize,
+) -> Vec<SweepResult> {
+    let threads = threads.max(1).min(instances.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<SweepResult>> = vec![None; instances.len()];
+    // Hand each worker a disjoint view of the results via split_at_mut-style
+    // slot distribution: collect into per-index cells.
+    let cells: Vec<parking_lot_free::Cell<SweepResult>> =
+        (0..instances.len()).map(|_| parking_lot_free::Cell::new()).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= instances.len() {
+                    break;
+                }
+                let (g, target) = &instances[i];
+                let mut eng = F64Engine::new(g);
+                let report = eng.run_until_close(target, eps, max_rounds);
+                cells[i].set(SweepResult {
+                    instance: i,
+                    n: g.n(),
+                    report,
+                });
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    for (i, cell) in cells.into_iter().enumerate() {
+        results[i] = cell.take();
+    }
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// A minimal one-shot cell: written at most once by exactly one worker (the
+/// cursor hands each index to a single thread), then read after the scope
+/// joins. The `Mutex`-free alternative would be `UnsafeCell`; a tiny
+/// spin-free `Once`-style wrapper over `std::sync::Mutex` keeps it obviously
+/// sound while staying off the hot path (one lock per *instance*, not per
+/// round).
+mod parking_lot_free {
+    use std::sync::Mutex;
+
+    pub struct Cell<T>(Mutex<Option<T>>);
+
+    impl<T> Cell<T> {
+        pub fn new() -> Self {
+            Cell(Mutex::new(None))
+        }
+        pub fn set(&self, value: T) {
+            let mut guard = self.0.lock().expect("poisoned");
+            debug_assert!(guard.is_none(), "slot written twice");
+            *guard = Some(value);
+        }
+        pub fn take(self) -> Option<T> {
+            self.0.into_inner().expect("poisoned")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_bd::decompose;
+    use prs_graph::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_instances(count: usize, n: usize, seed: u64) -> Vec<(Graph, Vec<f64>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let g = random::random_ring(&mut rng, n, 1, 10);
+                let bd = decompose(&g).unwrap();
+                let target = bd.utilities(&g).iter().map(|u| u.to_f64()).collect();
+                (g, target)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_converges_all_instances() {
+        let instances = make_instances(16, 8, 5);
+        let results = convergence_sweep(&instances, 1e-7, 200_000, 4);
+        assert_eq!(results.len(), 16);
+        for r in &results {
+            assert!(r.report.converged, "instance {} failed: {:?}", r.instance, r.report);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_sequential() {
+        let instances = make_instances(6, 6, 9);
+        let par = convergence_sweep(&instances, 1e-8, 100_000, 3);
+        for (i, (g, target)) in instances.iter().enumerate() {
+            let mut eng = crate::F64Engine::new(g);
+            let seq = eng.run_until_close(target, 1e-8, 100_000);
+            assert_eq!(par[i].report, seq, "instance {i}");
+        }
+    }
+
+    #[test]
+    fn single_thread_and_oversubscribed_agree() {
+        let instances = make_instances(5, 7, 13);
+        let a = convergence_sweep(&instances, 1e-7, 100_000, 1);
+        let b = convergence_sweep(&instances, 1e-7, 100_000, 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.report, y.report);
+        }
+    }
+}

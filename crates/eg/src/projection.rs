@@ -1,0 +1,110 @@
+//! Euclidean projection onto the scaled simplex
+//! `{ x ≥ 0 : Σ x_i = budget }`.
+//!
+//! Standard O(n log n) algorithm (Held–Wolfe–Crowder / Duchi et al.): sort,
+//! find the largest prefix whose water-filling threshold keeps all chosen
+//! coordinates positive, clamp the rest to zero.
+
+/// Project `v` onto `{ x ≥ 0 : Σ x_i = budget }` in Euclidean norm.
+///
+/// Panics if `budget < 0` or `v` is empty with a positive budget.
+pub fn project_to_simplex(v: &[f64], budget: f64) -> Vec<f64> {
+    assert!(budget >= 0.0, "negative budget");
+    if v.is_empty() {
+        assert!(budget == 0.0, "cannot place positive budget on no coordinates");
+        return Vec::new();
+    }
+    if budget == 0.0 {
+        return vec![0.0; v.len()];
+    }
+    let mut sorted: Vec<f64> = v.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite entries"));
+    let mut cumsum = 0.0;
+    let mut theta = 0.0;
+    let mut found = false;
+    for (k, &val) in sorted.iter().enumerate() {
+        cumsum += val;
+        let candidate = (cumsum - budget) / (k + 1) as f64;
+        if val - candidate > 0.0 {
+            theta = candidate;
+            found = true;
+        } else {
+            break;
+        }
+    }
+    debug_assert!(found, "threshold always exists for budget > 0");
+    let _ = found;
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-12)
+    }
+
+    #[test]
+    fn already_on_simplex_is_fixed() {
+        let x = vec![0.2, 0.3, 0.5];
+        assert!(close(&project_to_simplex(&x, 1.0), &x));
+    }
+
+    #[test]
+    fn uniform_projection() {
+        let p = project_to_simplex(&[0.0, 0.0, 0.0], 3.0);
+        assert!(close(&p, &[1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn clamps_negative_coordinates() {
+        let p = project_to_simplex(&[1.0, -5.0], 1.0);
+        assert!(close(&p, &[1.0, 0.0]));
+    }
+
+    #[test]
+    fn scaled_budget() {
+        let p = project_to_simplex(&[4.0, 2.0], 4.0);
+        assert!(close(&p, &[3.0, 1.0]));
+        let total: f64 = p.iter().sum();
+        assert!((total - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_gives_zeros() {
+        assert!(close(&project_to_simplex(&[3.0, 1.0], 0.0), &[0.0, 0.0]));
+    }
+
+    #[test]
+    fn projection_properties_random() {
+        // Feasibility + optimality check (projection must be no farther
+        // than any random feasible point).
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 2000) as f64 / 100.0 - 10.0
+        };
+        for n in [1usize, 2, 5, 9] {
+            for _ in 0..20 {
+                let v: Vec<f64> = (0..n).map(|_| next()).collect();
+                let budget = 2.5;
+                let p = project_to_simplex(&v, budget);
+                let total: f64 = p.iter().sum();
+                assert!((total - budget).abs() < 1e-9, "not on simplex");
+                assert!(p.iter().all(|&x| x >= 0.0), "negative coordinate");
+                let dist =
+                    |a: &[f64]| a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum::<f64>();
+                // Compare against a few feasible points.
+                let mut q: Vec<f64> = (0..n).map(|_| next().abs()).collect();
+                let qs: f64 = q.iter().sum();
+                if qs > 0.0 {
+                    q.iter_mut().for_each(|x| *x *= budget / qs);
+                    assert!(dist(&p) <= dist(&q) + 1e-9, "not the closest point");
+                }
+            }
+        }
+    }
+}

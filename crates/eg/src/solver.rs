@@ -1,0 +1,270 @@
+//! Projected gradient ascent for the Eisenberg–Gale program.
+//!
+//! Variables: each agent `v` owns a scaled simplex
+//! `{ x_{v·} ≥ 0 : Σ_u x_vu = w_v }` over its incident edges. Objective:
+//! `F(X) = Σ_v w_v · log U_v(X)` with `U_v = Σ_u x_uv`, so
+//! `∂F/∂x_vu = w_u / U_u` — push resource toward neighbors whose marginal
+//! (contribution-weighted) utility is highest. Each iteration takes a
+//! gradient step and projects every agent's row back onto its simplex.
+//!
+//! The program is concave with a compact feasible set; a diminishing step
+//! size converges to the optimum, whose utilities are the market
+//! equilibrium = the BD allocation utilities (tested against `prs-bd`).
+
+use prs_graph::{Graph, VertexId};
+
+/// Solver configuration.
+#[derive(Clone, Debug)]
+pub struct EgConfig {
+    /// Maximum gradient iterations.
+    pub max_iters: usize,
+    /// Initial step size (scaled by `1/√t` over iterations).
+    pub step: f64,
+    /// Stop when the objective improves by less than this per iteration
+    /// (measured over a 32-iteration window).
+    pub tol: f64,
+    /// Numerical floor for utilities inside logs/gradients.
+    pub eps: f64,
+}
+
+impl Default for EgConfig {
+    fn default() -> Self {
+        EgConfig {
+            max_iters: 200_000,
+            step: 0.5,
+            tol: 1e-12,
+            eps: 1e-12,
+        }
+    }
+}
+
+/// Result of an EG solve.
+#[derive(Clone, Debug)]
+pub struct EgSolution {
+    /// Final allocation: `x[v][i]` = what `v` sends to `neighbors(v)[i]`.
+    pub x: Vec<Vec<f64>>,
+    /// Final utilities `U_v`.
+    pub utilities: Vec<f64>,
+    /// Final objective `Σ w_v log U_v`.
+    pub objective: f64,
+    /// Iterations executed.
+    pub iters: usize,
+    /// Whether the improvement window dropped below tolerance before the
+    /// iteration cap.
+    pub converged: bool,
+}
+
+fn utilities(g: &Graph, x: &[Vec<f64>]) -> Vec<f64> {
+    let mut u = vec![0.0; g.n()];
+    for v in 0..g.n() {
+        for (i, &nb) in g.neighbors(v).iter().enumerate() {
+            u[nb] += x[v][i];
+        }
+    }
+    u
+}
+
+fn objective(g: &Graph, w: &[f64], u: &[f64], eps: f64) -> f64 {
+    (0..g.n())
+        .filter(|&v| w[v] > 0.0)
+        .map(|v| w[v] * u[v].max(eps).ln())
+        .sum()
+}
+
+/// Solve the Eisenberg–Gale program for `g` by entropic mirror descent
+/// (exponentiated gradient): each agent's row is updated multiplicatively,
+///
+/// ```text
+/// x_vu ← x_vu · exp(η_t · ĝ_vu),   ĝ = gradient normalized per row,
+/// ```
+///
+/// then renormalized to its budget. Multiplicative updates keep the iterate
+/// strictly interior — vital here, because the log-utility gradient blows
+/// up at the boundary and additive projected steps ricochet between
+/// corners. The returned solution is the best-objective iterate.
+///
+/// Agents with zero weight keep the zero allocation (they own nothing to
+/// spread and contribute nothing to the objective).
+pub fn solve(g: &Graph, cfg: &EgConfig) -> EgSolution {
+    let n = g.n();
+    let w = g.weights_f64();
+    // Even-split start (the Definition 1 initial condition) — strictly
+    // interior for positive-weight agents.
+    let mut x: Vec<Vec<f64>> = (0..n)
+        .map(|v| {
+            let d = g.degree(v).max(1) as f64;
+            vec![w[v] / d; g.degree(v)]
+        })
+        .collect();
+
+    let mut u = utilities(g, &x);
+    let mut best_obj = objective(g, &w, &u, cfg.eps);
+    let mut best_x = x.clone();
+    let mut best_u = u.clone();
+    let mut window_start_obj = best_obj;
+    let mut converged = false;
+    let mut iters = 0;
+
+    for t in 1..=cfg.max_iters {
+        iters = t;
+        let eta = cfg.step / (t as f64).sqrt();
+        for v in 0..n {
+            if w[v] == 0.0 || g.degree(v) == 0 {
+                continue;
+            }
+            let neighbors: &[VertexId] = g.neighbors(v);
+            // Row gradient ∂F/∂x_vu = w_u / U_u, normalized so the largest
+            // exponent is exactly η (keeps the update bounded even when a
+            // utility is near zero — the *relative* gradient is what the
+            // simplex geometry cares about).
+            let grads: Vec<f64> = neighbors
+                .iter()
+                .map(|&nb| {
+                    if w[nb] > 0.0 {
+                        w[nb] / u[nb].max(cfg.eps)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let gmax = grads.iter().cloned().fold(0.0f64, f64::max);
+            if gmax <= 0.0 {
+                continue;
+            }
+            let mut total = 0.0;
+            for (xi, gi) in x[v].iter_mut().zip(&grads) {
+                // Floor keeps dead coordinates revivable.
+                *xi = (*xi).max(cfg.eps * w[v]) * (eta * gi / gmax).exp();
+                total += *xi;
+            }
+            let scale = w[v] / total;
+            for xi in x[v].iter_mut() {
+                *xi *= scale;
+            }
+        }
+        u = utilities(g, &x);
+        let obj = objective(g, &w, &u, cfg.eps);
+        if obj > best_obj {
+            best_obj = obj;
+            best_x = x.clone();
+            best_u = u.clone();
+        }
+        if t % 128 == 0 {
+            if (best_obj - window_start_obj).abs() < cfg.tol * 128.0 {
+                converged = true;
+                break;
+            }
+            window_start_obj = best_obj;
+        }
+    }
+
+    EgSolution {
+        objective: best_obj,
+        utilities: best_u,
+        x: best_x,
+        iters,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_bd::decompose;
+    use prs_graph::{builders, random};
+    use prs_numeric::int;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bd_utilities(g: &Graph) -> Vec<f64> {
+        decompose(g)
+            .unwrap()
+            .utilities(g)
+            .iter()
+            .map(|u| u.to_f64())
+            .collect()
+    }
+
+    fn assert_matches_bd(g: &Graph, tol: f64) {
+        let sol = solve(g, &EgConfig::default());
+        let want = bd_utilities(g);
+        for (v, (got, want)) in sol.utilities.iter().zip(&want).enumerate() {
+            assert!(
+                (got - want).abs() / (1.0 + want.abs()) < tol,
+                "EG utility {got} vs BD {want} at vertex {v} on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_agent_exchange_matches_bd() {
+        let g = builders::path(vec![int(1), int(4)]).unwrap();
+        assert_matches_bd(&g, 1e-6);
+    }
+
+    #[test]
+    fn star_matches_bd() {
+        let g = builders::star(vec![int(10), int(1), int(1), int(1)]).unwrap();
+        assert_matches_bd(&g, 1e-4);
+    }
+
+    #[test]
+    fn rings_match_bd() {
+        let mut rng = StdRng::seed_from_u64(16);
+        for n in [4usize, 5, 6] {
+            let g = random::random_ring(&mut rng, n, 1, 8);
+            assert_matches_bd(&g, 1e-3);
+        }
+    }
+
+    #[test]
+    fn figure1_matches_bd() {
+        assert_matches_bd(&builders::figure1_example(), 1e-3);
+    }
+
+    #[test]
+    fn objective_is_monotone_to_the_bd_value() {
+        // The BD utilities must achieve at least the solver's objective
+        // (they are the true optimum).
+        let g = builders::ring(vec![int(3), int(1), int(4), int(1), int(5)]).unwrap();
+        let w = g.weights_f64();
+        let sol = solve(&g, &EgConfig::default());
+        let bd_obj: f64 = bd_utilities(&g)
+            .iter()
+            .zip(&w)
+            .filter(|(_, &wv)| wv > 0.0)
+            .map(|(u, &wv)| wv * u.ln())
+            .sum();
+        assert!(
+            sol.objective <= bd_obj + 1e-6,
+            "solver overshot the optimum?! {} vs {}",
+            sol.objective,
+            bd_obj
+        );
+        assert!(
+            sol.objective >= bd_obj - 1e-3,
+            "solver fell short: {} vs {}",
+            sol.objective,
+            bd_obj
+        );
+    }
+
+    #[test]
+    fn allocation_is_feasible() {
+        let g = builders::ring(vec![int(2), int(7), int(1), int(4)]).unwrap();
+        let sol = solve(&g, &EgConfig::default());
+        for v in 0..g.n() {
+            let sent: f64 = sol.x[v].iter().sum();
+            assert!((sent - g.weight(v).to_f64()).abs() < 1e-9, "budget at {v}");
+            assert!(sol.x[v].iter().all(|&xi| xi >= 0.0));
+        }
+    }
+
+    #[test]
+    fn zero_weight_agent_handled() {
+        let g = builders::ring(vec![int(0), int(2), int(3), int(4)]).unwrap();
+        let sol = solve(&g, &EgConfig::default());
+        assert!(sol.x[0].iter().all(|&xi| xi == 0.0));
+        assert!(sol.utilities.iter().all(|u| u.is_finite()));
+    }
+}

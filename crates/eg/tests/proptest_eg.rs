@@ -1,0 +1,58 @@
+//! Property tests: the Eisenberg–Gale solver vs the exact BD mechanism.
+
+use proptest::prelude::*;
+use prs_bd::decompose;
+use prs_eg::{solve, EgConfig};
+use prs_graph::builders;
+use prs_numeric::int;
+
+proptest! {
+    // The solver is iterative and comparatively slow; keep the case count
+    // small — the root-level suites cover breadth, this covers the law.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn eg_matches_bd_on_random_rings(weights in proptest::collection::vec(1i64..10, 4..7)) {
+        let g = builders::ring(weights.iter().map(|&w| int(w)).collect()).unwrap();
+        let bd = decompose(&g).unwrap();
+        let sol = solve(&g, &EgConfig::default());
+        for (v, want) in bd.utilities(&g).iter().enumerate() {
+            let want = want.to_f64();
+            let got = sol.utilities[v];
+            prop_assert!(
+                (got - want).abs() / (1.0 + want.abs()) < 5e-3,
+                "EG {got} vs BD {want} at {v} on {weights:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eg_objective_never_exceeds_bd_objective(weights in proptest::collection::vec(1i64..10, 4..6)) {
+        // BD utilities are the true optimum of the concave program; any
+        // feasible iterate's objective is ≤ theirs.
+        let g = builders::ring(weights.iter().map(|&w| int(w)).collect()).unwrap();
+        let bd = decompose(&g).unwrap();
+        let w = g.weights_f64();
+        let bd_obj: f64 = bd
+            .utilities(&g)
+            .iter()
+            .zip(&w)
+            .filter(|(_, &wv)| wv > 0.0)
+            .map(|(u, &wv)| wv * u.to_f64().ln())
+            .sum();
+        let sol = solve(&g, &EgConfig::default());
+        prop_assert!(sol.objective <= bd_obj + 1e-6,
+            "iterate beat the optimum: {} > {bd_obj}", sol.objective);
+    }
+
+    #[test]
+    fn eg_solution_always_feasible(weights in proptest::collection::vec(1i64..10, 4..7)) {
+        let g = builders::ring(weights.iter().map(|&w| int(w)).collect()).unwrap();
+        let sol = solve(&g, &EgConfig { max_iters: 5_000, ..EgConfig::default() });
+        for v in 0..g.n() {
+            let sent: f64 = sol.x[v].iter().sum();
+            prop_assert!((sent - g.weight(v).to_f64()).abs() < 1e-9);
+            prop_assert!(sol.x[v].iter().all(|&x| x >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # prs-flow — exact maximum flow over rational capacities
+//!
+//! The bottleneck decomposition (Definition 2 of the paper) and the BD
+//! Allocation Mechanism (Definition 5) are both defined through max-flow /
+//! min-cut arguments on small auxiliary networks whose capacities are agent
+//! weights and weights divided by α-ratios — i.e. exact rationals. This crate
+//! implements Dinic's algorithm over [`Rational`](prs_numeric::Rational)
+//! capacities (with first-class infinite capacities for the `B×C` middle
+//! edges), plus the residual-reachability queries the decomposition needs:
+//!
+//! * [`FlowNetwork::max_flow`] — exact blocking-flow Dinic. Termination does
+//!   not depend on capacity magnitudes (≤ `V` phases, ≤ `E` augmentations per
+//!   phase), so exact arithmetic is safe.
+//! * [`FlowNetwork::min_cut_source_side`] — the s-side of a minimum cut,
+//!   used by the Dinkelbach step to extract a violating set.
+//! * [`FlowNetwork::residual_reaches_sink`] — the set of nodes with a
+//!   residual path *to* `t`, used to extract the maximal tight set
+//!   (= maximal bottleneck).
+
+pub mod network;
+
+pub use network::{Cap, EdgeId, FlowNetwork, NodeId};

@@ -1,0 +1,439 @@
+//! Dinic's maximum-flow algorithm with exact rational capacities.
+
+use prs_numeric::Rational;
+use std::collections::VecDeque;
+
+/// Node index in a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Identifier of a directed edge, as returned by [`FlowNetwork::add_edge`].
+///
+/// Internally each undirected residual pair occupies two consecutive arc
+/// slots; `EdgeId` always refers to the forward arc.
+pub type EdgeId = usize;
+
+/// An arc capacity: a finite exact rational or `+∞`.
+///
+/// Infinite capacities appear on the `B_i × C_i` middle edges of the
+/// Definition 5 networks; modelling them exactly (rather than with a large
+/// finite surrogate) keeps min-cut reasoning clean — an infinite arc can
+/// never be a cut edge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Cap {
+    /// A finite exact capacity.
+    Finite(Rational),
+    /// Unbounded capacity (never a min-cut edge).
+    Infinite,
+}
+
+impl Cap {
+    /// True iff the capacity is a finite zero (the arc can never carry flow).
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Cap::Finite(c) if c.is_zero())
+    }
+}
+
+#[derive(Clone)]
+struct Arc {
+    to: NodeId,
+    cap: Cap,
+    /// Flow currently on this arc (negative on reverse arcs).
+    flow: Rational,
+}
+
+impl Arc {
+    /// Residual capacity; `None` encodes +∞.
+    fn residual(&self) -> Option<Rational> {
+        match &self.cap {
+            Cap::Infinite => None,
+            Cap::Finite(c) => Some(c - &self.flow),
+        }
+    }
+
+    fn has_residual(&self) -> bool {
+        match &self.cap {
+            Cap::Infinite => true,
+            Cap::Finite(c) => &self.flow < c,
+        }
+    }
+}
+
+/// A directed flow network with exact rational capacities.
+pub struct FlowNetwork {
+    arcs: Vec<Arc>,
+    adj: Vec<Vec<usize>>,
+    // Scratch buffers reused across phases (workhorse-buffer idiom).
+    level: Vec<u32>,
+    iter: Vec<usize>,
+}
+
+const UNREACHED: u32 = u32::MAX;
+
+impl FlowNetwork {
+    /// A network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![UNREACHED; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed edge `from → to` with the given capacity; returns its id.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: Cap) -> EdgeId {
+        assert!(from < self.n() && to < self.n(), "node out of range");
+        assert_ne!(from, to, "self-loop arcs are not supported");
+        let id = self.arcs.len();
+        self.adj[from].push(id);
+        self.arcs.push(Arc {
+            to,
+            cap,
+            flow: Rational::zero(),
+        });
+        self.adj[to].push(id + 1);
+        self.arcs.push(Arc {
+            to: from,
+            cap: Cap::Finite(Rational::zero()),
+            flow: Rational::zero(),
+        });
+        id
+    }
+
+    /// Flow currently assigned to edge `id` (a forward arc id from
+    /// [`add_edge`](Self::add_edge)).
+    pub fn flow_on(&self, id: EdgeId) -> &Rational {
+        &self.arcs[id].flow
+    }
+
+    /// True iff edge `id` is saturated (meaningless for infinite arcs: always
+    /// false there).
+    pub fn is_saturated(&self, id: EdgeId) -> bool {
+        !self.arcs[id].has_residual()
+    }
+
+    /// Reset all flows to zero.
+    pub fn reset_flow(&mut self) {
+        for a in &mut self.arcs {
+            a.flow = Rational::zero();
+        }
+    }
+
+    fn bfs_levels(&mut self, s: NodeId) {
+        self.level.iter_mut().for_each(|l| *l = UNREACHED);
+        self.level[s] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &aid in &self.adj[v] {
+                let a = &self.arcs[aid];
+                if a.has_residual() && self.level[a.to] == UNREACHED {
+                    self.level[a.to] = self.level[v] + 1;
+                    q.push_back(a.to);
+                }
+            }
+        }
+    }
+
+    /// DFS a single augmenting path in the level graph; returns the amount
+    /// pushed (`None` = +∞ bottleneck is impossible because the path ends at
+    /// `t` through at least the source arcs, so a finite value or zero).
+    fn dfs_augment(&mut self, v: NodeId, t: NodeId, limit: Option<Rational>) -> Rational {
+        if v == t {
+            return limit.expect("an s→t path must pass a finite-capacity arc");
+        }
+        while self.iter[v] < self.adj[v].len() {
+            let aid = self.adj[v][self.iter[v]];
+            let (to, residual) = {
+                let a = &self.arcs[aid];
+                (a.to, a.residual())
+            };
+            let usable = match &residual {
+                Some(r) if r.is_zero() => false,
+                _ => true,
+            };
+            if usable && self.level[to] == self.level[v] + 1 {
+                let new_limit = match (&limit, &residual) {
+                    (None, None) => None,
+                    (Some(l), None) => Some(l.clone()),
+                    (None, Some(r)) => Some(r.clone()),
+                    (Some(l), Some(r)) => Some(if l <= r { l.clone() } else { r.clone() }),
+                };
+                let pushed = self.dfs_augment(to, t, new_limit);
+                if !pushed.is_zero() {
+                    self.arcs[aid].flow += &pushed;
+                    let rev = aid ^ 1;
+                    self.arcs[rev].flow -= &pushed;
+                    return pushed;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        Rational::zero()
+    }
+
+    /// Compute the maximum `s → t` flow (exact). The network must not contain
+    /// an infinite-capacity `s → t` path; the Definition 2/5 networks never do
+    /// (every path crosses a finite source or sink arc).
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> Rational {
+        assert_ne!(s, t, "source equals sink");
+        let mut total = Rational::zero();
+        loop {
+            self.bfs_levels(s);
+            if self.level[t] == UNREACHED {
+                return total;
+            }
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs_augment(s, t, None);
+                if pushed.is_zero() {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    /// Nodes reachable from `s` in the residual graph (the s-side of a
+    /// minimum cut after [`max_flow`](Self::max_flow) has run).
+    pub fn min_cut_source_side(&self, s: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.n()];
+        seen[s] = true;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &aid in &self.adj[v] {
+                let a = &self.arcs[aid];
+                if a.has_residual() && !seen[a.to] {
+                    seen[a.to] = true;
+                    stack.push(a.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Nodes that can reach `t` through the residual graph. Computed by a
+    /// reverse traversal: `u` reaches `t` iff some residual arc `u → x` leads
+    /// to a node that reaches `t`.
+    ///
+    /// This is the query behind the *maximal bottleneck* extraction: at the
+    /// optimal α, a left-copy vertex belongs to the maximal tight set iff it
+    /// can **not** reach `t` (see prs-bd).
+    pub fn residual_reaches_sink(&self, t: NodeId) -> Vec<bool> {
+        // Build reverse residual adjacency on the fly: arc u→x residual
+        // contributes reverse edge x→u.
+        let mut reaches = vec![false; self.n()];
+        reaches[t] = true;
+        let mut stack = vec![t];
+        // Precompute incoming residual arcs per node once.
+        let mut incoming: Vec<Vec<NodeId>> = vec![Vec::new(); self.n()];
+        for (from, arcs) in self.adj.iter().enumerate() {
+            for &aid in arcs {
+                let a = &self.arcs[aid];
+                if a.has_residual() {
+                    incoming[a.to].push(from);
+                }
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for &u in &incoming[v] {
+                if !reaches[u] {
+                    reaches[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        reaches
+    }
+
+    /// Sum of flow leaving `s` (= the max-flow value after a run).
+    pub fn outflow(&self, s: NodeId) -> Rational {
+        self.adj[s]
+            .iter()
+            .map(|&aid| &self.arcs[aid].flow)
+            .filter(|f| f.is_positive())
+            .sum()
+    }
+
+    /// Verify conservation at every node except `s` and `t` (testing hook).
+    pub fn check_conservation(&self, s: NodeId, t: NodeId) -> bool {
+        for v in 0..self.n() {
+            if v == s || v == t {
+                continue;
+            }
+            let net: Rational = self.adj[v].iter().map(|&aid| &self.arcs[aid].flow).sum();
+            if !net.is_zero() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Verify `0 ≤ flow ≤ cap` on all forward arcs (testing hook).
+    pub fn check_capacities(&self) -> bool {
+        self.arcs.iter().step_by(2).all(|a| {
+            !a.flow.is_negative()
+                && match &a.cap {
+                    Cap::Infinite => true,
+                    Cap::Finite(c) => &a.flow <= c,
+                }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_numeric::{int, ratio};
+
+    fn fin(n: i64, d: i64) -> Cap {
+        Cap::Finite(ratio(n, d))
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, fin(3, 2));
+        assert_eq!(net.max_flow(0, 1), ratio(3, 2));
+    }
+
+    #[test]
+    fn series_takes_minimum() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, fin(5, 1));
+        net.add_edge(1, 2, fin(2, 3));
+        assert_eq!(net.max_flow(0, 2), ratio(2, 3));
+        assert!(net.check_conservation(0, 2));
+        assert!(net.check_capacities());
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, fin(1, 3));
+        net.add_edge(1, 3, fin(1, 1));
+        net.add_edge(0, 2, fin(1, 6));
+        net.add_edge(2, 3, fin(1, 1));
+        assert_eq!(net.max_flow(0, 3), ratio(1, 2));
+    }
+
+    #[test]
+    fn classic_augmenting_through_back_edge() {
+        // The textbook 4-node diamond where a naive greedy needs the
+        // residual back edge to reach optimality.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, fin(1, 1));
+        net.add_edge(0, 2, fin(1, 1));
+        net.add_edge(1, 2, fin(1, 1));
+        net.add_edge(1, 3, fin(1, 1));
+        net.add_edge(2, 3, fin(1, 1));
+        assert_eq!(net.max_flow(0, 3), int(2));
+        assert!(net.check_conservation(0, 3));
+    }
+
+    #[test]
+    fn infinite_middle_edges() {
+        // s → a (cap 2), a → b (∞), b → t (cap 1/2): bottleneck is the sink arc.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, fin(2, 1));
+        net.add_edge(1, 2, Cap::Infinite);
+        net.add_edge(2, 3, fin(1, 2));
+        assert_eq!(net.max_flow(0, 3), ratio(1, 2));
+    }
+
+    #[test]
+    fn min_cut_identifies_bottleneck_side() {
+        let mut net = FlowNetwork::new(4);
+        let _sa = net.add_edge(0, 1, fin(10, 1));
+        let ab = net.add_edge(1, 2, fin(1, 1));
+        let _bt = net.add_edge(2, 3, fin(10, 1));
+        net.max_flow(0, 3);
+        let side = net.min_cut_source_side(0);
+        assert_eq!(side, vec![true, true, false, false]);
+        assert!(net.is_saturated(ab));
+    }
+
+    #[test]
+    fn residual_reaches_sink_basic() {
+        // After saturating, only nodes on the t-side (or with spare capacity
+        // towards t) can reach t.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, fin(1, 1));
+        net.add_edge(1, 2, fin(1, 1));
+        net.add_edge(2, 3, fin(2, 1)); // spare capacity at the sink arc
+        net.max_flow(0, 3);
+        let reaches = net.residual_reaches_sink(3);
+        // 2 → 3 has residual, and 1 can reach 2 only if 1→2 has residual
+        // (it is saturated), but reverse flow arcs let nobody *forward*… node
+        // 1 cannot reach t, node 2 can.
+        assert!(reaches[3] && reaches[2]);
+        assert!(!reaches[1] && !reaches[0]);
+    }
+
+    #[test]
+    fn bipartite_hall_feasibility() {
+        // Left {1,2} weights 1 each; right {3} capacity 2: feasible,
+        // flow = 2 saturates both source arcs.
+        let mut net = FlowNetwork::new(5);
+        net.add_edge(0, 1, fin(1, 1));
+        net.add_edge(0, 2, fin(1, 1));
+        net.add_edge(1, 3, Cap::Infinite);
+        net.add_edge(2, 3, Cap::Infinite);
+        net.add_edge(3, 4, fin(2, 1));
+        assert_eq!(net.max_flow(0, 4), int(2));
+    }
+
+    #[test]
+    fn zero_capacity_edges_carry_nothing() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, fin(0, 1));
+        net.add_edge(1, 2, fin(5, 1));
+        assert_eq!(net.max_flow(0, 2), int(0));
+    }
+
+    #[test]
+    fn reset_flow_allows_reuse() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, fin(1, 1));
+        assert_eq!(net.max_flow(0, 1), int(1));
+        net.reset_flow();
+        assert_eq!(net.flow_on(e), &int(0));
+        assert_eq!(net.max_flow(0, 1), int(1));
+    }
+
+    #[test]
+    fn exactness_no_drift() {
+        // Many tiny rational capacities whose sum is exactly 1.
+        let mut net = FlowNetwork::new(12);
+        for i in 0..10 {
+            net.add_edge(0, 1 + i, Cap::Finite(ratio(1, 10)));
+            net.add_edge(1 + i, 11, Cap::Infinite);
+        }
+        assert_eq!(net.max_flow(0, 11), int(1)); // would be 0.9999… in f64
+    }
+
+    #[test]
+    fn larger_grid_network() {
+        // 3x3 grid from corner to corner, unit capacities: max flow = 2.
+        let idx = |r: usize, c: usize| r * 3 + c;
+        let mut net = FlowNetwork::new(9);
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    net.add_edge(idx(r, c), idx(r, c + 1), fin(1, 1));
+                }
+                if r + 1 < 3 {
+                    net.add_edge(idx(r, c), idx(r + 1, c), fin(1, 1));
+                }
+            }
+        }
+        assert_eq!(net.max_flow(idx(0, 0), idx(2, 2)), int(2));
+        assert!(net.check_conservation(idx(0, 0), idx(2, 2)));
+        assert!(net.check_capacities());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the exact max-flow engine against independent oracles.
+
+use proptest::prelude::*;
+use prs_flow::{Cap, FlowNetwork};
+use prs_numeric::{int, Rational};
+
+/// Simple f64 Ford–Fulkerson (BFS augmenting paths) as an independent
+/// oracle. Unit-fraction capacities keep f64 exact enough to compare.
+fn ford_fulkerson_f64(n: usize, edges: &[(usize, usize, f64)], s: usize, t: usize) -> f64 {
+    let mut cap = vec![vec![0f64; n]; n];
+    for &(u, v, c) in edges {
+        cap[u][v] += c;
+    }
+    let mut flow = 0.0;
+    loop {
+        // BFS for an augmenting path.
+        let mut parent = vec![usize::MAX; n];
+        parent[s] = s;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n {
+                if parent[v] == usize::MAX && cap[u][v] > 1e-12 {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[t] == usize::MAX {
+            return flow;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            bottleneck = bottleneck.min(cap[u][v]);
+            v = u;
+        }
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            cap[u][v] -= bottleneck;
+            cap[v][u] += bottleneck;
+            v = u;
+        }
+        flow += bottleneck;
+    }
+}
+
+/// Strategy: a random DAG-ish network on `n` nodes with integer capacities.
+fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
+    (4usize..9).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 1i64..20);
+        proptest::collection::vec(edge, 1..20)
+            .prop_map(move |edges| {
+                (
+                    n,
+                    edges
+                        .into_iter()
+                        .filter(|&(u, v, _)| u != v)
+                        .collect::<Vec<_>>(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dinic_matches_ford_fulkerson((n, edges) in arb_network()) {
+        prop_assume!(!edges.is_empty());
+        let s = 0;
+        let t = n - 1;
+        let mut net = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            net.add_edge(u, v, Cap::Finite(int(c)));
+        }
+        let exact = net.max_flow(s, t);
+        let oracle = ford_fulkerson_f64(
+            n,
+            &edges.iter().map(|&(u, v, c)| (u, v, c as f64)).collect::<Vec<_>>(),
+            s,
+            t,
+        );
+        prop_assert!((exact.to_f64() - oracle).abs() < 1e-6,
+            "dinic {} vs oracle {}", exact.to_f64(), oracle);
+        prop_assert!(net.check_conservation(s, t));
+        prop_assert!(net.check_capacities());
+    }
+
+    #[test]
+    fn flow_value_equals_outflow((n, edges) in arb_network()) {
+        prop_assume!(!edges.is_empty());
+        let mut net = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            net.add_edge(u, v, Cap::Finite(int(c)));
+        }
+        let value = net.max_flow(0, n - 1);
+        prop_assert_eq!(value, net.outflow(0));
+    }
+
+    #[test]
+    fn min_cut_separates_and_matches_value((n, edges) in arb_network()) {
+        prop_assume!(!edges.is_empty());
+        let s = 0;
+        let t = n - 1;
+        let mut net = FlowNetwork::new(n);
+        let mut ids = Vec::new();
+        for &(u, v, c) in &edges {
+            ids.push((net.add_edge(u, v, Cap::Finite(int(c))), u, v, c));
+        }
+        let value = net.max_flow(s, t);
+        let side = net.min_cut_source_side(s);
+        prop_assert!(side[s]);
+        prop_assert!(!side[t]);
+        // Cut capacity across (side → !side) equals the flow value
+        // (max-flow min-cut theorem, exact arithmetic).
+        let cut: Rational = ids
+            .iter()
+            .filter(|&&(_, u, v, _)| side[u] && !side[v])
+            .map(|&(_, _, _, c)| int(c))
+            .sum();
+        prop_assert_eq!(cut, value);
+    }
+
+    #[test]
+    fn rational_capacities_scale_exactly((n, edges) in arb_network(), denom in 1i64..50) {
+        prop_assume!(!edges.is_empty());
+        // Scaling all capacities by 1/denom scales the max flow by 1/denom.
+        let mut net1 = FlowNetwork::new(n);
+        let mut net2 = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            net1.add_edge(u, v, Cap::Finite(int(c)));
+            net2.add_edge(u, v, Cap::Finite(Rational::from_ratio(c, denom)));
+        }
+        let f1 = net1.max_flow(0, n - 1);
+        let f2 = net2.max_flow(0, n - 1);
+        prop_assert_eq!(&f1 / &int(denom), f2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic graph family constructors.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use prs_numeric::Rational;
+
+/// A ring (cycle) `0 – 1 – … – (n-1) – 0` with the given weights. `n ≥ 3`.
+///
+/// ```
+/// use prs_graph::builders::ring;
+/// use prs_numeric::int;
+///
+/// let g = ring(vec![int(3), int(1), int(4)]).unwrap();
+/// assert!(g.is_ring());
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// ```
+pub fn ring(weights: Vec<Rational>) -> Result<Graph, GraphError> {
+    let n = weights.len();
+    if n < 3 {
+        return Err(GraphError::TooFewVertices { n, min: 3 });
+    }
+    let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::new(weights, &edges)
+}
+
+/// A ring with all weights equal to `w`.
+pub fn uniform_ring(n: usize, w: Rational) -> Result<Graph, GraphError> {
+    ring(vec![w; n])
+}
+
+/// A path `0 – 1 – … – (n-1)` with the given weights. `n ≥ 1`.
+pub fn path(weights: Vec<Rational>) -> Result<Graph, GraphError> {
+    let n = weights.len();
+    if n == 0 {
+        return Err(GraphError::TooFewVertices { n, min: 1 });
+    }
+    let edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+    Graph::new(weights, &edges)
+}
+
+/// The complete graph `K_n` with the given weights.
+pub fn complete(weights: Vec<Rational>) -> Result<Graph, GraphError> {
+    let n = weights.len();
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::new(weights, &edges)
+}
+
+/// A star with vertex `0` at the center and `weights.len() - 1` leaves.
+pub fn star(weights: Vec<Rational>) -> Result<Graph, GraphError> {
+    let n = weights.len();
+    if n < 2 {
+        return Err(GraphError::TooFewVertices { n, min: 2 });
+    }
+    let edges: Vec<_> = (1..n).map(|v| (0, v)).collect();
+    Graph::new(weights, &edges)
+}
+
+/// The complete bipartite graph `K_{a,b}`: vertices `0..a` on one side,
+/// `a..a+b` on the other. `weights.len()` must be `a + b`.
+pub fn complete_bipartite(a: usize, weights: Vec<Rational>) -> Result<Graph, GraphError> {
+    let n = weights.len();
+    if a == 0 || a >= n {
+        return Err(GraphError::TooFewVertices { n, min: a + 1 });
+    }
+    let mut edges = Vec::new();
+    for u in 0..a {
+        for v in a..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::new(weights, &edges)
+}
+
+/// The 6-vertex example of **Fig. 1** of the paper.
+///
+/// Vertices `v1..v6` become ids `0..6`, with weights `(2, 1, 1, 1, 1, 1)`.
+/// Edges: `v1–v3`, `v2–v3`, `v3–v4`, `v4–v5`, `v5–v6`, `v6–v4`.
+/// Its bottleneck decomposition is the one the paper reports:
+/// `(B₁, C₁) = ({v1, v2}, {v3})` with `α₁ = w(v3)/(w(v1)+w(v2)) = 1/3` and
+/// `(B₂, C₂) = ({v4, v5, v6}, {v4, v5, v6})` with `α₂ = 1`.
+pub fn figure1_example() -> Graph {
+    let one = Rational::one();
+    Graph::new(
+        vec![
+            Rational::from_integer(2),
+            one.clone(),
+            one.clone(),
+            one.clone(),
+            one.clone(),
+            one,
+        ],
+        &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3)],
+    )
+    .expect("fig. 1 example is a valid graph")
+}
+
+/// The path `P_v(w1, w2)` that a Sybil split of a degree-2 agent on a ring
+/// produces, given the ring and the split vertex: the ring is cut open at
+/// `v`, with the two copies `v¹, v²` placed at the two ends.
+///
+/// Returns the path graph plus the ids of `v¹` (adjacent to `v`'s successor)
+/// and `v²` (adjacent to `v`'s predecessor).
+///
+/// Vertex ids on the path: `0 = v¹`, `1..n-1` = the other agents walking the
+/// ring from `v`'s successor to `v`'s predecessor, `n = v²` — so the path has
+/// `n + 1` vertices when the ring has `n`.
+pub fn sybil_split_path(
+    ring: &Graph,
+    v: usize,
+    w1: Rational,
+    w2: Rational,
+) -> Result<(Graph, usize, usize), GraphError> {
+    assert!(ring.is_ring(), "sybil_split_path requires a ring");
+    let n = ring.n();
+    // Walk the ring from v's successor around to v's predecessor.
+    let mut order = Vec::with_capacity(n - 1);
+    let succ = ring.neighbors(v)[0];
+    let mut prev = v;
+    let mut cur = succ;
+    while cur != v {
+        order.push(cur);
+        let next = *ring
+            .neighbors(cur)
+            .iter()
+            .find(|&&u| u != prev)
+            .expect("ring vertex has two neighbors");
+        prev = cur;
+        cur = next;
+    }
+    debug_assert_eq!(order.len(), n - 1);
+    let mut weights = Vec::with_capacity(n + 1);
+    weights.push(w1);
+    weights.extend(order.iter().map(|&u| ring.weight(u).clone()));
+    weights.push(w2);
+    let g = path(weights)?;
+    Ok((g, 0, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_numeric::{int, ratio};
+
+    #[test]
+    fn ring_shape() {
+        let g = uniform_ring(5, int(1)).unwrap();
+        assert!(g.is_ring());
+        assert_eq!(g.m(), 5);
+        assert!(ring(vec![int(1), int(2)]).is_err());
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(vec![int(1), int(2), int(3)]).unwrap();
+        assert!(g.is_path());
+        assert_eq!(g.m(), 2);
+        assert!(path(vec![]).is_err());
+    }
+
+    #[test]
+    fn complete_and_star() {
+        let k4 = complete(vec![int(1); 4]).unwrap();
+        assert_eq!(k4.m(), 6);
+        assert!(k4.is_connected());
+        let s = star(vec![int(1); 5]).unwrap();
+        assert_eq!(s.degree(0), 4);
+        assert!((1..5).all(|v| s.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(2, vec![int(1); 5]).unwrap();
+        assert_eq!(g.m(), 6);
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 3));
+        assert!(g.has_edge(0, 2) && g.has_edge(1, 4));
+    }
+
+    #[test]
+    fn figure1_is_valid() {
+        let g = figure1_example();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(2), 3); // v3 touches v1, v2, v4
+        assert_eq!(g.degree(3), 3); // v4 touches v3, v5, v6
+    }
+
+    #[test]
+    fn sybil_split_preserves_interior() {
+        let g = ring(vec![int(10), int(2), int(3), int(4)]).unwrap();
+        let (p, v1, v2) = sybil_split_path(&g, 0, int(6), int(4)).unwrap();
+        assert!(p.is_path());
+        assert_eq!(p.n(), 5);
+        assert_eq!((v1, v2), (0, 4));
+        assert_eq!(p.weight(0), &int(6));
+        assert_eq!(p.weight(4), &int(4));
+        // Interior weights follow the ring walk 1, 2, 3.
+        assert_eq!(p.weight(1), &int(2));
+        assert_eq!(p.weight(2), &int(3));
+        assert_eq!(p.weight(3), &int(4));
+        // Total weight conserved.
+        assert_eq!(p.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn sybil_split_zero_endpoint() {
+        let g = uniform_ring(3, int(2)).unwrap();
+        let (p, v1, v2) = sybil_split_path(&g, 1, int(0), int(2)).unwrap();
+        assert_eq!(p.weight(v1), &int(0));
+        assert_eq!(p.weight(v2), &int(2));
+        assert_eq!(p.n(), 4);
+    }
+
+    #[test]
+    fn sybil_split_rational_weights() {
+        let g = ring(vec![ratio(1, 2), ratio(1, 3), ratio(1, 5)]).unwrap();
+        let (p, ..) = sybil_split_path(&g, 2, ratio(1, 10), ratio(1, 10)).unwrap();
+        assert_eq!(p.total_weight(), g.total_weight());
+    }
+}

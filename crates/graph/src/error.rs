@@ -1,0 +1,69 @@
+//! Error type for graph construction.
+
+use std::fmt;
+
+/// Why a [`crate::Graph`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint is `>= n`.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the sharing model is on simple graphs.
+    SelfLoop {
+        /// The looped vertex.
+        vertex: usize,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// Smaller endpoint.
+        u: usize,
+        /// Larger endpoint.
+        v: usize,
+    },
+    /// A vertex weight is negative; the model requires `w_v ≥ 0`.
+    NegativeWeight {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// The number of weights does not match the number of vertices.
+    WeightCountMismatch {
+        /// Weights supplied.
+        weights: usize,
+        /// Vertices expected.
+        n: usize,
+    },
+    /// A construction that requires at least `min` vertices got `n`.
+    TooFewVertices {
+        /// Vertices supplied.
+        n: usize,
+        /// Minimum required.
+        min: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::NegativeWeight { vertex } => {
+                write!(f, "negative weight at vertex {vertex}")
+            }
+            GraphError::WeightCountMismatch { weights, n } => {
+                write!(f, "{weights} weights supplied for {n} vertices")
+            }
+            GraphError::TooFewVertices { n, min } => {
+                write!(f, "construction requires at least {min} vertices, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

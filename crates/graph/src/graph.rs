@@ -1,0 +1,361 @@
+//! The weighted undirected graph type and its set-expansion primitives.
+
+use crate::error::GraphError;
+use crate::vertex_set::VertexSet;
+use crate::VertexId;
+use prs_numeric::Rational;
+use std::fmt;
+
+/// An undirected simple graph with non-negative exact rational vertex
+/// weights — the arena of the resource-sharing game.
+///
+/// Construction validates simplicity (no self-loops, no duplicate edges) and
+/// non-negative weights; all higher-level algorithms may rely on those
+/// invariants.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    weights: Vec<Rational>,
+    adj: Vec<Vec<VertexId>>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl Graph {
+    /// Build a graph from `n = weights.len()` vertices and an undirected edge
+    /// list. Edges may be given in either orientation but not twice.
+    pub fn new(
+        weights: Vec<Rational>,
+        edge_list: &[(VertexId, VertexId)],
+    ) -> Result<Self, GraphError> {
+        let n = weights.len();
+        for (v, w) in weights.iter().enumerate() {
+            if w.is_negative() {
+                return Err(GraphError::NegativeWeight { vertex: v });
+            }
+        }
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut edges = Vec::with_capacity(edge_list.len());
+        for &(u, v) in edge_list {
+            if u >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            if adj[a].contains(&b) {
+                return Err(GraphError::DuplicateEdge { u: a, v: b });
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+            edges.push((a, b));
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        edges.sort_unstable();
+        Ok(Graph { weights, adj, edges })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Weight of vertex `v`.
+    #[inline]
+    pub fn weight(&self, v: VertexId) -> &Rational {
+        &self.weights[v]
+    }
+
+    /// All vertex weights in id order.
+    #[inline]
+    pub fn weights(&self) -> &[Rational] {
+        &self.weights
+    }
+
+    /// Vertex weights converted to `f64` (for the fast dynamics engines).
+    pub fn weights_f64(&self) -> Vec<f64> {
+        self.weights.iter().map(|w| w.to_f64()).collect()
+    }
+
+    /// Replace the weight of one vertex (used by misreport sweeps).
+    /// Panics on a negative weight.
+    pub fn set_weight(&mut self, v: VertexId, w: Rational) {
+        assert!(!w.is_negative(), "weights must be non-negative");
+        self.weights[v] = w;
+    }
+
+    /// A copy of the graph with vertex `v`'s weight replaced.
+    pub fn with_weight(&self, v: VertexId, w: Rational) -> Graph {
+        let mut g = self.clone();
+        g.set_weight(v, w);
+        g
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Undirected edges, each as `(min, max)`, sorted.
+    #[inline]
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// True iff `(u, v)` is an edge.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Total weight `w(V)`.
+    pub fn total_weight(&self) -> Rational {
+        self.weights.iter().sum()
+    }
+
+    /// Weight of a vertex set, `w(S)`.
+    pub fn set_weight_of(&self, s: &VertexSet) -> Rational {
+        s.iter().map(|v| &self.weights[v]).sum()
+    }
+
+    /// Neighborhood `Γ(S) = ∪_{v∈S} Γ(v)` restricted to `alive`
+    /// (the vertex set of the current induced subgraph).
+    ///
+    /// Note `Γ(S)` may intersect `S` when `S` is not independent — the paper's
+    /// "inclusive expansion" convention.
+    pub fn neighborhood_in(&self, s: &VertexSet, alive: &VertexSet) -> VertexSet {
+        let mut out = VertexSet::empty(self.n());
+        for v in s.iter() {
+            for &u in &self.adj[v] {
+                if alive.contains(u) {
+                    out.insert(u);
+                }
+            }
+        }
+        out
+    }
+
+    /// Neighborhood `Γ(S)` in the whole graph.
+    pub fn neighborhood(&self, s: &VertexSet) -> VertexSet {
+        self.neighborhood_in(s, &VertexSet::full(self.n()))
+    }
+
+    /// The α-ratio `α(S) = w(Γ(S) ∩ alive) / w(S)` of a set within the
+    /// induced subgraph on `alive`. Returns `None` when `w(S) = 0`
+    /// (the ratio is undefined there; such sets are never bottlenecks).
+    pub fn alpha_ratio_in(&self, s: &VertexSet, alive: &VertexSet) -> Option<Rational> {
+        let ws = self.set_weight_of(s);
+        if ws.is_zero() {
+            return None;
+        }
+        let gamma = self.neighborhood_in(s, alive);
+        Some(&self.set_weight_of(&gamma) / &ws)
+    }
+
+    /// `α(S)` in the whole graph.
+    pub fn alpha_ratio(&self, s: &VertexSet) -> Option<Rational> {
+        self.alpha_ratio_in(s, &VertexSet::full(self.n()))
+    }
+
+    /// True iff `S` is an independent set (restricted to `alive`).
+    pub fn is_independent_in(&self, s: &VertexSet, alive: &VertexSet) -> bool {
+        for v in s.iter() {
+            if !alive.contains(v) {
+                continue;
+            }
+            for &u in &self.adj[v] {
+                if u > v && s.contains(u) && alive.contains(u) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True iff the graph is connected (vacuously true for `n ≤ 1`).
+    pub fn is_connected(&self) -> bool {
+        if self.n() <= 1 {
+            return true;
+        }
+        let mut seen = VertexSet::empty(self.n());
+        let mut stack = vec![0];
+        seen.insert(0);
+        while let Some(v) = stack.pop() {
+            for &u in &self.adj[v] {
+                if !seen.contains(u) {
+                    seen.insert(u);
+                    stack.push(u);
+                }
+            }
+        }
+        seen.len() == self.n()
+    }
+
+    /// True iff every vertex has degree 2 and the graph is a single cycle.
+    pub fn is_ring(&self) -> bool {
+        self.n() >= 3 && (0..self.n()).all(|v| self.degree(v) == 2) && self.is_connected()
+    }
+
+    /// True iff the graph is a simple path (two endpoints of degree 1, rest
+    /// degree 2, connected).
+    pub fn is_path(&self) -> bool {
+        if self.n() == 1 {
+            return true;
+        }
+        if self.n() < 2 || !self.is_connected() {
+            return false;
+        }
+        let d1 = (0..self.n()).filter(|&v| self.degree(v) == 1).count();
+        let d2 = (0..self.n()).filter(|&v| self.degree(v) == 2).count();
+        d1 == 2 && d1 + d2 == self.n()
+    }
+
+    /// Vertices of the current graph that are isolated within `alive`.
+    pub fn isolated_in(&self, alive: &VertexSet) -> Vec<VertexId> {
+        alive
+            .iter()
+            .filter(|&v| self.adj[v].iter().all(|&u| !alive.contains(u)))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Graph(n={}, m={})", self.n(), self.m())?;
+        for v in 0..self.n() {
+            writeln!(f, "  {v}: w={} adj={:?}", self.weights[v], self.adj[v])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_numeric::int;
+
+    fn w(vals: &[i64]) -> Vec<Rational> {
+        vals.iter().map(|&v| int(v)).collect()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Graph::new(w(&[1, 1]), &[(0, 1)]).is_ok());
+        assert!(matches!(
+            Graph::new(w(&[1, 1]), &[(0, 2)]),
+            Err(GraphError::VertexOutOfRange { vertex: 2, n: 2 })
+        ));
+        assert!(matches!(
+            Graph::new(w(&[1, 1]), &[(1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+        assert!(matches!(
+            Graph::new(w(&[1, 1]), &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        ));
+        assert!(matches!(
+            Graph::new(vec![int(-1)], &[]),
+            Err(GraphError::NegativeWeight { vertex: 0 })
+        ));
+    }
+
+    #[test]
+    fn adjacency_and_edges() {
+        let g = Graph::new(w(&[1, 2, 3]), &[(2, 0), (0, 1)]).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 1);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.edges(), &[(0, 1), (0, 2)]);
+        assert_eq!(g.total_weight(), int(6));
+    }
+
+    #[test]
+    fn neighborhood_and_alpha() {
+        // Path 0 - 1 - 2 with weights 1, 2, 4.
+        let g = Graph::new(w(&[1, 2, 4]), &[(0, 1), (1, 2)]).unwrap();
+        let s = VertexSet::from_iter_cap(3, [0]);
+        assert_eq!(g.neighborhood(&s).to_vec(), vec![1]);
+        assert_eq!(g.alpha_ratio(&s).unwrap(), int(2)); // w({1})/w({0}) = 2
+        let s02 = VertexSet::from_iter_cap(3, [0, 2]);
+        assert_eq!(g.neighborhood(&s02).to_vec(), vec![1]);
+        assert_eq!(
+            g.alpha_ratio(&s02).unwrap(),
+            prs_numeric::ratio(2, 5)
+        );
+        // Non-independent set: Γ(S) overlaps S.
+        let s01 = VertexSet::from_iter_cap(3, [0, 1]);
+        assert_eq!(g.neighborhood(&s01).to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn alpha_undefined_for_zero_weight() {
+        let g = Graph::new(vec![int(0), int(3)], &[(0, 1)]).unwrap();
+        let s = VertexSet::from_iter_cap(2, [0]);
+        assert_eq!(g.alpha_ratio(&s), None);
+    }
+
+    #[test]
+    fn restricted_neighborhood() {
+        // Star center 0 with leaves 1, 2, 3.
+        let g = Graph::new(w(&[1, 1, 1, 1]), &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let s = VertexSet::from_iter_cap(4, [1]);
+        let alive = VertexSet::from_iter_cap(4, [1, 2, 3]); // center removed
+        assert!(g.neighborhood_in(&s, &alive).is_empty());
+        assert_eq!(g.isolated_in(&alive), vec![1, 2, 3]);
+        assert!(g.isolated_in(&VertexSet::full(4)).is_empty());
+    }
+
+    #[test]
+    fn independence() {
+        let g = Graph::new(w(&[1; 4]), &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let full = VertexSet::full(4);
+        assert!(g.is_independent_in(&VertexSet::from_iter_cap(4, [0, 2]), &full));
+        assert!(!g.is_independent_in(&VertexSet::from_iter_cap(4, [0, 1]), &full));
+        // 0 and 1 adjacent, but independent once 1 is outside `alive`.
+        let alive = VertexSet::from_iter_cap(4, [0, 2, 3]);
+        assert!(g.is_independent_in(&VertexSet::from_iter_cap(4, [0, 2]), &alive));
+    }
+
+    #[test]
+    fn shape_predicates() {
+        let ring = Graph::new(w(&[1; 4]), &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert!(ring.is_ring());
+        assert!(!ring.is_path());
+        let path = Graph::new(w(&[1; 4]), &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(path.is_path());
+        assert!(!path.is_ring());
+        let disconnected = Graph::new(w(&[1; 4]), &[(0, 1), (2, 3)]).unwrap();
+        assert!(!disconnected.is_connected());
+        assert!(ring.is_connected());
+    }
+
+    #[test]
+    fn weight_mutation() {
+        let g = Graph::new(w(&[1, 2]), &[(0, 1)]).unwrap();
+        let g2 = g.with_weight(0, int(5));
+        assert_eq!(g.weight(0), &int(1));
+        assert_eq!(g2.weight(0), &int(5));
+        assert_eq!(g2.total_weight(), int(7));
+    }
+}

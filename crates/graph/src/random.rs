@@ -1,0 +1,117 @@
+//! Randomized instance generators for tests, property tests and benchmarks.
+//!
+//! All generators take an explicit `Rng` so experiments are reproducible
+//! from a seed; nothing here touches a global RNG.
+
+use crate::builders;
+use crate::graph::Graph;
+use prs_numeric::Rational;
+use rand::Rng;
+
+/// A random integer weight in `[lo, hi]` as an exact rational.
+pub fn random_int_weight<R: Rng>(rng: &mut R, lo: i64, hi: i64) -> Rational {
+    Rational::from_integer(rng.gen_range(lo..=hi))
+}
+
+/// A random rational weight `p/q` with `p ∈ [1, max_num]`, `q ∈ [1, max_den]`.
+pub fn random_rational_weight<R: Rng>(rng: &mut R, max_num: i64, max_den: i64) -> Rational {
+    Rational::from_ratio(rng.gen_range(1..=max_num), rng.gen_range(1..=max_den))
+}
+
+/// A vector of `n` random positive integer weights in `[lo, hi]`.
+pub fn random_weights<R: Rng>(rng: &mut R, n: usize, lo: i64, hi: i64) -> Vec<Rational> {
+    assert!(lo >= 1, "weights must be positive");
+    (0..n).map(|_| random_int_weight(rng, lo, hi)).collect()
+}
+
+/// A random ring with integer weights in `[lo, hi]`.
+pub fn random_ring<R: Rng>(rng: &mut R, n: usize, lo: i64, hi: i64) -> Graph {
+    builders::ring(random_weights(rng, n, lo, hi)).expect("n >= 3")
+}
+
+/// A random path with integer weights in `[lo, hi]`.
+pub fn random_path<R: Rng>(rng: &mut R, n: usize, lo: i64, hi: i64) -> Graph {
+    builders::path(random_weights(rng, n, lo, hi)).expect("n >= 1")
+}
+
+/// A connected Erdős–Rényi-style graph: starts from a random spanning tree
+/// (guaranteeing connectivity and no isolated vertices), then adds each
+/// remaining pair with probability `p`.
+pub fn random_connected<R: Rng>(rng: &mut R, n: usize, p: f64, lo: i64, hi: i64) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Random spanning tree: attach each vertex to a random earlier one.
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        edges.push((u, v));
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !edges.contains(&(u, v)) && rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::new(random_weights(rng, n, lo, hi), &edges).expect("valid random graph")
+}
+
+/// A random tree on `n ≥ 2` vertices.
+pub fn random_tree<R: Rng>(rng: &mut R, n: usize, lo: i64, hi: i64) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    let edges: Vec<(usize, usize)> = (1..n).map(|v| (rng.gen_range(0..v), v)).collect();
+    Graph::new(random_weights(rng, n, lo, hi), &edges).expect("valid tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_ring_is_ring() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [3, 5, 10, 33] {
+            let g = random_ring(&mut rng, n, 1, 100);
+            assert!(g.is_ring());
+            assert!(g.weights().iter().all(|w| w.is_positive()));
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2, 5, 20] {
+            for p in [0.0, 0.3, 1.0] {
+                let g = random_connected(&mut rng, n, p, 1, 10);
+                assert!(g.is_connected(), "n={n} p={p}");
+                assert!(g.m() >= n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_has_n_minus_1_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_tree(&mut rng, 17, 1, 5);
+        assert_eq!(g.m(), 16);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let g1 = random_ring(&mut StdRng::seed_from_u64(42), 8, 1, 50);
+        let g2 = random_ring(&mut StdRng::seed_from_u64(42), 8, 1, 50);
+        assert_eq!(g1.weights(), g2.weights());
+    }
+
+    #[test]
+    fn rational_weights_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let w = random_rational_weight(&mut rng, 10, 10);
+            assert!(w.is_positive());
+            assert!(w <= Rational::from_integer(10));
+        }
+    }
+}

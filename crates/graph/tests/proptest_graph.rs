@@ -1,0 +1,139 @@
+//! Property tests for the graph substrate against std-collection oracles.
+
+use proptest::prelude::*;
+use prs_graph::{builders, Graph, VertexSet};
+use prs_numeric::{int, Rational};
+use std::collections::HashSet;
+
+fn arb_sets() -> impl Strategy<Value = (usize, Vec<usize>, Vec<usize>)> {
+    (8usize..120).prop_flat_map(|cap| {
+        (
+            Just(cap),
+            proptest::collection::vec(0..cap, 0..cap),
+            proptest::collection::vec(0..cap, 0..cap),
+        )
+    })
+}
+
+proptest! {
+    // ---- VertexSet vs HashSet oracle -------------------------------------
+
+    #[test]
+    fn vertex_set_algebra_matches_hashset((cap, a_items, b_items) in arb_sets()) {
+        let a = VertexSet::from_iter_cap(cap, a_items.iter().copied());
+        let b = VertexSet::from_iter_cap(cap, b_items.iter().copied());
+        let ha: HashSet<usize> = a_items.iter().copied().collect();
+        let hb: HashSet<usize> = b_items.iter().copied().collect();
+
+        let mut union: Vec<usize> = ha.union(&hb).copied().collect();
+        union.sort_unstable();
+        prop_assert_eq!(a.union(&b).to_vec(), union);
+
+        let mut inter: Vec<usize> = ha.intersection(&hb).copied().collect();
+        inter.sort_unstable();
+        prop_assert_eq!(a.intersection(&b).to_vec(), inter);
+
+        let mut diff: Vec<usize> = ha.difference(&hb).copied().collect();
+        diff.sort_unstable();
+        prop_assert_eq!(a.difference(&b).to_vec(), diff);
+
+        prop_assert_eq!(a.len(), ha.len());
+        prop_assert_eq!(a.is_disjoint(&b), ha.is_disjoint(&hb));
+        prop_assert_eq!(a.is_subset(&b), ha.is_subset(&hb));
+    }
+
+    #[test]
+    fn vertex_set_iter_sorted_unique((cap, items, _) in arb_sets()) {
+        let s = VertexSet::from_iter_cap(cap, items.iter().copied());
+        let v = s.to_vec();
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(v.iter().all(|&x| s.contains(x)));
+    }
+
+    // ---- Graph invariants ---------------------------------------------------
+
+    #[test]
+    fn ring_structure(n in 3usize..40, w in 1i64..50) {
+        let g = builders::uniform_ring(n, int(w)).unwrap();
+        prop_assert!(g.is_ring());
+        prop_assert_eq!(g.m(), n);
+        prop_assert_eq!(g.total_weight(), int(w * n as i64));
+        for v in 0..n {
+            prop_assert_eq!(g.degree(v), 2);
+            // Neighbors are exactly the cyclic predecessor/successor.
+            let nb = g.neighbors(v);
+            prop_assert!(nb.contains(&((v + 1) % n)));
+            prop_assert!(nb.contains(&((v + n - 1) % n)));
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(n in 2usize..15, edges in proptest::collection::vec((0usize..15, 0usize..15), 0..40)) {
+        let filtered: Vec<(usize, usize)> = {
+            let mut seen = HashSet::new();
+            edges
+                .into_iter()
+                .filter(|&(u, v)| u < n && v < n && u != v && seen.insert((u.min(v), u.max(v))))
+                .collect()
+        };
+        let weights: Vec<Rational> = (0..n).map(|i| int(i as i64 + 1)).collect();
+        let g = Graph::new(weights, &filtered).unwrap();
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.neighbors(v).contains(&u), "asymmetric adjacency {u}-{v}");
+                prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+            }
+        }
+        prop_assert_eq!(g.m(), filtered.len());
+    }
+
+    #[test]
+    fn neighborhood_matches_manual_union(n in 3usize..12, seed_bits in 0u32..(1 << 12)) {
+        let g = builders::uniform_ring(n, int(1)).unwrap();
+        let s = VertexSet::from_iter_cap(n, (0..n).filter(|i| seed_bits >> i & 1 == 1));
+        let alive = VertexSet::full(n);
+        let gamma = g.neighborhood_in(&s, &alive);
+        let mut manual: HashSet<usize> = HashSet::new();
+        for v in s.iter() {
+            for &u in g.neighbors(v) {
+                manual.insert(u);
+            }
+        }
+        let mut manual: Vec<usize> = manual.into_iter().collect();
+        manual.sort_unstable();
+        prop_assert_eq!(gamma.to_vec(), manual);
+    }
+
+    #[test]
+    fn alpha_ratio_definition(n in 3usize..10, seed_bits in 1u32..(1 << 9), w in 1i64..9) {
+        let g = builders::uniform_ring(n, int(w)).unwrap();
+        let s = VertexSet::from_iter_cap(n, (0..n).filter(|i| seed_bits >> i & 1 == 1));
+        if s.is_empty() { return Ok(()); }
+        let alive = VertexSet::full(n);
+        let alpha = g.alpha_ratio_in(&s, &alive).unwrap();
+        let gamma = g.neighborhood_in(&s, &alive);
+        prop_assert_eq!(alpha, &g.set_weight_of(&gamma) / &g.set_weight_of(&s));
+    }
+
+    #[test]
+    fn sybil_split_conserves_weight(n in 3usize..12, v in 0usize..12, num in 0i64..100) {
+        let v = v % n;
+        let weights: Vec<Rational> = (0..n).map(|i| int((i as i64 % 7) + 2)).collect();
+        let g = builders::ring(weights).unwrap();
+        let w_v = g.weight(v).clone();
+        let w1 = &w_v * &Rational::from_ratio(num.min(100), 100);
+        let w2 = &w_v - &w1;
+        let (p, p1, p2) = builders::sybil_split_path(&g, v, w1.clone(), w2.clone()).unwrap();
+        prop_assert!(p.is_path());
+        prop_assert_eq!(p.n(), n + 1);
+        prop_assert_eq!(p.total_weight(), g.total_weight());
+        prop_assert_eq!(p.weight(p1).clone(), w1);
+        prop_assert_eq!(p.weight(p2).clone(), w2);
+        // The interior preserves the ring's multiset of weights minus v.
+        let mut ring_rest: Vec<String> = (0..n).filter(|&u| u != v).map(|u| g.weight(u).to_string()).collect();
+        let mut path_interior: Vec<String> = (1..n).map(|u| p.weight(u).to_string()).collect();
+        ring_rest.sort();
+        path_interior.sort();
+        prop_assert_eq!(ring_rest, path_interior);
+    }
+}

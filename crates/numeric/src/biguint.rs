@@ -1,0 +1,843 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Representation: little-endian `u32` limbs with the invariant that the
+//! most significant limb is nonzero (so zero is the empty limb vector).
+//! `u32` limbs keep all intermediate products inside `u64`, which makes the
+//! schoolbook kernels branch-light and easy to audit.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Shl, Shr, Sub, SubAssign};
+
+/// Number of bits per limb.
+pub const LIMB_BITS: u32 = 32;
+
+/// Karatsuba multiplication kicks in above this many limbs per operand.
+///
+/// Below the threshold the schoolbook kernel wins on constant factors; the
+/// value was picked with the `numeric` Criterion bench (see prs-bench).
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// All arithmetic is exact; operations that would underflow (`sub` with a
+/// larger right-hand side) panic, mirroring the standard library's debug
+/// behaviour for unsigned primitives.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; no trailing (most-significant) zeros.
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value zero.
+    #[inline]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    #[inline]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// True iff `self == 0`.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff `self == 1`.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff the value is even (zero counts as even).
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |&l| l & 1 == 0)
+    }
+
+    /// Construct from raw little-endian limbs (normalizing trailing zeros).
+    pub fn from_limbs(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Borrow the little-endian limbs.
+    #[inline]
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Number of significant bits (0 for the value zero).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => {
+                (self.limbs.len() as u64 - 1) * LIMB_BITS as u64 + (32 - hi.leading_zeros()) as u64
+            }
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for the value zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u64 * LIMB_BITS as u64 + l.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// The value of bit `i` (little-endian bit numbering).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        match self.limbs.get(limb) {
+            None => false,
+            Some(&l) => (l >> (i % LIMB_BITS as u64)) & 1 == 1,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    // ---- addition / subtraction kernels -------------------------------
+
+    fn add_assign_ref(&mut self, rhs: &BigUint) {
+        if self.limbs.len() < rhs.limbs.len() {
+            self.limbs.resize(rhs.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, a) in self.limbs.iter_mut().enumerate() {
+            let b = *rhs.limbs.get(i).unwrap_or(&0) as u64;
+            let sum = *a as u64 + b + carry;
+            *a = sum as u32;
+            carry = sum >> LIMB_BITS;
+            if carry == 0 && i >= rhs.limbs.len() {
+                break;
+            }
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    /// `self -= rhs`; panics if `rhs > self`.
+    fn sub_assign_ref(&mut self, rhs: &BigUint) {
+        assert!(
+            self.limbs.len() >= rhs.limbs.len(),
+            "BigUint subtraction underflow"
+        );
+        let mut borrow = 0i64;
+        for (i, a) in self.limbs.iter_mut().enumerate() {
+            let b = *rhs.limbs.get(i).unwrap_or(&0) as i64;
+            let diff = *a as i64 - b - borrow;
+            if diff < 0 {
+                *a = (diff + (1i64 << LIMB_BITS)) as u32;
+                borrow = 1;
+            } else {
+                *a = diff as u32;
+                borrow = 0;
+            }
+            if borrow == 0 && i >= rhs.limbs.len() {
+                break;
+            }
+        }
+        assert_eq!(borrow, 0, "BigUint subtraction underflow");
+        self.normalize();
+    }
+
+    // ---- multiplication ------------------------------------------------
+
+    /// Multiply by a single limb in place.
+    pub fn mul_limb(&mut self, m: u32) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        if m == 1 || self.is_zero() {
+            return;
+        }
+        let mut carry = 0u64;
+        for a in self.limbs.iter_mut() {
+            let prod = *a as u64 * m as u64 + carry;
+            *a = prod as u32;
+            carry = prod >> LIMB_BITS;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    /// Schoolbook product of limb slices into a fresh vector.
+    fn mul_schoolbook(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &bj) in b.iter().enumerate() {
+                let t = out[i + j] as u64 + ai as u64 * bj as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> LIMB_BITS;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> LIMB_BITS;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Karatsuba product of limb slices.
+    fn mul_karatsuba(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+            return Self::mul_schoolbook(a, b);
+        }
+        let half = a.len().max(b.len()) / 2;
+        let (a0, a1) = a.split_at(half.min(a.len()));
+        let (b0, b1) = b.split_at(half.min(b.len()));
+        let a0 = BigUint::from_limbs(a0.to_vec());
+        let a1 = BigUint::from_limbs(a1.to_vec());
+        let b0 = BigUint::from_limbs(b0.to_vec());
+        let b1 = BigUint::from_limbs(b1.to_vec());
+
+        let z0 = &a0 * &b0;
+        let z2 = &a1 * &b1;
+        let z1 = &(&a0 + &a1) * &(&b0 + &b1) - &z0 - &z2;
+
+        let mut out = z0;
+        out.add_shifted(&z1, half);
+        out.add_shifted(&z2, 2 * half);
+        out.limbs
+    }
+
+    /// `self += other << (limb_shift * 32)`.
+    fn add_shifted(&mut self, other: &BigUint, limb_shift: usize) {
+        if other.is_zero() {
+            return;
+        }
+        let needed = other.limbs.len() + limb_shift;
+        if self.limbs.len() < needed {
+            self.limbs.resize(needed, 0);
+        }
+        let mut carry = 0u64;
+        for (i, &o) in other.limbs.iter().enumerate() {
+            let idx = i + limb_shift;
+            let t = self.limbs[idx] as u64 + o as u64 + carry;
+            self.limbs[idx] = t as u32;
+            carry = t >> LIMB_BITS;
+        }
+        let mut k = needed;
+        while carry != 0 {
+            if k == self.limbs.len() {
+                self.limbs.push(0);
+            }
+            let t = self.limbs[k] as u64 + carry;
+            self.limbs[k] = t as u32;
+            carry = t >> LIMB_BITS;
+            k += 1;
+        }
+    }
+
+    // ---- division ------------------------------------------------------
+
+    /// Divide by a single limb, returning the remainder.
+    pub fn div_rem_limb(&mut self, d: u32) -> u32 {
+        assert!(d != 0, "division by zero");
+        let mut rem = 0u64;
+        for a in self.limbs.iter_mut().rev() {
+            let cur = (rem << LIMB_BITS) | *a as u64;
+            *a = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        self.normalize();
+        rem as u32
+    }
+
+    /// Quotient and remainder; panics if `divisor` is zero.
+    ///
+    /// Knuth TAOCP vol. 2, Algorithm D, with the usual normalization shift so
+    /// the trial quotient digit is off by at most two.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let mut q = self.clone();
+            let r = q.div_rem_limb(divisor.limbs[0]);
+            return (q, BigUint::from(r as u64));
+        }
+
+        // Normalize: shift so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros();
+        let u = self << shift; // dividend
+        let v = divisor << shift; // divisor
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un = u.limbs.clone();
+        un.push(0); // u has m+n+1 digits now
+        let vn = &v.limbs;
+        let v_hi = vn[n - 1] as u64;
+        let v_lo = vn[n - 2] as u64;
+
+        let mut q_limbs = vec![0u32; m + 1];
+        for j in (0..=m).rev() {
+            // Trial quotient from the top two dividend digits.
+            let top = ((un[j + n] as u64) << LIMB_BITS) | un[j + n - 1] as u64;
+            let mut qhat = top / v_hi;
+            let mut rhat = top % v_hi;
+            // Correct qhat down while it is provably too large.
+            while qhat >= 1u64 << LIMB_BITS
+                || qhat * v_lo > ((rhat << LIMB_BITS) | un[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += v_hi;
+                if rhat >= 1u64 << LIMB_BITS {
+                    break;
+                }
+            }
+            // Multiply-and-subtract qhat * v from u[j .. j+n].
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> LIMB_BITS;
+                let t = un[i + j] as i64 - (p as u32) as i64 - borrow;
+                if t < 0 {
+                    un[i + j] = (t + (1i64 << LIMB_BITS)) as u32;
+                    borrow = 1;
+                } else {
+                    un[i + j] = t as u32;
+                    borrow = 0;
+                }
+            }
+            let t = un[j + n] as i64 - carry as i64 - borrow;
+            if t < 0 {
+                // qhat was one too large: add v back and decrement.
+                un[j + n] = (t + (1i64 << LIMB_BITS)) as u32;
+                qhat -= 1;
+                let mut c = 0u64;
+                for i in 0..n {
+                    let s = un[i + j] as u64 + vn[i] as u64 + c;
+                    un[i + j] = s as u32;
+                    c = s >> LIMB_BITS;
+                }
+                un[j + n] = un[j + n].wrapping_add(c as u32);
+            } else {
+                un[j + n] = t as u32;
+            }
+            q_limbs[j] = qhat as u32;
+        }
+
+        let q = BigUint::from_limbs(q_limbs);
+        un.truncate(n);
+        let r = BigUint::from_limbs(un) >> shift;
+        (q, r)
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Convert to `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some((self.limbs[1] as u64) << LIMB_BITS | self.limbs[0] as u64),
+            _ => None,
+        }
+    }
+
+    /// Convert to `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut v = 0u128;
+        for &l in self.limbs.iter().rev() {
+            v = (v << LIMB_BITS) | l as u128;
+        }
+        Some(v)
+    }
+
+    /// Best-effort conversion to `f64` (rounds; may overflow to infinity).
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_len();
+        if bits <= 64 {
+            return self.to_u64().unwrap() as f64;
+        }
+        // Take the top 64 bits and scale.
+        let excess = bits - 64;
+        let top = (self >> excess as u32).to_u64().unwrap();
+        top as f64 * 2f64.powi(excess as i32)
+    }
+}
+
+// ---- From impls ---------------------------------------------------------
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from_limbs(vec![v])
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_limbs(vec![v as u32, (v >> LIMB_BITS) as u32])
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![
+            v as u32,
+            (v >> 32) as u32,
+            (v >> 64) as u32,
+            (v >> 96) as u32,
+        ])
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+// ---- comparison ----------------------------------------------------------
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+// ---- operator impls (by reference; owned variants delegate) ---------------
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: BigUint) -> BigUint {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.sub_assign_ref(rhs);
+        out
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(mut self, rhs: BigUint) -> BigUint {
+        self.sub_assign_ref(&rhs);
+        self
+    }
+}
+
+impl Sub<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(mut self, rhs: &BigUint) -> BigUint {
+        self.sub_assign_ref(rhs);
+        self
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        self.sub_assign_ref(rhs);
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        BigUint::from_limbs(BigUint::mul_karatsuba(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Shl<u32> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u32) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / LIMB_BITS) as usize;
+        let bit_shift = bits % LIMB_BITS;
+        let mut limbs = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Shl<u32> for BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u32) -> BigUint {
+        &self << bits
+    }
+}
+
+impl Shr<u32> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u32) -> BigUint {
+        let limb_shift = (bits / LIMB_BITS) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % LIMB_BITS;
+        let mut limbs: Vec<u32> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry = 0u32;
+            for l in limbs.iter_mut().rev() {
+                let new = (*l >> bit_shift) | carry;
+                carry = *l << (LIMB_BITS - bit_shift);
+                *l = new;
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Shr<u32> for BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u32) -> BigUint {
+        &self >> bits
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u64) -> BigUint {
+        self >> (bits.min(u32::MAX as u64) as u32)
+    }
+}
+
+// ---- formatting / parsing --------------------------------------------------
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeatedly divide by 1e9 to peel decimal chunks.
+        let mut v = self.clone();
+        let mut chunks = Vec::new();
+        while !v.is_zero() {
+            chunks.push(v.div_rem_limb(1_000_000_000));
+        }
+        let mut s = chunks.pop().unwrap().to_string();
+        for c in chunks.iter().rev() {
+            s.push_str(&format!("{c:09}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error parsing a big integer from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    pub(crate) kind: &'static str,
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big integer: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl std::str::FromStr for BigUint {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigIntError { kind: "empty" });
+        }
+        let mut v = BigUint::zero();
+        for ch in s.chars() {
+            let d = ch.to_digit(10).ok_or(ParseBigIntError { kind: "digit" })?;
+            v.mul_limb(10);
+            v.add_assign_ref(&BigUint::from(d));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn add_small() {
+        assert_eq!(&big(2) + &big(3), big(5));
+        assert_eq!(&big(u64::MAX as u128) + &big(1), big(u64::MAX as u128 + 1));
+    }
+
+    #[test]
+    fn add_carry_chain() {
+        let a = big(u128::MAX);
+        let s = &a + &BigUint::one();
+        assert_eq!(s.bit_len(), 129);
+        assert_eq!(&s - &BigUint::one(), a);
+    }
+
+    #[test]
+    fn sub_basic() {
+        assert_eq!(&big(5) - &big(3), big(2));
+        assert_eq!(&big(5) - &big(5), BigUint::zero());
+        let a = big(1u128 << 100);
+        assert_eq!(&(&a + &big(7)) - &a, big(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &big(3) - &big(5);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [
+            (0u128, 17u128),
+            (1, 1),
+            (123456789, 987654321),
+            (u64::MAX as u128, u64::MAX as u128),
+            (1 << 90, 1 << 30),
+        ];
+        for (a, b) in cases {
+            if let Some(p) = a.checked_mul(b) {
+                assert_eq!(&big(a) * &big(b), big(p), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_large_karatsuba_agrees_with_schoolbook() {
+        // Operands above the Karatsuba threshold.
+        let a_limbs: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(0x9E3779B9) | 1).collect();
+        let b_limbs: Vec<u32> = (0..80u32).map(|i| i.wrapping_mul(0x85EBCA6B) | 1).collect();
+        let a = BigUint::from_limbs(a_limbs.clone());
+        let b = BigUint::from_limbs(b_limbs.clone());
+        let kara = &a * &b;
+        let school = BigUint::from_limbs(BigUint::mul_schoolbook(&a_limbs, &b_limbs));
+        assert_eq!(kara, school);
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = big(17).div_rem(&big(5));
+        assert_eq!((q, r), (big(3), big(2)));
+        let (q, r) = big(100).div_rem(&big(10));
+        assert_eq!((q, r), (big(10), big(0)));
+        let (q, r) = big(3).div_rem(&big(5));
+        assert_eq!((q, r), (big(0), big(3)));
+    }
+
+    #[test]
+    fn div_rem_roundtrip_large() {
+        let a = BigUint::from_limbs((0..50u32).map(|i| i.wrapping_mul(2654435761) ^ 0xabc).collect());
+        let d = BigUint::from_limbs((0..13u32).map(|i| i.wrapping_mul(40503) | 5).collect());
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(&(&q * &d) + &r, a);
+    }
+
+    #[test]
+    fn div_rem_algorithm_d_addback_path() {
+        // A case engineered to exercise the rare add-back correction:
+        // dividend just below a multiple of the divisor with top digits equal.
+        let d = BigUint::from_limbs(vec![0, 0, 1, u32::MAX]);
+        let a = BigUint::from_limbs(vec![u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX]);
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(&(&q * &d) + &r, a);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big(0b1011);
+        assert_eq!(&a << 3, big(0b1011000));
+        assert_eq!(&(&a << 100) >> 100u32, a);
+        assert_eq!(&a >> 10u32, BigUint::zero());
+        assert_eq!(&a >> 1u32, big(0b101));
+    }
+
+    #[test]
+    fn bit_ops() {
+        let a = big(0b10110);
+        assert!(!a.bit(0));
+        assert!(a.bit(1));
+        assert!(a.bit(2));
+        assert!(!a.bit(3));
+        assert!(a.bit(4));
+        assert!(!a.bit(1000));
+        assert_eq!(a.trailing_zeros(), Some(1));
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(big(2).pow(10), big(1024));
+        assert_eq!(big(3).pow(0), BigUint::one());
+        assert_eq!(big(10).pow(30), "1000000000000000000000000000000".parse().unwrap());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "1", "999999999", "1000000000", "123456789012345678901234567890"] {
+            let v: BigUint = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12a".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(3) < big(5));
+        assert!(big(1 << 100) > big(u64::MAX as u128));
+        assert_eq!(big(42).cmp(&big(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn to_f64_large() {
+        let a = big(1u128 << 100);
+        let f = a.to_f64();
+        assert!((f - 2f64.powi(100)).abs() / 2f64.powi(100) < 1e-15);
+    }
+
+    #[test]
+    fn to_u64_u128_bounds() {
+        assert_eq!(big(u64::MAX as u128).to_u64(), Some(u64::MAX));
+        assert_eq!(big(u64::MAX as u128 + 1).to_u64(), None);
+        assert_eq!(big(u128::MAX).to_u128(), Some(u128::MAX));
+        assert_eq!((&big(u128::MAX) + &BigUint::one()).to_u128(), None);
+    }
+
+    #[test]
+    fn mul_limb_and_div_rem_limb() {
+        let mut a = big(123456789);
+        a.mul_limb(1000);
+        assert_eq!(a, big(123456789000));
+        let r = a.div_rem_limb(7);
+        assert_eq!(r, (123456789000u64 % 7) as u32);
+    }
+}

@@ -1,0 +1,96 @@
+//! Greatest common divisor on [`BigUint`], via the binary (Stein) algorithm.
+//!
+//! Binary GCD avoids the quadratic division of the Euclidean algorithm on
+//! multi-limb operands; reduction of [`crate::Rational`] values calls this on
+//! every arithmetic operation, so it is the hottest kernel in the crate.
+
+use crate::biguint::BigUint;
+
+/// `gcd(a, b)`; `gcd(0, 0) == 0` by convention.
+pub fn gcd(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() {
+        return b.clone();
+    }
+    if b.is_zero() {
+        return a.clone();
+    }
+    let za = a.trailing_zeros().unwrap();
+    let zb = b.trailing_zeros().unwrap();
+    let shift = za.min(zb) as u32;
+
+    let mut u = a >> za;
+    let mut v = b >> zb;
+    // Invariant: u, v odd.
+    loop {
+        if u == v {
+            return &u << shift;
+        }
+        if u < v {
+            std::mem::swap(&mut u, &mut v);
+        }
+        u -= &v;
+        // u is now even and nonzero.
+        let z = u.trailing_zeros().expect("u > 0 after swap ensures nonzero");
+        u = &u >> z;
+    }
+}
+
+/// `lcm(a, b)`; zero if either argument is zero.
+pub fn lcm(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() || b.is_zero() {
+        return BigUint::zero();
+    }
+    let g = gcd(a, b);
+    &(a / &g) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+
+    #[test]
+    fn gcd_matches_euclid_oracle() {
+        let cases = [
+            (0u128, 0u128),
+            (0, 7),
+            (7, 0),
+            (12, 18),
+            (17, 13),
+            (1 << 40, 1 << 20),
+            (2 * 3 * 5 * 7 * 11, 3 * 7 * 13),
+            (u64::MAX as u128, (u64::MAX - 1) as u128),
+        ];
+        for (a, b) in cases {
+            assert_eq!(gcd(&big(a), &big(b)), big(gcd_u128(a, b)), "gcd({a},{b})");
+        }
+    }
+
+    #[test]
+    fn gcd_large_common_factor() {
+        let p: BigUint = "1000000000000000003".parse().unwrap();
+        let a = &p * &big(123456);
+        let b = &p * &big(789012);
+        let g = gcd(&a, &b);
+        assert_eq!(g, &p * &big(gcd_u128(123456, 789012)));
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(&big(4), &big(6)), big(12));
+        assert_eq!(lcm(&big(0), &big(6)), BigUint::zero());
+        assert_eq!(lcm(&big(7), &big(13)), big(91));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for prs-numeric against machine-integer oracles.
+
+use proptest::prelude::*;
+use prs_numeric::{BigInt, BigUint, Rational};
+
+fn bigu(v: u128) -> BigUint {
+    BigUint::from(v)
+}
+
+fn bigi(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    // ---- BigUint vs u128 oracle ------------------------------------------
+
+    #[test]
+    fn biguint_add_matches_u128(a in 0u128..(1 << 126), b in 0u128..(1 << 126)) {
+        prop_assert_eq!(&bigu(a) + &bigu(b), bigu(a + b));
+    }
+
+    #[test]
+    fn biguint_sub_matches_u128(a: u128, b: u128) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(&bigu(hi) - &bigu(lo), bigu(hi - lo));
+    }
+
+    #[test]
+    fn biguint_mul_matches_u128(a in 0u128..(1 << 63), b in 0u128..(1 << 63)) {
+        prop_assert_eq!(&bigu(a) * &bigu(b), bigu(a * b));
+    }
+
+    #[test]
+    fn biguint_div_rem_matches_u128(a: u128, b in 1u128..u128::MAX) {
+        let (q, r) = bigu(a).div_rem(&bigu(b));
+        prop_assert_eq!(q, bigu(a / b));
+        prop_assert_eq!(r, bigu(a % b));
+    }
+
+    #[test]
+    fn biguint_div_rem_roundtrip_multi_limb(
+        a_limbs in proptest::collection::vec(any::<u32>(), 1..20),
+        d_limbs in proptest::collection::vec(any::<u32>(), 1..8),
+    ) {
+        let a = BigUint::from_limbs(a_limbs);
+        let d = BigUint::from_limbs(d_limbs);
+        prop_assume!(!d.is_zero());
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(&(&q * &d) + &r, a);
+    }
+
+    #[test]
+    fn biguint_shift_roundtrip(a: u128, s in 0u32..200) {
+        prop_assert_eq!(&(&bigu(a) << s) >> s, bigu(a));
+    }
+
+    #[test]
+    fn biguint_ord_matches_u128(a: u128, b: u128) {
+        prop_assert_eq!(bigu(a).cmp(&bigu(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn biguint_display_parse_roundtrip(a: u128) {
+        let s = bigu(a).to_string();
+        prop_assert_eq!(s.parse::<BigUint>().unwrap(), bigu(a));
+        prop_assert_eq!(s, a.to_string());
+    }
+
+    // ---- BigInt vs i128 oracle ----------------------------------------------
+
+    #[test]
+    fn bigint_ring_axioms(a in -(1i128 << 100)..(1i128 << 100),
+                          b in -(1i128 << 100)..(1i128 << 100),
+                          c in -(1i128 << 20)..(1i128 << 20)) {
+        let (ba, bb, bc) = (bigi(a), bigi(b), bigi(c));
+        // Commutativity / associativity of +.
+        prop_assert_eq!(&ba + &bb, &bb + &ba);
+        prop_assert_eq!(&(&ba + &bb) + &bc, &ba + &(&bb + &bc));
+        // Distributivity (kept small enough not to overflow the oracle).
+        prop_assert_eq!(&bc * &(&ba + &bb), &(&bc * &ba) + &(&bc * &bb));
+        // Additive inverse.
+        prop_assert_eq!(&ba + &(-&ba), BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_add_sub_matches_i128(a in -(1i128 << 126)..(1i128 << 126),
+                                   b in -(1i128 << 126)..(1i128 << 126)) {
+        prop_assert_eq!(&bigi(a) + &bigi(b), bigi(a + b));
+        prop_assert_eq!(&bigi(a) - &bigi(b), bigi(a - b));
+    }
+
+    #[test]
+    fn bigint_div_rem_matches_i128(a: i64, b: i64) {
+        prop_assume!(b != 0);
+        let (q, r) = bigi(a as i128).div_rem(&bigi(b as i128));
+        prop_assert_eq!(q, bigi((a as i128) / (b as i128)));
+        prop_assert_eq!(r, bigi((a as i128) % (b as i128)));
+    }
+
+    // ---- Rational field axioms ------------------------------------------------
+
+    #[test]
+    fn rational_field_axioms(an in -1000i64..1000, ad in 1i64..1000,
+                             bn in -1000i64..1000, bd in 1i64..1000,
+                             cn in -1000i64..1000, cd in 1i64..1000) {
+        let a = Rational::from_ratio(an, ad);
+        let b = Rational::from_ratio(bn, bd);
+        let c = Rational::from_ratio(cn, cd);
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Rational::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_ordering_total(an in -1000i64..1000, ad in 1i64..1000,
+                               bn in -1000i64..1000, bd in 1i64..1000) {
+        let a = Rational::from_ratio(an, ad);
+        let b = Rational::from_ratio(bn, bd);
+        // Compare against exact cross-multiplied i128 oracle.
+        let lhs = an as i128 * bd as i128;
+        let rhs = bn as i128 * ad as i128;
+        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+    }
+
+    #[test]
+    fn rational_always_reduced(an in -10000i64..10000, ad in 1i64..10000) {
+        let a = Rational::from_ratio(an, ad);
+        let g = prs_numeric::gcd::gcd(a.numer().magnitude(), a.denom());
+        prop_assert!(a.is_zero() || g.is_one());
+    }
+
+    #[test]
+    fn rational_f64_roundtrip(v in -1e15f64..1e15) {
+        let q = Rational::from_f64(v);
+        prop_assert_eq!(q.to_f64(), v);
+    }
+
+    #[test]
+    fn rational_parse_display_roundtrip(an in -100000i64..100000, ad in 1i64..100000) {
+        let a = Rational::from_ratio(an, ad);
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rational>().unwrap(), a);
+    }
+}

@@ -1,0 +1,163 @@
+//! Heavier randomized stress tests for the bignum stack: large operands,
+//! long operation chains, and algebraic identities that would expose
+//! carry/borrow/normalization bugs f64-scale tests cannot reach.
+
+use prs_numeric::{gcd::gcd, BigInt, BigUint, Rational};
+
+/// Tiny deterministic xorshift so the stress inputs are reproducible
+/// without pulling `rand` into this crate's dev-deps.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn biguint(&mut self, limbs: usize) -> BigUint {
+        BigUint::from_limbs((0..limbs).map(|_| self.next() as u32).collect())
+    }
+}
+
+#[test]
+fn mul_div_roundtrip_large() {
+    let mut rng = XorShift(0x1234_5678_9abc_def1);
+    for limbs in [1usize, 3, 10, 40, 100] {
+        for _ in 0..10 {
+            let a = rng.biguint(limbs);
+            let mut b = rng.biguint(limbs / 2 + 1);
+            if b.is_zero() {
+                b = BigUint::one();
+            }
+            let prod = &a * &b;
+            let (q, r) = prod.div_rem(&b);
+            assert_eq!(q, a, "quotient mismatch at {limbs} limbs");
+            assert!(r.is_zero(), "nonzero remainder on exact division");
+        }
+    }
+}
+
+#[test]
+fn div_rem_invariant_random() {
+    let mut rng = XorShift(0xfeed_cafe_dead_beef);
+    for _ in 0..60 {
+        let a_len = (rng.next() % 30 + 1) as usize;
+        let a = rng.biguint(a_len);
+        let d_len = (rng.next() % 10 + 1) as usize;
+        let mut d = rng.biguint(d_len);
+        if d.is_zero() {
+            d = BigUint::from(7u32);
+        }
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(&(&q * &d) + &r, a);
+    }
+}
+
+#[test]
+fn gcd_divides_both_and_is_maximal() {
+    let mut rng = XorShift(0x0bad_f00d_0bad_f00d);
+    for _ in 0..30 {
+        let g0 = rng.biguint(3);
+        if g0.is_zero() {
+            continue;
+        }
+        let a = &rng.biguint(5) * &g0;
+        let b = &rng.biguint(5) * &g0;
+        if a.is_zero() || b.is_zero() {
+            continue;
+        }
+        let g = gcd(&a, &b);
+        // Divides both…
+        assert!(a.div_rem(&g).1.is_zero());
+        assert!(b.div_rem(&g).1.is_zero());
+        // …and contains the planted common factor (g0 | a and g0 | b ⇒
+        // g0 | gcd(a, b)).
+        assert!(g.div_rem(&g0).1.is_zero());
+        // Cofactors are coprime.
+        let (qa, _) = a.div_rem(&g);
+        let (qb, _) = b.div_rem(&g);
+        assert!(gcd(&qa, &qb).is_one());
+    }
+}
+
+#[test]
+fn decimal_roundtrip_large() {
+    let mut rng = XorShift(0x5555_aaaa_5555_aaaa);
+    for limbs in [1usize, 8, 33] {
+        let a = rng.biguint(limbs);
+        let s = a.to_string();
+        let back: BigUint = s.parse().unwrap();
+        assert_eq!(back, a);
+        // Decimal length sanity: log10(2^32) ≈ 9.63 digits per limb.
+        assert!(s.len() <= limbs * 10 + 1);
+    }
+}
+
+#[test]
+fn rational_telescoping_sum_is_exact() {
+    // Σ 1/(k(k+1)) telescopes to 1 − 1/(n+1); denominators stress reduction.
+    let n = 400i64;
+    let mut total = Rational::zero();
+    for k in 1..=n {
+        total += Rational::from_ratio(1, k * (k + 1));
+    }
+    assert_eq!(total, Rational::from_ratio(n, n + 1));
+}
+
+#[test]
+fn rational_continued_product_cancels() {
+    // Π (k+1)/k = n+1 after massive cross-cancellation.
+    let n = 300i64;
+    let mut prod = Rational::one();
+    for k in 1..=n {
+        prod = &prod * &Rational::from_ratio(k + 1, k);
+    }
+    assert_eq!(prod, Rational::from_integer(n + 1));
+}
+
+#[test]
+fn bigint_pow_and_parse_agree() {
+    let three = BigInt::from(3i64);
+    let p = three.pow(100);
+    // 3^100 computed independently via string arithmetic on BigUint pow.
+    let q = BigUint::from(3u32).pow(100);
+    assert_eq!(p.magnitude(), &q);
+    assert_eq!(p.to_string().parse::<BigInt>().unwrap(), p);
+}
+
+#[test]
+fn rational_binary_splitting_harmonic() {
+    // H_200 via naive summation vs pairwise (binary-splitting) summation —
+    // exact arithmetic must make them identical.
+    let n = 200i64;
+    let naive: Rational = (1..=n).map(|k| Rational::from_ratio(1, k)).sum();
+    fn pairwise(lo: i64, hi: i64) -> Rational {
+        if lo == hi {
+            Rational::from_ratio(1, lo)
+        } else {
+            let mid = (lo + hi) / 2;
+            &pairwise(lo, mid) + &pairwise(mid + 1, hi)
+        }
+    }
+    assert_eq!(naive, pairwise(1, n));
+}
+
+#[test]
+fn shift_mul_equivalence() {
+    let mut rng = XorShift(0x1357_9bdf_2468_aced);
+    for _ in 0..20 {
+        let a = rng.biguint(6);
+        let k = (rng.next() % 120) as u32;
+        let shifted = &a << k;
+        let mut pow2 = BigUint::one();
+        for _ in 0..k {
+            pow2.mul_limb(2);
+        }
+        assert_eq!(shifted, &a * &pow2, "shl {k} != mul 2^{k}");
+    }
+}

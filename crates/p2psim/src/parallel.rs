@@ -1,0 +1,100 @@
+//! Concurrent execution of many swarm simulations.
+//!
+//! Same work-stealing shape as `prs-dynamics::parallel`: a shared atomic
+//! cursor dispenses instance indices to crossbeam scoped workers; each
+//! worker owns its whole swarm (no shared mutable state), results land in
+//! per-instance slots.
+
+use crate::agent::Strategy;
+use crate::swarm::{Swarm, SwarmConfig, SwarmMetrics};
+use prs_graph::Graph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One simulation job: a topology and an optional Sybil attacker.
+#[derive(Clone, Debug)]
+pub struct SwarmJob {
+    /// The swarm topology with capacities.
+    pub graph: Graph,
+    /// `Some((v, w1, w2))` plants a Sybil attacker at agent `v`.
+    pub attacker: Option<(usize, f64, f64)>,
+}
+
+/// Run all jobs concurrently on `threads` workers.
+pub fn run_swarms(jobs: &[SwarmJob], cfg: &SwarmConfig, threads: usize) -> Vec<SwarmMetrics> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SwarmMetrics>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let mut swarm = match job.attacker {
+                    Some((v, w1, w2)) => Swarm::with_strategies(&job.graph, |a| {
+                        if a == v {
+                            Strategy::Sybil { w1, w2 }
+                        } else {
+                            Strategy::Honest
+                        }
+                    }),
+                    None => Swarm::new(&job.graph),
+                };
+                let metrics = swarm.run(cfg);
+                *slots[i].lock().expect("poisoned") = Some(metrics);
+            });
+        }
+    })
+    .expect("swarm worker panicked");
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("poisoned").expect("slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_graph::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let jobs: Vec<SwarmJob> = (0..8)
+            .map(|i| SwarmJob {
+                graph: random::random_ring(&mut rng, 6, 1, 9),
+                attacker: if i % 2 == 0 { None } else { Some((0, 1.0, 1.0)) },
+            })
+            .collect();
+        let cfg = SwarmConfig::default();
+        let par = run_swarms(&jobs, &cfg, 4);
+        for (i, job) in jobs.iter().enumerate() {
+            let mut swarm = match job.attacker {
+                Some((v, w1, w2)) => Swarm::with_strategies(&job.graph, |a| {
+                    if a == v {
+                        Strategy::Sybil { w1, w2 }
+                    } else {
+                        Strategy::Honest
+                    }
+                }),
+                None => Swarm::new(&job.graph),
+            };
+            let seq = swarm.run(&cfg);
+            assert_eq!(par[i].rounds, seq.rounds, "job {i}");
+            assert_eq!(par[i].utilities, seq.utilities, "job {i}");
+        }
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let out = run_swarms(&[], &SwarmConfig::default(), 4);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Lemma 14 / Lemma 20 (Fig. 4): classification of the initial split path.
+//!
+//! At the honest split `(w₁⁰, w₂⁰)` the path `P_v(w₁⁰, w₂⁰)` has one of four
+//! decomposition shapes, keyed by `v`'s class on the original ring:
+//!
+//! * **Case C-1** — `v` C-class; a single pair with `v¹ ∈ B₁`, `v² ∈ C₁` and
+//!   `α₁ = α_v`; B and C alternate along the (even) path.
+//! * **Case C-2** — `v` C-class; `w₁⁰ = 0` with `v¹ ∈ B_j`, `v² ∈ C_i`.
+//! * **Case C-3** — `v` C-class; both copies C-class, `v¹ ∈ C_j`, `v² ∈ C_i`
+//!   with `j ≥ i`, i.e. `α_{v¹} ≥ α_{v²} = α_v`.
+//! * **Case D-1** — `v` B-class; both copies B-class, `v¹ ∈ B_j`, `v² ∈ B_i`
+//!   with `j ≤ i`, i.e. `α_{v¹} ≤ α_{v²} = α_v`.
+//!
+//! (The paper treats `α_v = 1` agents as C-class WLOG; so do we.)
+
+use crate::split::{honest_split, SybilSplitFamily};
+use prs_bd::{decompose, AgentClass};
+use prs_graph::{Graph, VertexId};
+use prs_numeric::Rational;
+
+/// Which Lemma 14 / Lemma 20 case the initial path falls into.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InitialPathCase {
+    /// Case C-1: one pair, `v¹ ∈ B₁`, `v² ∈ C₁`, `α₁ = α_v`.
+    C1,
+    /// Case C-2: `w₁⁰ = 0`, `v¹` B-class, `v²` C-class.
+    C2,
+    /// Case C-3: both copies C-class with `α_{v¹} ≥ α_{v²} = α_v`.
+    C3,
+    /// Case D-1 (Lemma 20): both copies B-class with `α_{v¹} ≤ α_{v²} = α_v`.
+    D1,
+}
+
+/// Classification output, with the evidence used.
+#[derive(Clone, Debug)]
+pub struct InitialPathReport {
+    /// The matched case.
+    pub case: InitialPathCase,
+    /// `v`'s class on the ring (Both is folded into C, as in the paper).
+    pub ring_class: AgentClass,
+    /// Honest weight of `v¹` (possibly relabeled to fit the paper's WLOG).
+    pub w1_0: Rational,
+    /// Honest weight of `v²`.
+    pub w2_0: Rational,
+    /// `α_v` on the original ring.
+    pub alpha_v: Rational,
+    /// `α_{v¹}` on the initial path.
+    pub alpha_v1: Rational,
+    /// `α_{v²}` on the initial path.
+    pub alpha_v2: Rational,
+}
+
+/// Classify the decomposition of the initial path `P_v(w₁⁰, w₂⁰)` per
+/// Lemma 14 (C cases) / Lemma 20 (D case), and verify the per-case
+/// structural claims exactly. Panics (with diagnostics) if the observed
+/// structure matches none of the published cases — i.e. a counterexample to
+/// the lemmas.
+pub fn classify_initial_path(ring: &Graph, v: VertexId) -> InitialPathReport {
+    let ring_bd = decompose(ring).expect("ring decomposes");
+    let alpha_v = ring_bd.alpha_of(v).clone();
+    // Paper's WLOG: α_v = 1 vertices count as C-class.
+    let ring_class = match ring_bd.class_of(v) {
+        AgentClass::Both => AgentClass::C,
+        c => c,
+    };
+
+    let (w1_0, w2_0) = honest_split(ring, v);
+    let fam = SybilSplitFamily::new(ring.clone(), v);
+    let (p, v1, v2) = fam.path_at(&w1_0, &w2_0);
+    let pbd = decompose(&p).unwrap_or_else(|e| {
+        panic!("initial path undecomposable ({e}); ring {:?} v={v}", ring.weights())
+    });
+
+    // The paper labels the copies WLOG so its case patterns come out
+    // (e.g. Case C-2 is stated with w₁⁰ = 0, Case C-3 with j ≥ i). Our
+    // v¹ is pinned to the ring successor, so mirror the labeling when the
+    // pattern only matches the other way around.
+    let raw = (
+        pbd.class_of(v1),
+        pbd.class_of(v2),
+        pbd.alpha_of(v1).clone(),
+        pbd.alpha_of(v2).clone(),
+        w1_0.clone(),
+        w2_0.clone(),
+    );
+    let mirrored_labels = match ring_class {
+        // C cases: want (v¹ B-side with v² C-side) or (w₁⁰ = 0 B-side) or
+        // (both C with α_{v¹} ≥ α_{v²}).
+        AgentClass::C => {
+            let fits = |c1: &AgentClass, c2: &AgentClass, a1: &Rational, a2: &Rational, w1: &Rational| {
+                (c1.is_b() && c2.is_c() && !w1.is_zero())
+                    || (w1.is_zero() && c1.is_b() && c2.is_c())
+                    || (c1.is_c() && c2.is_c() && a1 >= a2)
+            };
+            !fits(&raw.0, &raw.1, &raw.2, &raw.3, &raw.4)
+                && fits(&raw.1, &raw.0, &raw.3, &raw.2, &raw.5)
+        }
+        // D case: both B-side with α_{v¹} ≤ α_{v²}.
+        _ => raw.2 > raw.3,
+    };
+    let (class1, class2, alpha_v1, alpha_v2, w1_0, w2_0) = if mirrored_labels {
+        (raw.1, raw.0, raw.3, raw.2, raw.5, raw.4)
+    } else {
+        raw
+    };
+
+    let case = match ring_class {
+        AgentClass::C => {
+            // Lemma 14's Case C-1 structure: a single pair on an
+            // even-length path whose B/C classes alternate (the α = 1
+            // `Both` class is compatible with either side). Even rings with
+            // α = 1 produce an odd path instead — the paper relabels those
+            // alternately and classifies them as C-2/C-3, so the structural
+            // conditions are part of the *match*, not post-hoc assertions.
+            let alternates = (0..p.n().saturating_sub(1)).all(|path_v| {
+                let a = pbd.class_of(path_v);
+                let b = pbd.class_of(path_v + 1);
+                !(a == AgentClass::B && b == AgentClass::B)
+                    && !(a == AgentClass::C && b == AgentClass::C)
+            });
+            if class1.is_b()
+                && class2.is_c()
+                && pbd.k() == 1
+                && !w1_0.is_zero()
+                && p.n() % 2 == 0
+                && alternates
+            {
+                // Case C-1: single pair, v¹ B-side, v² C-side, α = α_v.
+                assert_eq!(
+                    alpha_v1, alpha_v,
+                    "Case C-1 requires α₁ = α_v (ring {:?}, v={v})",
+                    ring.weights()
+                );
+                InitialPathCase::C1
+            } else if w1_0.is_zero() && class1.is_b() && class2.is_c() {
+                InitialPathCase::C2
+            } else if class1.is_c() && class2.is_c() {
+                // Case C-3: α_{v¹} ≥ α_{v²} = α_v.
+                assert!(
+                    alpha_v1 >= alpha_v2,
+                    "Case C-3 requires α_(v¹) ≥ α_(v²) (ring {:?}, v={v})",
+                    ring.weights()
+                );
+                assert_eq!(
+                    alpha_v2, alpha_v,
+                    "Case C-3 requires α_(v²) = α_v (ring {:?}, v={v})",
+                    ring.weights()
+                );
+                InitialPathCase::C3
+            } else {
+                panic!(
+                    "Lemma 14 counterexample? ring {:?} v={v}: classes ({class1:?}, {class2:?}), \
+                     w₁⁰={w1_0}, k={}",
+                    ring.weights(),
+                    pbd.k()
+                );
+            }
+        }
+        AgentClass::B => {
+            // Lemma 20, Case D-1.
+            assert!(
+                class1.is_b() && class2.is_b(),
+                "Lemma 20 counterexample? ring {:?} v={v}: classes ({class1:?}, {class2:?})",
+                ring.weights()
+            );
+            assert!(
+                alpha_v1 <= alpha_v2,
+                "Case D-1 requires α_(v¹) ≤ α_(v²) (ring {:?}, v={v})",
+                ring.weights()
+            );
+            assert_eq!(
+                alpha_v2, alpha_v,
+                "Case D-1 requires α_(v²) = α_v (ring {:?}, v={v})",
+                ring.weights()
+            );
+            InitialPathCase::D1
+        }
+        AgentClass::Both => unreachable!("folded into C above"),
+    };
+
+    InitialPathReport {
+        case,
+        ring_class,
+        w1_0,
+        w2_0,
+        alpha_v,
+        alpha_v1,
+        alpha_v2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_graph::{builders, random};
+    use prs_numeric::int;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_odd_ring_is_case_c1() {
+        // All weights equal on an odd ring: single α = 1 pair; v is Both →
+        // treated C; the split path alternates B/C — Case C-1 (the paper's
+        // own example of C-1 is exactly this odd-ring α = 1 situation).
+        let g = builders::uniform_ring(5, int(2)).unwrap();
+        let rep = classify_initial_path(&g, 0);
+        assert_eq!(rep.case, InitialPathCase::C1, "{rep:?}");
+    }
+
+    #[test]
+    fn classification_total_on_random_rings() {
+        // Every random ring/agent must fall into one of the four published
+        // cases (classify_initial_path panics otherwise) — an executable
+        // form of Lemmas 14 and 20.
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut seen = std::collections::HashSet::new();
+        for n in [3usize, 4, 5, 6, 7, 8] {
+            for _ in 0..12 {
+                let g = random::random_ring(&mut rng, n, 1, 10);
+                for v in 0..n {
+                    let rep = classify_initial_path(&g, v);
+                    seen.insert(format!("{:?}", rep.case));
+                }
+            }
+        }
+        // The families above are rich enough to exhibit C-class and B-class
+        // manipulators.
+        assert!(seen.len() >= 2, "only saw cases {seen:?}");
+    }
+
+    #[test]
+    fn b_class_agent_is_case_d1() {
+        // Ring (1, 10, 1, 10): vertices 1 and 3 are heavy; the bottleneck is
+        // {0, 2}? α({0,2}) = 20/2 = 10 > 1 — no. α({1,3}) = 2/20 = 1/10:
+        // B = {1, 3}, C = {0, 2}. So agent 1 is B-class → Case D-1.
+        let g = builders::ring(vec![int(1), int(10), int(1), int(10)]).unwrap();
+        let rep = classify_initial_path(&g, 1);
+        assert_eq!(rep.ring_class, AgentClass::B);
+        assert_eq!(rep.case, InitialPathCase::D1, "{rep:?}");
+    }
+
+    #[test]
+    fn c_class_agent_cases() {
+        let g = builders::ring(vec![int(1), int(10), int(1), int(10)]).unwrap();
+        // Agent 0 is C-class (in C = {0, 2}).
+        let rep = classify_initial_path(&g, 0);
+        assert_eq!(rep.ring_class, AgentClass::C);
+        assert!(
+            matches!(rep.case, InitialPathCase::C1 | InitialPathCase::C2 | InitialPathCase::C3),
+            "{rep:?}"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Certified attack optimization via symbolic per-interval payoffs.
+//!
+//! The grid+zoom optimizer in [`crate::attack`] produces certified *lower*
+//! bounds on the optimal Sybil payoff. This module closes the gap: within a
+//! constant-shape interval of the split family, each copy's utility is an
+//! explicit rational function of `w₁`,
+//!
+//! ```text
+//! U_{v¹}(w₁) = w₁ · α(w₁)^{±1},   α(w₁) = (p + q·w₁)/(r + s·w₁)  (Möbius)
+//! ```
+//!
+//! (exponent −1 for C-class, +1 for B-class, constant for the α = 1 pair).
+//! Summing the copies gives a degree-≤(2/2) rational function per interval;
+//! its maximum lies at an endpoint or a critical point of a quadratic —
+//! both computed by `prs-numeric::poly`. The result is the optimum *per
+//! detected interval structure*: exact wherever the critical points are
+//! rational, and localized to `2⁻ᵇⁱᵗˢ` otherwise, with every reported value
+//! re-verified by a direct exact decomposition.
+
+use crate::split::SybilSplitFamily;
+use prs_bd::{decompose, AgentClass};
+use prs_deviation::{pair_moebius, sweep, GraphFamily, SweepConfig};
+use prs_graph::{Graph, VertexId};
+use prs_numeric::{Poly, Rational, RationalFunction};
+
+/// Result of the certified optimization.
+#[derive(Clone, Debug)]
+pub struct CertifiedOutcome {
+    /// Honest utility `U_v` on the ring.
+    pub honest_utility: Rational,
+    /// Optimal `w₁` (exact, or a `2⁻ᵇⁱᵗˢ`-localized critical point).
+    pub best_w1: Rational,
+    /// Payoff at `best_w1`, re-verified by direct decomposition.
+    pub best_payoff: Rational,
+    /// `ζ_v`: `best_payoff / U_v` (≥ 1 by Lemma 9).
+    pub ratio: Rational,
+    /// Number of constant-shape intervals analyzed.
+    pub intervals: usize,
+}
+
+/// The utility of one split copy as a symbolic rational function of `w₁`
+/// on a constant-shape interval, derived from the decomposition at `x0`.
+fn copy_utility_model(
+    fam: &SybilSplitFamily,
+    x0: &Rational,
+    copy: VertexId,
+) -> Option<RationalFunction> {
+    let g = fam.graph_at(x0);
+    let bd = decompose(&g).ok()?;
+    let pair_idx = bd.pair_of(copy);
+    let m = pair_moebius(fam, x0, pair_idx)?;
+    // The copy's weight as a polynomial of x: w(x) = offset + slope·x.
+    let slope = fam.weight_slope(copy);
+    let offset = &g.weight(copy).clone() - &(&Rational::from_integer(slope) * x0);
+    let w_poly = Poly::linear(offset, Rational::from_integer(slope));
+    let alpha_num = Poly::linear(m.p.clone(), m.q.clone());
+    let alpha_den = Poly::linear(m.r.clone(), m.s.clone());
+    let model = match bd.class_of(copy) {
+        AgentClass::B => {
+            // U = w(x)·α(x).
+            RationalFunction::new(&w_poly * &alpha_num, alpha_den)
+        }
+        AgentClass::C => {
+            // U = w(x)/α(x).
+            RationalFunction::new(&w_poly * &alpha_den, alpha_num)
+        }
+        AgentClass::Both => RationalFunction::from_poly(w_poly),
+    };
+    Some(model)
+}
+
+/// Certified-optimal Sybil split for agent `v` on a ring.
+///
+/// `grid` controls the interval-detection sweep; `bits` the localization of
+/// breakpoints and irrational critical points. Every candidate optimum is
+/// re-evaluated by a direct exact decomposition, so `best_payoff` (and thus
+/// the ratio) is exact even when `best_w1` is a localized critical point.
+pub fn certified_best_split(
+    ring: &Graph,
+    v: VertexId,
+    grid: usize,
+    bits: u32,
+) -> CertifiedOutcome {
+    let fam = SybilSplitFamily::new(ring.clone(), v);
+    let bd = decompose(ring).expect("ring decomposes");
+    let honest = bd.utility(ring, v);
+
+    let res = sweep(
+        &fam,
+        &SweepConfig {
+            grid,
+            refine_bits: bits,
+        },
+    );
+
+    // Seed with the honest split (Lemma 9 floor).
+    let (w1_honest, _) = crate::split::honest_split(ring, v);
+    let mut best_w1 = w1_honest;
+    let mut best_payoff = honest.clone();
+
+    let mut consider = |x: &Rational| {
+        if let Some((u1, u2)) = fam.payoff(x) {
+            let total = &u1 + &u2;
+            if total > best_payoff {
+                best_payoff = total;
+                best_w1 = x.clone();
+            }
+        }
+    };
+
+    for iv in &res.intervals {
+        if iv.lo > iv.hi {
+            continue;
+        }
+        // Build the symbolic payoff from the interval's start sample.
+        let model = copy_utility_model(&fam, &iv.lo, fam.v1())
+            .zip(copy_utility_model(&fam, &iv.lo, fam.v2()))
+            .map(|(a, b)| a.add(&b));
+        match model {
+            Some(total_fn) => {
+                let (argmax, _symbolic_max) = total_fn.maximize(&iv.lo, &iv.hi, bits);
+                consider(&argmax);
+                // Endpoints are distinct candidates when the argmax is
+                // interior (maximize already includes them, but re-verify
+                // through the exact decomposition anyway — cheap).
+                consider(&iv.lo);
+                consider(&iv.hi);
+            }
+            None => {
+                // Degenerate sample: fall back to the endpoints.
+                consider(&iv.lo);
+                consider(&iv.hi);
+            }
+        }
+    }
+
+    let ratio = if honest.is_positive() {
+        (&best_payoff / &honest).max(Rational::one())
+    } else {
+        Rational::one()
+    };
+    CertifiedOutcome {
+        honest_utility: honest,
+        best_w1,
+        best_payoff,
+        ratio,
+        intervals: res.intervals.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{best_sybil_split, AttackConfig};
+    use crate::theorem8::{lower_bound_ring, LOWER_BOUND_AGENT};
+    use prs_graph::random;
+    use prs_numeric::int;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn symbolic_model_matches_direct_evaluation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = random::random_ring(&mut rng, 5, 1, 10);
+        let fam = SybilSplitFamily::new(g.clone(), 0);
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 16,
+                refine_bits: 16,
+            },
+        );
+        for iv in &res.intervals {
+            let Some(m1) = copy_utility_model(&fam, &iv.lo, fam.v1()) else {
+                continue;
+            };
+            let Some(m2) = copy_utility_model(&fam, &iv.lo, fam.v2()) else {
+                continue;
+            };
+            // The model must reproduce the exact utilities at both interval
+            // ends.
+            for x in [&iv.lo, &iv.hi] {
+                let Some((u1, u2)) = fam.payoff(x) else { continue };
+                assert_eq!(m1.eval(x).unwrap(), u1, "v1 model at {x}");
+                assert_eq!(m2.eval(x).unwrap(), u2, "v2 model at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn certified_never_below_grid_optimizer() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for n in [4usize, 5, 6] {
+            let g = random::random_ring(&mut rng, n, 1, 10);
+            for v in 0..2 {
+                let grid_out = best_sybil_split(
+                    &g,
+                    v,
+                    &AttackConfig {
+                        grid: 16,
+                        zoom_levels: 3,
+                        keep: 2,
+                    },
+                );
+                let cert = certified_best_split(&g, v, 24, 30);
+                assert!(
+                    cert.best_payoff >= grid_out.best.total(),
+                    "certified {} < grid {} on {:?} v={v}",
+                    cert.best_payoff,
+                    grid_out.best.total(),
+                    g.weights()
+                );
+                assert!(cert.ratio <= int(2), "Theorem 8");
+            }
+        }
+    }
+
+    #[test]
+    fn certified_on_lower_bound_family() {
+        let g = lower_bound_ring(6);
+        let cert = certified_best_split(&g, LOWER_BOUND_AGENT, 32, 35);
+        // E11 measured ≈ 1.9695 at k = 6; the certified optimizer must do
+        // at least as well and stay under 2.
+        assert!(cert.ratio.to_f64() > 1.969, "got {}", cert.ratio.to_f64());
+        assert!(cert.ratio <= int(2));
+    }
+
+    #[test]
+    fn honest_floor_respected() {
+        let g = prs_graph::builders::uniform_ring(5, int(3)).unwrap();
+        let cert = certified_best_split(&g, 0, 16, 20);
+        assert_eq!(cert.ratio, prs_numeric::Rational::one());
+        assert_eq!(cert.best_payoff, cert.honest_utility);
+    }
+}

@@ -1,0 +1,328 @@
+//! The two-stage trajectory decomposition of the Theorem 8 proof.
+//!
+//! The proof walks from the honest split `(w₁⁰, w₂⁰)` to the optimal split
+//! `(w₁*, w₂*)` changing one copy's weight at a time, and bounds the per-
+//! stage utility changes:
+//!
+//! * `v` **C-class** on the ring (§III-C), with WLOG `w₁* ≥ w₁⁰`:
+//!   - Stage C-1: `w₂: w₂⁰ → w₂*` (decrease) — Lemma 16: `δ_{v¹} ≤ 0`,
+//!     `δ_{v²} ≤ 0`.
+//!   - Stage C-2: `w₁: w₁⁰ → w₁*` (increase) — Lemma 18 (if `v¹` ends
+//!     C-class): `δ_{v¹} ≤ U_v`, `δ_{v²} = 0`; otherwise Lemma 19 bounds the
+//!     total directly by `2·U_v`.
+//! * `v` **B-class** on the ring (§III-D), with WLOG `w₁* ≥ w₁⁰`:
+//!   - Stage D-1: `w₁: w₁⁰ → w₁*` (increase) — Lemma 22: `Δ_{v¹} ≤ U_v`,
+//!     `Δ_{v²} = 0`.
+//!   - Stage D-2: `w₂: w₂⁰ → w₂*` (decrease) — Lemma 24: `Δ_{v¹} ≤ 0`,
+//!     `Δ_{v²} ≤ 0`.
+//!
+//! This module evaluates all four corner points exactly and checks each
+//! inequality, yielding an executable audit of the proof skeleton on any
+//! concrete instance.
+
+use crate::split::{honest_split, SybilSplitFamily};
+use prs_bd::{decompose, AgentClass};
+use prs_graph::{Graph, VertexId};
+use prs_numeric::Rational;
+
+/// Exact utilities of the two copies at one `(w₁, w₂)` corner.
+#[derive(Clone, Debug)]
+pub struct Corner {
+    /// Weight of `v¹` at this corner.
+    pub w1: Rational,
+    /// Weight of `v²` at this corner.
+    pub w2: Rational,
+    /// `U_{v¹}` (exact).
+    pub u1: Rational,
+    /// `U_{v²}` (exact).
+    pub u2: Rational,
+}
+
+/// The audited stage decomposition of one attack trajectory.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// `v`'s class on the ring (`Both` folded to C, as in the paper).
+    pub ring_class: AgentClass,
+    /// Whether the trajectory was mirrored so that `w₁* ≥ w₁⁰` (the paper's
+    /// WLOG).
+    pub mirrored: bool,
+    /// `U_v` on the original ring.
+    pub honest_utility: Rational,
+    /// The initial corner (honest split, possibly adjusted).
+    pub initial: Corner,
+    /// The corner after stage 1.
+    pub mid: Corner,
+    /// The final corner `(w₁*, w₂*)`.
+    pub fin: Corner,
+    /// Stage-1 deltas `(δ_{v¹}⁽¹⁾, δ_{v²}⁽¹⁾)` (or `Δ` for B-class).
+    pub stage1: (Rational, Rational),
+    /// Stage-2 deltas.
+    pub stage2: (Rational, Rational),
+    /// Which lemma inequalities held (audit log; all should be true).
+    pub checks: Vec<(String, bool)>,
+}
+
+impl StageReport {
+    /// True iff every audited inequality held.
+    pub fn all_hold(&self) -> bool {
+        self.checks.iter().all(|(_, ok)| *ok)
+    }
+}
+
+fn corner(fam: &SybilSplitFamily, w1: &Rational, w2: &Rational) -> Option<Corner> {
+    let (p, v1, v2) = fam.path_at(w1, w2);
+    let bd = decompose(&p).ok()?;
+    Some(Corner {
+        w1: w1.clone(),
+        w2: w2.clone(),
+        u1: bd.utility(&p, v1),
+        u2: bd.utility(&p, v2),
+    })
+}
+
+/// The **Adjusting Technique** (paper, §III-C and §III-D): when both copies
+/// start in the same bottleneck pair, slide along the diagonal
+/// `(w₁⁰ + z, w₂⁰ − z)` — which keeps the decomposition, the α-ratio and the
+/// total copy payoff constant — up to the critical `z` where the pair is
+/// about to split, and restart the analysis there.
+///
+/// Returns the adjusted start, or `None` when the diagonal reaches
+/// `(w₁*, w₂*)` with the shape intact — then `U(w₁*, w₂*) = U_v` and the
+/// attack gains nothing (the paper's "cannot improve by Sybil attack
+/// directly" case).
+fn adjusting_technique(
+    fam: &SybilSplitFamily,
+    mirrored: bool,
+    w1_0: &Rational,
+    w2_0: &Rational,
+    w1_s: &Rational,
+    w2_s: &Rational,
+    bits: u32,
+) -> Option<(Rational, Rational)> {
+    let phys = |a: &Rational, b: &Rational| -> Option<Vec<(Vec<usize>, Vec<usize>)>> {
+        let (p, _, _) = if mirrored {
+            fam.path_at(b, a)
+        } else {
+            fam.path_at(a, b)
+        };
+        decompose(&p).ok().map(|bd| bd.shape())
+    };
+    let d = w2_0 - w2_s;
+    if !d.is_positive() {
+        return None; // w₂ does not move: nothing to adjust, and no stage C-1
+    }
+    let shape0 = phys(w1_0, w2_0)?;
+    // Same shape at the far end of the diagonal ⇒ no critical point ⇒ the
+    // attack payoff equals U_v (shape and α never change on the diagonal).
+    if phys(w1_s, w2_s).as_ref() == Some(&shape0) {
+        return None;
+    }
+    // Bisect for the largest same-shape z ∈ [0, d).
+    let mut lo = Rational::zero();
+    let mut hi = d;
+    for _ in 0..bits {
+        let mid = lo.midpoint(&hi);
+        let same = phys(&(w1_0 + &mid), &(w2_0 - &mid)).as_ref() == Some(&shape0);
+        if same {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((w1_0 + &lo, w2_0 - &lo))
+}
+
+/// Audit the stage decomposition for a trajectory from the honest split to
+/// the target split `(w1_star, w2_star)` (typically the optimizer's best).
+///
+/// Returns `None` if any corner is undecomposable (degenerate boundary) or
+/// if the Adjusting Technique shows the trajectory is payoff-neutral (the
+/// paper's trivial case — there is nothing to audit).
+///
+/// Note: the optimizer works on the unordered split, so the paper's WLOG
+/// `w₁* > w₁⁰` is realized by mirroring the path when necessary. The
+/// adjustment is localized by bisection, so the lemma checks carry a tiny
+/// tolerance (`U_v / 2²⁰`); the final Theorem 8 bound is checked exactly.
+pub fn audit_stages(
+    ring: &Graph,
+    v: VertexId,
+    w1_star: &Rational,
+    w2_star: &Rational,
+) -> Option<StageReport> {
+    let ring_bd = decompose(ring).expect("ring decomposes");
+    let honest_u = ring_bd.utility(ring, v);
+    let ring_class = match ring_bd.class_of(v) {
+        AgentClass::Both => AgentClass::C,
+        c => c,
+    };
+
+    let (w1_0, w2_0) = honest_split(ring, v);
+    let fam = SybilSplitFamily::new(ring.clone(), v);
+
+    // WLOG w₁* ≥ w₁⁰: otherwise swap the roles of the copies. Swapping
+    // means looking at the same physical trajectory with (w1, w2) read in
+    // the other order; utilities swap with them, which `Corner` handles by
+    // swapping at evaluation time.
+    let (mirrored, w1_0, w2_0, w1_s, w2_s) = if w1_star >= &w1_0 {
+        (false, w1_0, w2_0, w1_star.clone(), w2_star.clone())
+    } else {
+        (true, w2_0, w1_0, w2_star.clone(), w1_star.clone())
+    };
+    // Evaluate a corner in possibly-mirrored coordinates.
+    let eval = |a: &Rational, b: &Rational| -> Option<Corner> {
+        if mirrored {
+            corner(&fam, b, a).map(|c| Corner {
+                w1: a.clone(),
+                w2: b.clone(),
+                u1: c.u2,
+                u2: c.u1,
+            })
+        } else {
+            corner(&fam, a, b)
+        }
+    };
+
+    // Apply the Adjusting Technique when both copies share a pair at the
+    // initial point (the paper's same-pair difficulty in Cases C-3 / D-1).
+    let (w1_0, w2_0) = {
+        let (p0, p_v1, p_v2) = if mirrored {
+            fam.path_at(&w2_0, &w1_0)
+        } else {
+            fam.path_at(&w1_0, &w2_0)
+        };
+        let bd0 = decompose(&p0).ok()?;
+        let same_pair = bd0.pair_of(p_v1) == bd0.pair_of(p_v2);
+        if same_pair {
+            adjusting_technique(&fam, mirrored, &w1_0, &w2_0, &w1_s, &w2_s, 40)?
+        } else {
+            (w1_0, w2_0)
+        }
+    };
+
+    // C-class trajectories change w₂ first (Stage C-1); B-class change w₁
+    // first (Stage D-1).
+    let c_class = ring_class == AgentClass::C;
+    let (mid_w1, mid_w2) = if c_class {
+        (w1_0.clone(), w2_s.clone())
+    } else {
+        (w1_s.clone(), w2_0.clone())
+    };
+
+    let initial = eval(&w1_0, &w2_0)?;
+    let mid = eval(&mid_w1, &mid_w2)?;
+    let fin = eval(&w1_s, &w2_s)?;
+
+    let stage1 = (&mid.u1 - &initial.u1, &mid.u2 - &initial.u2);
+    let stage2 = (&fin.u1 - &mid.u1, &fin.u2 - &mid.u2);
+    // Tolerance absorbing the bisection error of the Adjusting Technique
+    // (the adjusted start is within 2⁻⁴⁰·w_v of the true critical point).
+    let tol = &(&honest_u.abs() + &Rational::one()) / &Rational::from_integer(1 << 20);
+    let zero = tol.clone();
+
+    let mut checks = Vec::new();
+    if c_class {
+        // Lemma 16.
+        checks.push(("Lemma 16: δ_v1(1) ≤ 0".into(), stage1.0 <= zero));
+        checks.push(("Lemma 16: δ_v2(1) ≤ 0".into(), stage1.1 <= zero));
+        // Lemma 18 / 19 depending on v¹'s final class.
+        let (p_fin, v1_fin, _) = fam.path_at(
+            if mirrored { &fin.w2 } else { &fin.w1 },
+            if mirrored { &fin.w1 } else { &fin.w2 },
+        );
+        let fin_bd = decompose(&p_fin).ok()?;
+        let v1_id = if mirrored { fam.v2() } else { v1_fin };
+        let v1_final_class = fin_bd.class_of(v1_id);
+        if matches!(v1_final_class, AgentClass::C) {
+            checks.push((
+                "Lemma 18: δ_v1(2) ≤ U_v".into(),
+                stage2.0 <= &honest_u + &tol,
+            ));
+            checks.push(("Lemma 18: δ_v2(2) ≤ 0".into(), stage2.1 <= zero));
+        }
+        // Theorem-level bound holds in every branch (Lemma 19 covers the
+        // B-class ending).
+        let total_fin = &fin.u1 + &fin.u2;
+        checks.push((
+            "Theorem 8: U(w1*,w2*) ≤ 2·U_v".into(),
+            total_fin <= &honest_u * &Rational::from_integer(2),
+        ));
+    } else {
+        // Lemma 22.
+        checks.push((
+            "Lemma 22: Δ_v1(1) ≤ U_v".into(),
+            stage1.0 <= &honest_u + &tol,
+        ));
+        checks.push(("Lemma 22: Δ_v2(1) = 0".into(), stage1.1.abs() <= tol));
+        // Lemma 24.
+        checks.push(("Lemma 24: Δ_v1(2) ≤ 0".into(), stage2.0 <= zero));
+        checks.push(("Lemma 24: Δ_v2(2) ≤ 0".into(), stage2.1 <= zero));
+        let total_fin = &fin.u1 + &fin.u2;
+        checks.push((
+            "Theorem 8: U(w1*,w2*) ≤ 2·U_v".into(),
+            total_fin <= &honest_u * &Rational::from_integer(2),
+        ));
+    }
+
+    Some(StageReport {
+        ring_class,
+        mirrored,
+        honest_utility: honest_u,
+        initial,
+        mid,
+        fin,
+        stage1,
+        stage2,
+        checks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{best_sybil_split, AttackConfig};
+    use prs_graph::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> AttackConfig {
+        AttackConfig {
+            grid: 16,
+            zoom_levels: 3,
+            keep: 2,
+        }
+    }
+
+    #[test]
+    fn stage_inequalities_hold_on_random_rings() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for n in [4usize, 5, 6] {
+            for _ in 0..8 {
+                let g = random::random_ring(&mut rng, n, 1, 10);
+                for v in 0..n.min(3) {
+                    let out = best_sybil_split(&g, v, &cfg());
+                    let w2_star = &g.weight(v).clone() - &out.best.w1;
+                    if let Some(rep) = audit_stages(&g, v, &out.best.w1, &w2_star) {
+                        assert!(
+                            rep.all_hold(),
+                            "failed checks {:?} on ring {:?} v={v}",
+                            rep.checks.iter().filter(|(_, ok)| !ok).collect::<Vec<_>>(),
+                            g.weights()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_to_honest_split_is_all_zero_deltas() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let g = random::random_ring(&mut rng, 6, 1, 9);
+        let (w1_0, w2_0) = crate::split::honest_split(&g, 1);
+        if let Some(rep) = audit_stages(&g, 1, &w1_0, &w2_0) {
+            assert!(rep.stage1.0.is_zero() && rep.stage1.1.is_zero());
+            assert!(rep.stage2.0.is_zero() && rep.stage2.1.is_zero());
+            assert!(rep.all_hold());
+        }
+    }
+}

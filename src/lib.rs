@@ -1,0 +1,7 @@
+//! Umbrella crate: re-exports the full `prs-core` API.
+//!
+//! See the README for the architecture overview and `prs_core` for the
+//! component documentation. The repo-root `examples/` and `tests/` belong
+//! to this crate.
+
+pub use prs_core::*;

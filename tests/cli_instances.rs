@@ -1,0 +1,90 @@
+//! The shipped sample instance files stay valid and analyzable.
+//!
+//! (The CLI parser itself is unit-tested inside `prs-cli`; this test keeps
+//! the `instances/` directory honest at the library level, mirroring what
+//! `prs <cmd> instances/<file>` does.)
+
+use prs::prelude::*;
+
+fn load(name: &str) -> String {
+    let path = format!("{}/instances/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(path).expect("instance file readable")
+}
+
+/// Minimal re-implementation of the CLI's `ring`/`graph` instance format
+/// for library-level validation (kept in sync with `prs-cli::parse`).
+fn parse(text: &str) -> Graph {
+    let mut kind = "";
+    let mut weights: Vec<Rational> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap().trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("weights:") {
+            weights = rest
+                .split_whitespace()
+                .map(|t| t.parse().expect("weight"))
+                .collect();
+        } else if let Some(rest) = line.strip_prefix("edges:") {
+            edges = rest
+                .split_whitespace()
+                .map(|t| {
+                    let (a, b) = t.split_once('-').expect("edge");
+                    (a.parse().unwrap(), b.parse().unwrap())
+                })
+                .collect();
+        } else {
+            kind = match line {
+                "ring" => "ring",
+                "path" => "path",
+                _ => "graph",
+            };
+        }
+    }
+    match kind {
+        "ring" => builders::ring(weights).unwrap(),
+        "path" => builders::path(weights).unwrap(),
+        _ => Graph::new(weights, &edges).unwrap(),
+    }
+}
+
+#[test]
+fn five_ring_is_the_quickstart_instance() {
+    let g = parse(&load("five_ring.prs"));
+    assert!(g.is_ring());
+    let bd = decompose(&g).unwrap();
+    assert_eq!(bd.utility(&g, 0), int(5));
+}
+
+#[test]
+fn lower_bound_instance_reaches_its_documented_ratio() {
+    let g = parse(&load("lower_bound_k6.prs"));
+    assert!(g.is_ring());
+    let out = best_sybil_split(&g, 1, &AttackConfig::default());
+    assert!(out.ratio.to_f64() > 1.96, "ζ = {}", out.ratio.to_f64());
+    assert!(out.ratio <= Rational::from_integer(2));
+}
+
+#[test]
+fn figure1_instance_matches_the_paper() {
+    let g = parse(&load("figure1.prs"));
+    let bd = decompose(&g).unwrap();
+    assert_eq!(bd.pairs()[0].alpha, ratio(1, 3));
+    assert_eq!(bd.pairs()[1].alpha, Rational::one());
+}
+
+#[test]
+fn star_instance_supports_general_attack() {
+    let g = parse(&load("star.prs"));
+    let out = prs::sybil::best_general_sybil(
+        &g,
+        0,
+        &prs::sybil::GeneralAttackConfig {
+            grid: 8,
+            max_copies: 3,
+        },
+    );
+    assert!(out.ratio <= Rational::from_integer(2));
+}

@@ -1,0 +1,101 @@
+//! Failure injection: the library must reject degenerate inputs with
+//! typed errors rather than wrong answers.
+
+use prs::prelude::*;
+
+#[test]
+fn graph_construction_rejections() {
+    use prs::graph::GraphError;
+    // Self-loop.
+    assert!(matches!(
+        Graph::new(vec![int(1), int(2)], &[(0, 0)]),
+        Err(GraphError::SelfLoop { .. })
+    ));
+    // Duplicate edge (either orientation).
+    assert!(matches!(
+        Graph::new(vec![int(1), int(2)], &[(0, 1), (1, 0)]),
+        Err(GraphError::DuplicateEdge { .. })
+    ));
+    // Out-of-range endpoint.
+    assert!(matches!(
+        Graph::new(vec![int(1)], &[(0, 3)]),
+        Err(GraphError::VertexOutOfRange { .. })
+    ));
+    // Negative weight.
+    assert!(matches!(
+        Graph::new(vec![ratio(-1, 2)], &[]),
+        Err(GraphError::NegativeWeight { .. })
+    ));
+    // Rings need ≥ 3 vertices.
+    assert!(builders::ring(vec![int(1), int(2)]).is_err());
+}
+
+#[test]
+fn decomposition_rejections() {
+    use prs::bd::BdError;
+    // Empty graph.
+    let empty = Graph::new(vec![], &[]).unwrap();
+    assert_eq!(decompose(&empty), Err(BdError::EmptyGraph));
+    // Isolated positive-weight agent → α = 0.
+    let isolated = Graph::new(vec![int(1), int(1), int(1)], &[(0, 1)]).unwrap();
+    assert!(matches!(decompose(&isolated), Err(BdError::ZeroAlpha { .. })));
+    // All-zero weights → undefined α everywhere.
+    let zeros = Graph::new(vec![int(0), int(0)], &[(0, 1)]).unwrap();
+    assert!(matches!(
+        decompose(&zeros),
+        Err(BdError::ZeroWeightResidue { .. })
+    ));
+}
+
+#[test]
+fn degenerate_split_boundaries_are_graceful() {
+    // w1 = 0 at a split is a legitimate boundary (Case C-2); the machinery
+    // must handle it without panicking.
+    let g = builders::ring(vec![int(4), int(2), int(3)]).unwrap();
+    let fam = prs::sybil::split::SybilSplitFamily::new(g, 0);
+    let payoff = fam.payoff(&Rational::zero());
+    if let Some((u1, u2)) = payoff {
+        assert_eq!(u1, Rational::zero(), "weightless identity earns nothing");
+        assert!(u2.is_positive());
+    }
+}
+
+#[test]
+fn zero_weight_agent_on_ring_is_supported() {
+    // A ring agent reporting 0 keeps the instance decomposable (its
+    // neighbors still have each other).
+    let g = builders::ring(vec![int(0), int(2), int(3), int(4)]).unwrap();
+    let bd = decompose(&g).unwrap();
+    assert_eq!(bd.utility(&g, 0), Rational::zero());
+    let alloc = allocate(&g, &bd);
+    alloc.check_budget_balance(&g).unwrap();
+}
+
+#[test]
+fn swarm_with_zero_capacity_agent() {
+    let g = builders::ring(vec![int(0), int(2), int(3), int(4)]).unwrap();
+    let mut swarm = Swarm::new(&g);
+    let m = swarm.run(&SwarmConfig {
+        max_rounds: 20_000,
+        tol: 1e-9,
+        record_trace: false,
+    });
+    assert!(m.converged);
+    assert!(m.utilities[0].abs() < 1e-9, "free riders download nothing at the fixed point");
+}
+
+#[test]
+fn attack_on_tiny_triangle() {
+    // Smallest possible ring; boundary splits hit degenerate paths and must
+    // be skipped, not crashed on.
+    let ring = prs::RingInstance::from_integers(&[1, 1, 1]).unwrap();
+    let out = ring.sybil_attack(
+        0,
+        &AttackConfig {
+            grid: 8,
+            zoom_levels: 2,
+            keep: 2,
+        },
+    );
+    assert_eq!(out.ratio, Rational::one());
+}

@@ -1,0 +1,84 @@
+//! Instance-family audits of every executable paper claim.
+//!
+//! `audit_paper_claims` bundles Prop. 3/6, Lemma 9, Thm. 10, Prop. 11,
+//! Lemmas 14/20, the stage lemmas and Theorem 8; these tests run it over
+//! structured and random families. A failure anywhere is a counterexample
+//! to a published claim.
+
+use prs::prelude::*;
+use prs::RingInstance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn quick_cfg() -> AttackConfig {
+    AttackConfig {
+        grid: 12,
+        zoom_levels: 2,
+        keep: 2,
+    }
+}
+
+#[test]
+fn audit_uniform_rings() {
+    for n in [3usize, 4, 5, 6, 7] {
+        let ring = RingInstance::from_integers(&vec![3; n]).unwrap();
+        let audit = audit_paper_claims(&ring, &quick_cfg(), 8);
+        assert!(audit.all_hold(), "uniform n={n}: {audit:?}");
+        assert_eq!(audit.max_ratio, Rational::one(), "symmetric ⇒ no gain");
+    }
+}
+
+#[test]
+fn audit_two_scale_rings() {
+    // Alternating heavy/light — the B/C class structure is extremal here.
+    for (a, b) in [(1i64, 2), (1, 10), (1, 100)] {
+        let ring = RingInstance::from_integers(&[a, b, a, b, a, b]).unwrap();
+        let audit = audit_paper_claims(&ring, &quick_cfg(), 8);
+        assert!(audit.all_hold(), "two-scale ({a},{b}): {audit:?}");
+    }
+}
+
+#[test]
+fn audit_random_rings() {
+    let mut rng = StdRng::seed_from_u64(31415);
+    for _ in 0..6 {
+        let n = rng.gen_range(3..=7);
+        let weights: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=15)).collect();
+        let ring = RingInstance::from_integers(&weights).unwrap();
+        let audit = audit_paper_claims(&ring, &quick_cfg(), 8);
+        assert!(audit.all_hold(), "random {weights:?}: {audit:?}");
+    }
+}
+
+#[test]
+fn audit_rational_weight_rings() {
+    let ring = RingInstance::new(vec![
+        ratio(1, 3),
+        ratio(7, 2),
+        ratio(2, 5),
+        ratio(9, 4),
+    ])
+    .unwrap();
+    let audit = audit_paper_claims(&ring, &quick_cfg(), 8);
+    assert!(audit.all_hold(), "{audit:?}");
+}
+
+#[test]
+fn audit_lower_bound_family() {
+    // The ζ → 2 family used by experiment E11: even at high scale
+    // separation every claim (including ζ ≤ 2) must keep holding.
+    for k in [2u32, 6] {
+        let g = prs::sybil::theorem8::lower_bound_ring(k);
+        let ring = RingInstance::new(g.weights().to_vec()).unwrap();
+        let audit = audit_paper_claims(&ring, &quick_cfg(), 8);
+        assert!(audit.all_hold(), "lower-bound k={k}: {audit:?}");
+    }
+}
+
+#[test]
+fn theorem8_never_violated_across_search() {
+    // Worst-case search also audits the bound at every evaluated instance.
+    let report = worst_case_search(4, 4, 1, 999, &quick_cfg(), 2);
+    assert!(report.upper_bound_holds);
+    assert!(report.best_ratio <= Rational::from_integer(2));
+}
