@@ -46,10 +46,7 @@ impl Allocation {
 
     fn edge_index(&self, u: VertexId, v: VertexId) -> Option<(usize, bool)> {
         let key = if u < v { (u, v) } else { (v, u) };
-        self.edges
-            .binary_search(&key)
-            .ok()
-            .map(|e| (e, u < v))
+        self.edges.binary_search(&key).ok().map(|e| (e, u < v))
     }
 
     /// `x_{uv}`: the amount `u` sends to `v`. Zero when `(u,v)` is not an
@@ -63,9 +60,7 @@ impl Allocation {
     }
 
     fn add_sent(&mut self, u: VertexId, v: VertexId, amount: &Rational) {
-        let (e, fwd) = self
-            .edge_index(u, v)
-            .expect("allocation on a non-edge");
+        let (e, fwd) = self.edge_index(u, v).expect("allocation on a non-edge");
         if fwd {
             self.forward[e] += amount;
         } else {
@@ -123,10 +118,7 @@ impl Allocation {
         for v in 0..self.n {
             let sent = self.sent_total(v);
             if &sent != g.weight(v) {
-                return Err(format!(
-                    "vertex {v} sends {sent} but owns {}",
-                    g.weight(v)
-                ));
+                return Err(format!("vertex {v} sends {sent} but owns {}", g.weight(v)));
             }
         }
         Ok(())
@@ -140,11 +132,13 @@ impl Allocation {
 pub fn allocate(g: &Graph, bd: &BottleneckDecomposition) -> Allocation {
     let mut alloc = Allocation::zeros(g);
     let one = Rational::one();
+    // One arena network rebuilt in place per pair (`clear` keeps storage).
+    let mut net = FlowNetwork::new(0);
     for pair in bd.pairs() {
         if pair.alpha == one {
-            allocate_terminal_pair(g, pair, &mut alloc);
+            allocate_terminal_pair(g, pair, &mut net, &mut alloc);
         } else {
-            allocate_regular_pair(g, pair, &mut alloc);
+            allocate_regular_pair(g, pair, &mut net, &mut alloc);
         }
     }
     alloc
@@ -154,12 +148,13 @@ pub fn allocate(g: &Graph, bd: &BottleneckDecomposition) -> Allocation {
 fn allocate_regular_pair(
     g: &Graph,
     pair: &crate::decomposition::BottleneckPair,
+    net: &mut FlowNetwork,
     alloc: &mut Allocation,
 ) {
     let b: Vec<VertexId> = pair.b.to_vec();
     let c: Vec<VertexId> = pair.c.to_vec();
     // Network nodes: 0 = s, 1 = t, 2.. = B members, then C members.
-    let mut net = FlowNetwork::new(2 + b.len() + c.len());
+    net.clear(2 + b.len() + c.len());
     let b_node = |i: usize| 2 + i;
     let c_node = |j: usize| 2 + b.len() + j;
     let c_pos: std::collections::HashMap<VertexId, usize> =
@@ -200,12 +195,13 @@ fn allocate_regular_pair(
 fn allocate_terminal_pair(
     g: &Graph,
     pair: &crate::decomposition::BottleneckPair,
+    net: &mut FlowNetwork,
     alloc: &mut Allocation,
 ) {
     let b: Vec<VertexId> = pair.b.to_vec();
     let pos: std::collections::HashMap<VertexId, usize> =
         b.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-    let mut net = FlowNetwork::new(2 + 2 * b.len());
+    net.clear(2 + 2 * b.len());
     let l_node = |i: usize| 2 + i;
     let r_node = |i: usize| 2 + b.len() + i;
 

@@ -24,7 +24,7 @@
 //! is exactly their union — see DESIGN.md §3.1 for the exchange argument.)
 
 use crate::error::BdError;
-use prs_flow::{Cap, FlowNetwork};
+use prs_flow::{stats, Cap, EdgeId, FlowNetwork, NetworkF64};
 use prs_graph::{Graph, VertexId, VertexSet};
 use prs_numeric::Rational;
 
@@ -245,11 +245,7 @@ fn feasibility_network(g: &Graph, alive: &VertexSet, alpha: &Rational) -> FlowNe
     let mut net = FlowNetwork::new(layout.nodes());
     for v in alive.iter() {
         net.add_edge(Layout::S, layout.left(v), Cap::Finite(g.weight(v).clone()));
-        net.add_edge(
-            layout.right(v),
-            Layout::T,
-            Cap::Finite(g.weight(v) / alpha),
-        );
+        net.add_edge(layout.right(v), Layout::T, Cap::Finite(g.weight(v) / alpha));
         for &u in g.neighbors(v) {
             if alive.contains(u) {
                 net.add_edge(layout.left(v), layout.right(u), Cap::Infinite);
@@ -260,8 +256,9 @@ fn feasibility_network(g: &Graph, alive: &VertexSet, alpha: &Rational) -> FlowNe
 }
 
 /// Find the maximal bottleneck of the induced subgraph on `alive` and its
-/// α-ratio, exactly.
-fn maximal_bottleneck(
+/// α-ratio, exactly — single-tier reference: every Dinkelbach step is an
+/// exact max-flow on a freshly built network.
+fn maximal_bottleneck_exact(
     g: &Graph,
     alive: &VertexSet,
     round: usize,
@@ -279,6 +276,7 @@ fn maximal_bottleneck(
     }
 
     loop {
+        stats::record_dinkelbach_iterations(1);
         let mut net = feasibility_network(g, alive, &alpha);
         let flow = net.max_flow(Layout::S, Layout::T);
         if flow == w_alive {
@@ -315,12 +313,265 @@ fn maximal_bottleneck(
     }
 }
 
+/// Paired exact + float feasibility networks for the two-tier engine.
+///
+/// Rebuilt **in place** when the alive set changes (one `clear` per
+/// decomposition round) and re-parameterized capacity-only between
+/// Dinkelbach steps: only the sink arcs `w_u/α` depend on α, so a step is
+/// `set_capacity` over the sink arcs plus `reset_flow` — no allocation.
+struct RoundNets {
+    exact: FlowNetwork,
+    approx: NetworkF64,
+    /// Per alive vertex: `(v, exact sink edge, f64 sink edge)`.
+    sink_edges: Vec<(VertexId, EdgeId, EdgeId)>,
+}
+
+impl RoundNets {
+    fn new(n_nodes: usize) -> Self {
+        RoundNets {
+            exact: FlowNetwork::new(n_nodes),
+            approx: NetworkF64::new(n_nodes),
+            sink_edges: Vec::new(),
+        }
+    }
+
+    /// Rebuild both networks for the induced subgraph on `alive` at `alpha`.
+    fn rebuild(&mut self, g: &Graph, alive: &VertexSet, alpha: &Rational) {
+        let layout = Layout { n: g.n() };
+        let alpha_f = alpha.to_f64();
+        self.exact.clear(layout.nodes());
+        self.approx.clear(layout.nodes());
+        self.sink_edges.clear();
+        for v in alive.iter() {
+            let w = g.weight(v);
+            self.exact
+                .add_edge(Layout::S, layout.left(v), Cap::Finite(w.clone()));
+            self.approx.add_edge(Layout::S, layout.left(v), w.to_f64());
+            let e = self
+                .exact
+                .add_edge(layout.right(v), Layout::T, Cap::Finite(w / alpha));
+            let a = self
+                .approx
+                .add_edge(layout.right(v), Layout::T, w.to_f64() / alpha_f);
+            self.sink_edges.push((v, e, a));
+            for &u in g.neighbors(v) {
+                if alive.contains(u) {
+                    self.exact
+                        .add_edge(layout.left(v), layout.right(u), Cap::Infinite);
+                    self.approx
+                        .add_edge(layout.left(v), layout.right(u), f64::INFINITY);
+                }
+            }
+        }
+    }
+
+    /// Re-parameterize the exact network to `alpha` (sink caps + flow reset).
+    fn set_alpha_exact(&mut self, g: &Graph, alpha: &Rational) {
+        for &(v, e, _) in &self.sink_edges {
+            self.exact.set_capacity(e, Cap::Finite(g.weight(v) / alpha));
+        }
+        self.exact.reset_flow();
+    }
+
+    /// Re-parameterize the float network to `alpha_f`.
+    fn set_alpha_f64(&mut self, g: &Graph, alpha_f: f64) {
+        for &(v, _, a) in &self.sink_edges {
+            self.approx.set_capacity(a, g.weight(v).to_f64() / alpha_f);
+        }
+        self.approx.reset_flow();
+    }
+}
+
+/// Tier 1: run the Dinkelbach descent on the float network and return a
+/// candidate bottleneck set, or `None` when the float loop stalls or
+/// produces nothing usable (the exact tier then starts from α₀ unchanged).
+///
+/// The parameter values fed to the float network are `to_f64` images of
+/// *exact* α-ratios of actual vertex sets, so the returned candidate always
+/// corresponds to a well-defined exact ratio for the certification pass.
+fn propose_f64(
+    g: &Graph,
+    alive: &VertexSet,
+    alpha0: &Rational,
+    nets: &mut RoundNets,
+) -> Option<VertexSet> {
+    let layout = Layout { n: g.n() };
+    let w_alive_f: f64 = alive.iter().map(|v| g.weight(v).to_f64()).sum();
+    let tol = 1e-9 * (1.0 + w_alive_f);
+    let mut alpha_f = alpha0.to_f64();
+    if alpha_f.is_nan() || alpha_f <= 0.0 {
+        return None; // α₀ underflowed: nothing useful to propose
+    }
+    let mut last_violating: Option<VertexSet> = None;
+
+    // The exact descent takes at most |alive| strictly decreasing steps;
+    // give the float loop the same budget plus slack, then give up.
+    for _ in 0..alive.len() + 4 {
+        nets.set_alpha_f64(g, alpha_f);
+        let flow = nets.approx.max_flow(Layout::S, Layout::T);
+        if flow >= w_alive_f - tol {
+            // Float-feasible: extract the unreachable set as the candidate
+            // maximal bottleneck. Empty (float α slipped strictly below the
+            // optimum, every source arc has slack) falls back to the last
+            // violating set.
+            let reaches = nets.approx.residual_reaches_sink(Layout::T);
+            let mut b = VertexSet::empty(g.n());
+            for v in alive.iter() {
+                if !reaches[layout.left(v)] {
+                    b.insert(v);
+                }
+            }
+            if !b.is_empty() {
+                return Some(b);
+            }
+            return last_violating;
+        }
+        let side = nets.approx.min_cut_source_side(Layout::S);
+        let mut s_set = VertexSet::empty(g.n());
+        for v in alive.iter() {
+            if side[layout.left(v)] {
+                s_set.insert(v);
+            }
+        }
+        if s_set.is_empty() {
+            return last_violating;
+        }
+        let new_alpha_f = g.alpha_ratio_in(&s_set, alive)?.to_f64();
+        if new_alpha_f.is_nan() || new_alpha_f <= 0.0 || new_alpha_f >= alpha_f {
+            // No float-visible progress (near-tie or rounding): stop and let
+            // the exact tier certify what we have.
+            return Some(s_set);
+        }
+        alpha_f = new_alpha_f;
+        last_violating = Some(s_set);
+    }
+    last_violating
+}
+
+/// Find the maximal bottleneck of the induced subgraph on `alive` — the
+/// two-tier engine.
+///
+/// Tier 1 ([`propose_f64`]) runs the Dinkelbach descent approximately and
+/// proposes a candidate set `B̂`; its **exact** ratio `α̂ = α(B̂)` seeds
+/// tier 2. Tier 2 is the unchanged exact descent: certify feasibility at
+/// the current α with one exact max-flow; on success extract the maximal
+/// tight set from the exact residual graph, otherwise read a violating set
+/// off the exact min cut and descend. Correctness is by construction:
+///
+/// * `α̂ = α(B̂) ≥ α* = min_S α(S)` for *any* set `B̂`, so seeding never
+///   undershoots;
+/// * if `α̂ = α*`, the first certification flow is feasible and extraction
+///   happens on the exact network at the exact optimum — identical to what
+///   the single-tier engine extracts (the maximal tight set is unique);
+/// * if `α̂ > α*`, certification fails and the exact descent proceeds as if
+///   it had started there — every subsequent step is exact.
+///
+/// The float tier can therefore change only *how fast* the optimum is
+/// reached (one exact flow on a hit instead of a full descent), never the
+/// result.
+fn maximal_bottleneck(
+    g: &Graph,
+    alive: &VertexSet,
+    round: usize,
+    nets: &mut RoundNets,
+) -> Result<(VertexSet, Rational), BdError> {
+    let layout = Layout { n: g.n() };
+    let w_alive = g.set_weight_of(alive);
+    debug_assert!(!w_alive.is_zero());
+
+    let alpha0 = g
+        .alpha_ratio_in(alive, alive)
+        .expect("w(alive) > 0 checked by caller");
+    if alpha0.is_zero() {
+        return Err(BdError::ZeroAlpha { round });
+    }
+    nets.rebuild(g, alive, &alpha0);
+
+    // Tier 1: float proposal, adopted only when its exact ratio is a valid
+    // descent seed (0 < α̂ ≤ 1; anything else keeps α₀).
+    let mut alpha = alpha0.clone();
+    let mut proposed = false;
+    if let Some(candidate) = propose_f64(g, alive, &alpha0, nets) {
+        if let Some(alpha_hat) = g.alpha_ratio_in(&candidate, alive) {
+            if alpha_hat.is_positive() && alpha_hat <= Rational::one() {
+                alpha = alpha_hat;
+                proposed = true;
+            }
+        }
+    }
+
+    // Tier 2: exact certification / descent.
+    let mut first = true;
+    loop {
+        stats::record_dinkelbach_iterations(1);
+        nets.set_alpha_exact(g, &alpha);
+        let flow = nets.exact.max_flow(Layout::S, Layout::T);
+        if flow == w_alive {
+            if proposed && first {
+                stats::record_fast_path_hits(1);
+            }
+            let reaches = nets.exact.residual_reaches_sink(Layout::T);
+            let mut b = VertexSet::empty(g.n());
+            for v in alive.iter() {
+                if !reaches[layout.left(v)] {
+                    b.insert(v);
+                }
+            }
+            debug_assert!(!b.is_empty(), "a tight set must exist at the optimum");
+            return Ok((b, alpha));
+        }
+        if proposed && first {
+            stats::record_fast_path_fallbacks(1);
+        }
+        first = false;
+        let side = nets.exact.min_cut_source_side(Layout::S);
+        let mut s_set = VertexSet::empty(g.n());
+        for v in alive.iter() {
+            if side[layout.left(v)] {
+                s_set.insert(v);
+            }
+        }
+        let new_alpha = g
+            .alpha_ratio_in(&s_set, alive)
+            .expect("violating sets have positive weight");
+        if new_alpha.is_zero() {
+            return Err(BdError::ZeroAlpha { round });
+        }
+        debug_assert!(
+            new_alpha < alpha,
+            "Dinkelbach step must strictly decrease α"
+        );
+        alpha = new_alpha;
+    }
+}
+
 /// Compute the bottleneck decomposition of `g` (Definition 2), exactly.
+///
+/// This is the two-tier engine: a floating-point Dinkelbach pass proposes
+/// each round's optimum, one exact max-flow certifies it, and any
+/// disagreement falls back to the exact descent — so the result is
+/// bit-identical to [`decompose_exact`] while typically an order of
+/// magnitude cheaper in exact arithmetic. Flow networks are rebuilt in
+/// place across rounds and re-parameterized capacity-only inside each
+/// round's descent.
 ///
 /// Errors on the degenerate inputs for which the decomposition is undefined:
 /// empty graphs, subgraphs whose minimum α-ratio is 0 (isolated
 /// positive-weight agents), or residues of total weight 0.
 pub fn decompose(g: &Graph) -> Result<BottleneckDecomposition, BdError> {
+    decompose_driver(g, true)
+}
+
+/// Compute the bottleneck decomposition with the single-tier exact engine:
+/// every Dinkelbach step is an exact max-flow on a freshly built network.
+///
+/// Kept as the reference implementation; `decompose` must agree with it on
+/// every input (asserted by the cross-engine property suite).
+pub fn decompose_exact(g: &Graph) -> Result<BottleneckDecomposition, BdError> {
+    decompose_driver(g, false)
+}
+
+fn decompose_driver(g: &Graph, two_tier: bool) -> Result<BottleneckDecomposition, BdError> {
     if g.n() == 0 {
         return Err(BdError::EmptyGraph);
     }
@@ -330,12 +581,16 @@ pub fn decompose(g: &Graph) -> Result<BottleneckDecomposition, BdError> {
     let mut pair_of = vec![usize::MAX; n];
     let mut class_of = vec![AgentClass::B; n];
     let mut round = 0;
+    let mut nets = two_tier.then(|| RoundNets::new(2 + 2 * n));
 
     while !alive.is_empty() {
         if g.set_weight_of(&alive).is_zero() {
             return Err(BdError::ZeroWeightResidue { round });
         }
-        let (b, alpha) = maximal_bottleneck(g, &alive, round)?;
+        let (b, alpha) = match &mut nets {
+            Some(nets) => maximal_bottleneck(g, &alive, round, nets)?,
+            None => maximal_bottleneck_exact(g, &alive, round)?,
+        };
         let c = g.neighborhood_in(&b, &alive);
         let one = Rational::one();
         debug_assert!(alpha <= one, "α(S) ≤ α(V) ≤ 1 on every subgraph");
@@ -528,10 +783,7 @@ mod tests {
     #[test]
     fn isolated_positive_vertex_is_zero_alpha_error() {
         let g = prs_graph::Graph::new(ints(&[1, 1, 1]), &[(0, 1)]).unwrap();
-        assert!(matches!(
-            decompose(&g),
-            Err(BdError::ZeroAlpha { .. })
-        ));
+        assert!(matches!(decompose(&g), Err(BdError::ZeroAlpha { .. })));
     }
 
     #[test]

@@ -41,8 +41,11 @@
 pub mod allocation;
 pub mod decomposition;
 pub mod error;
+pub mod par;
 pub mod reference;
 
-pub use allocation::{Allocation, allocate};
-pub use decomposition::{decompose, AgentClass, BottleneckDecomposition, BottleneckPair};
+pub use allocation::{allocate, Allocation};
+pub use decomposition::{
+    decompose, decompose_exact, AgentClass, BottleneckDecomposition, BottleneckPair,
+};
 pub use error::BdError;

@@ -1,0 +1,86 @@
+//! Deterministic parallel fan-out for decomposition consumers.
+//!
+//! The deviation sweep, the Sybil grid search, and the audit batches all
+//! fan the same shape of work out: `count` independent exact evaluations
+//! whose results must come back in input order (so downstream best-pick and
+//! interval assembly are bit-identical to a sequential run). This module
+//! centralizes the crossbeam scoped-thread idiom used by
+//! `prs-dynamics::parallel`: a shared atomic cursor hands out indices
+//! (work stealing), each worker writes into its index's slot, and the scope
+//! join makes the slots safe to drain in order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for `count` independent jobs: the machine's parallelism,
+/// capped by the job count, at least 1.
+pub fn worker_threads(count: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(count).max(1)
+}
+
+/// Evaluate `f(i)` for `i ∈ 0..count` across `threads` scoped workers and
+/// return the results **in index order**, independent of scheduling.
+///
+/// Falls back to a plain sequential map when a single worker suffices, so
+/// callers never pay thread spawn cost for tiny inputs.
+pub fn par_map_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    if threads == 1 {
+        return (0..count).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                // One uncontended lock per job, not per step: each index is
+                // handed to exactly one worker by the cursor.
+                *slots[i].lock().expect("slot poisoned") = Some(f(i));
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("cursor covered every index")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = par_map_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        assert_eq!(par_map_indexed(3, 1, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn worker_threads_bounds() {
+        assert_eq!(worker_threads(0), 1);
+        assert!(worker_threads(1000) >= 1);
+        assert!(worker_threads(2) <= 2);
+    }
+}

@@ -74,19 +74,29 @@ pub fn brute_force_decompose(g: &Graph) -> Result<BottleneckDecomposition, BdErr
         let c = g.neighborhood_in(&b, &alive);
         for v in b.iter() {
             pair_of[v] = round;
-            class_of[v] = if alpha == one { AgentClass::Both } else { AgentClass::B };
+            class_of[v] = if alpha == one {
+                AgentClass::Both
+            } else {
+                AgentClass::B
+            };
         }
         for v in c.iter() {
             if !b.contains(v) {
                 pair_of[v] = round;
-                class_of[v] = if alpha == one { AgentClass::Both } else { AgentClass::C };
+                class_of[v] = if alpha == one {
+                    AgentClass::Both
+                } else {
+                    AgentClass::C
+                };
             }
         }
         alive.subtract(&b.union(&c));
         pairs.push(BottleneckPair { b, c, alpha });
         round += 1;
     }
-    Ok(BottleneckDecomposition::from_parts(pairs, pair_of, class_of))
+    Ok(BottleneckDecomposition::from_parts(
+        pairs, pair_of, class_of,
+    ))
 }
 
 #[cfg(test)]

@@ -15,7 +15,9 @@ fn decomposition_scaling(c: &mut Criterion) {
         });
     }
     for n in [8usize, 16, 32] {
-        let graph = prs_bench::connected_family(9100 + n as u64, 1, n, 0.3).pop().unwrap();
+        let graph = prs_bench::connected_family(9100 + n as u64, 1, n, 0.3)
+            .pop()
+            .unwrap();
         g.bench_function(format!("gnp/n={n}"), |b| {
             b.iter(|| decompose(black_box(&graph)).unwrap())
         });
@@ -47,7 +49,11 @@ fn flow_kernel(c: &mut Criterion) {
                 let mut net = FlowNetwork::new(2 + 2 * n);
                 for i in 0..n {
                     net.add_edge(0, 2 + i, Cap::Finite(Rational::from_integer(1 + i as i64)));
-                    net.add_edge(2 + n + i, 1, Cap::Finite(Rational::from_integer(1 + i as i64)));
+                    net.add_edge(
+                        2 + n + i,
+                        1,
+                        Cap::Finite(Rational::from_integer(1 + i as i64)),
+                    );
                     net.add_edge(2 + i, 2 + n + i, Cap::Infinite);
                     net.add_edge(2 + i, 2 + n + (i + 1) % n, Cap::Infinite);
                 }
@@ -58,5 +64,10 @@ fn flow_kernel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, decomposition_scaling, allocation_scaling, flow_kernel);
+criterion_group!(
+    benches,
+    decomposition_scaling,
+    allocation_scaling,
+    flow_kernel
+);
 criterion_main!(benches);

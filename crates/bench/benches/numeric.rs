@@ -7,8 +7,16 @@ use std::hint::black_box;
 fn biguint_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("biguint");
     for limbs in [4usize, 32, 128] {
-        let a = BigUint::from_limbs((0..limbs as u32).map(|i| i.wrapping_mul(0x9E3779B9) | 1).collect());
-        let b = BigUint::from_limbs((0..limbs as u32).map(|i| i.wrapping_mul(0x85EBCA6B) | 1).collect());
+        let a = BigUint::from_limbs(
+            (0..limbs as u32)
+                .map(|i| i.wrapping_mul(0x9E3779B9) | 1)
+                .collect(),
+        );
+        let b = BigUint::from_limbs(
+            (0..limbs as u32)
+                .map(|i| i.wrapping_mul(0x85EBCA6B) | 1)
+                .collect(),
+        );
         g.bench_function(format!("mul/{limbs}limbs"), |bench| {
             bench.iter(|| black_box(&a) * black_box(&b))
         });
@@ -29,7 +37,9 @@ fn rational_ops(c: &mut Criterion) {
     let b = Rational::from_ratio(555_555_557, 333_333_331);
     g.bench_function("add", |bench| bench.iter(|| black_box(&a) + black_box(&b)));
     g.bench_function("mul", |bench| bench.iter(|| black_box(&a) * black_box(&b)));
-    g.bench_function("cmp", |bench| bench.iter(|| black_box(&a).cmp(black_box(&b))));
+    g.bench_function("cmp", |bench| {
+        bench.iter(|| black_box(&a).cmp(black_box(&b)))
+    });
     g.bench_function("sum_chain_100", |bench| {
         let terms: Vec<Rational> = (1..=100).map(|i| Rational::from_ratio(1, i)).collect();
         bench.iter_batched(

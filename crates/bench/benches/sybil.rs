@@ -55,5 +55,10 @@ fn whole_ring_audit(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, split_primitives, attack_optimization, whole_ring_audit);
+criterion_group!(
+    benches,
+    split_primitives,
+    attack_optimization,
+    whole_ring_audit
+);
 criterion_main!(benches);

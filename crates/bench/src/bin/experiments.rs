@@ -5,7 +5,13 @@
 //! ```text
 //! cargo run --release -p prs-bench --bin experiments           # all
 //! cargo run --release -p prs-bench --bin experiments e11       # one
+//! cargo run --release -p prs-bench --bin experiments bench     # BENCH_seed.json
 //! ```
+//!
+//! The `bench` target times the exact engine against the two-tier
+//! (float-prefiltered) engine and writes the measurements plus the
+//! flow-instrumentation counters to `BENCH_seed.json` (override the path
+//! with the `BENCH_JSON` environment variable).
 
 use prs_bench::{fmt_q, prop11_showcase, ring_family, Table};
 use prs_core::prelude::*;
@@ -71,6 +77,9 @@ fn main() {
     if run("e18") {
         e18_collusion();
     }
+    if run("bench") {
+        bench_two_tier();
+    }
 }
 
 fn header(id: &str, title: &str) {
@@ -79,7 +88,10 @@ fn header(id: &str, title: &str) {
 
 /// E1 — Fig. 1: the paper's worked bottleneck decomposition example.
 fn e1_figure1() {
-    header("E1", "Figure 1 — bottleneck decomposition of the example graph");
+    header(
+        "E1",
+        "Figure 1 — bottleneck decomposition of the example graph",
+    );
     let g = builders::figure1_example();
     let bd = decompose(&g).unwrap();
     let mut t = Table::new(&["pair", "B_i", "C_i", "α_i", "paper"]);
@@ -101,7 +113,10 @@ fn e1_figure1() {
 
 /// E2 — Proposition 3 invariants over randomized families.
 fn e2_prop3_invariants() {
-    header("E2", "Proposition 3 — decomposition invariants (randomized)");
+    header(
+        "E2",
+        "Proposition 3 — decomposition invariants (randomized)",
+    );
     let mut checked = 0usize;
     for n in [4usize, 6, 8, 12, 20] {
         for g in ring_family(42 + n as u64, 20, n, 1, 30) {
@@ -120,7 +135,10 @@ fn e2_prop3_invariants() {
 
 /// E3 — Definition 5 / Proposition 6: allocation feasibility + utilities.
 fn e3_allocation_prop6() {
-    header("E3", "Definition 5 + Proposition 6 — BD allocation exactness");
+    header(
+        "E3",
+        "Definition 5 + Proposition 6 — BD allocation exactness",
+    );
     let mut exact = 0usize;
     let mut total = 0usize;
     for n in [3usize, 5, 8, 13] {
@@ -143,11 +161,20 @@ fn e3_allocation_prop6() {
 /// E4 — convergence of the proportional response dynamics to the BD
 /// allocation (Wu–Zhang / Proposition 6).
 fn e4_dynamics_convergence() {
-    header("E4", "Proportional response convergence (target 1e-8, cap 1M rounds)");
+    header(
+        "E4",
+        "Proportional response convergence (target 1e-8, cap 1M rounds)",
+    );
     // Note: convergence is guaranteed (Wu–Zhang) but the *rate* degrades
     // when two bottleneck pairs have nearly-tied α-ratios; such instances
     // are reported by their residual error instead of failing the run.
-    let mut t = Table::new(&["n", "median rounds", "max rounds", "converged", "worst residual"]);
+    let mut t = Table::new(&[
+        "n",
+        "median rounds",
+        "max rounds",
+        "converged",
+        "worst residual",
+    ]);
     for n in [4usize, 8, 16, 32, 64] {
         let mut rounds: Vec<usize> = Vec::new();
         let mut converged = 0usize;
@@ -170,7 +197,9 @@ fn e4_dynamics_convergence() {
         rounds.sort_unstable();
         t.row(vec![
             n.to_string(),
-            rounds.get(rounds.len() / 2).map_or("—".into(), |r| r.to_string()),
+            rounds
+                .get(rounds.len() / 2)
+                .map_or("—".into(), |r| r.to_string()),
             rounds.last().map_or("—".into(), |r| r.to_string()),
             format!("{converged}/{count}"),
             format!("{worst_err:.2e}"),
@@ -185,7 +214,10 @@ fn e5_alpha_curves() {
     for (name, g, v) in prop11_showcase() {
         let fam = MisreportFamily::new(g.clone(), v);
         let case = classify_prop11(&fam, 25);
-        println!("\n  {name} — weights {:?}, agent {v}: {case:?}", g.weights());
+        println!(
+            "\n  {name} — weights {:?}, agent {v}: {case:?}",
+            g.weights()
+        );
         let res = sweep(
             &fam,
             &SweepConfig {
@@ -246,7 +278,11 @@ fn e7_breakpoint_events() {
     header("E7", "Figure 3 / Proposition 12 — breakpoint events");
     let g = builders::ring(vec![int(6), int(2), int(4), int(3), int(5)]).unwrap();
     let v = 0usize;
-    println!("  ring {:?}, agent {v} sweeps x ∈ [0, {}]", g.weights(), g.weight(v));
+    println!(
+        "  ring {:?}, agent {v} sweeps x ∈ [0, {}]",
+        g.weights(),
+        g.weight(v)
+    );
     let fam = MisreportFamily::new(g, v);
     let res = sweep(
         &fam,
@@ -297,7 +333,11 @@ fn e7_breakpoint_events() {
             e.x.as_ref().map_or("≈".into(), |q| q.to_string()),
             e.kind,
             e.focus_class_preserved,
-            if e.junction_identity_checked { "verified exactly" } else { "n/a" },
+            if e.junction_identity_checked {
+                "verified exactly"
+            } else {
+                "n/a"
+            },
         );
         assert!(e.focus_class_preserved);
     }
@@ -352,7 +392,10 @@ fn e9_lemma9() {
 
 /// E10 — stage lemmas 16/18/22/24 audited along optimal trajectories.
 fn e10_stage_audits() {
-    header("E10", "Stage lemmas — per-stage utility deltas along optimal attacks");
+    header(
+        "E10",
+        "Stage lemmas — per-stage utility deltas along optimal attacks",
+    );
     let cfg = AttackConfig {
         grid: 20,
         zoom_levels: 3,
@@ -376,7 +419,11 @@ fn e10_stage_audits() {
                                 checks_passed += 1;
                             }
                         }
-                        assert!(rep.all_hold(), "stage lemma violated on {:?} v={v}", g.weights());
+                        assert!(
+                            rep.all_hold(),
+                            "stage lemma violated on {:?} v={v}",
+                            g.weights()
+                        );
                     }
                     None => neutral += 1,
                 }
@@ -409,7 +456,10 @@ fn e11_theorem8() {
             }
         }
     }
-    println!("  (a) upper bound: {attacks} optimized attacks, all ζ_v ≤ 2 ✓ (max seen: {})", fmt_q(&max_seen));
+    println!(
+        "  (a) upper bound: {attacks} optimized attacks, all ζ_v ≤ 2 ✓ (max seen: {})",
+        fmt_q(&max_seen)
+    );
 
     // (b) Lower bound: search + the scale-separated family drive ζ toward 2.
     let mut t = Table::new(&["family", "best ζ found", "weights"]);
@@ -419,7 +469,14 @@ fn e11_theorem8() {
         t.row(vec![
             format!("search n={n}"),
             format!("{:.6}", rep.best_ratio.to_f64()),
-            format!("{:?} (v={})", rep.best_weights.iter().map(|w| w.to_f64()).collect::<Vec<_>>(), rep.best_vertex),
+            format!(
+                "{:?} (v={})",
+                rep.best_weights
+                    .iter()
+                    .map(|w| w.to_f64())
+                    .collect::<Vec<_>>(),
+                rep.best_vertex
+            ),
         ]);
     }
     for k in [2u32, 4, 6, 8, 10] {
@@ -431,7 +488,11 @@ fn e11_theorem8() {
         t.row(vec![
             format!("lower-bound k={k}"),
             format!("{:.6} (certified)", out.ratio.to_f64()),
-            format!("{:?} (v={})", g.weights().iter().map(|w| w.to_f64()).collect::<Vec<_>>(), LOWER_BOUND_AGENT),
+            format!(
+                "{:?} (v={})",
+                g.weights().iter().map(|w| w.to_f64()).collect::<Vec<_>>(),
+                LOWER_BOUND_AGENT
+            ),
         ]);
     }
     t.print();
@@ -440,13 +501,22 @@ fn e11_theorem8() {
 
 /// E12 — the published bound history vs what we measure.
 fn e12_bound_history() {
-    header("E12", "Bound history — empirical max ζ vs published upper bounds");
+    header(
+        "E12",
+        "Bound history — empirical max ζ vs published upper bounds",
+    );
     let cfg = AttackConfig {
         grid: 24,
         zoom_levels: 4,
         keep: 3,
     };
-    let mut t = Table::new(&["n", "empirical max ζ (search)", "[5] 2017", "[9] 2019", "this paper"]);
+    let mut t = Table::new(&[
+        "n",
+        "empirical max ζ (search)",
+        "[5] 2017",
+        "[9] 2019",
+        "this paper",
+    ]);
     for n in [4usize, 5, 6, 8] {
         let rep = worst_case_search(n, 16, 2, 31337 + n as u64, &cfg, 8);
         t.row(vec![
@@ -470,8 +540,19 @@ fn e13_protocol_level() {
         tol: 1e-12,
         record_trace: false,
     };
-    let mut t = Table::new(&["ring", "agent", "honest U", "attacked U", "protocol gain", "mechanism ζ"]);
-    for weights in [vec![6i64, 1, 4, 2, 5], vec![1, 8, 1, 8], vec![5, 1, 3, 1, 7, 2]] {
+    let mut t = Table::new(&[
+        "ring",
+        "agent",
+        "honest U",
+        "attacked U",
+        "protocol gain",
+        "mechanism ζ",
+    ]);
+    for weights in [
+        vec![6i64, 1, 4, 2, 5],
+        vec![1, 8, 1, 8],
+        vec![5, 1, 3, 1, 7, 2],
+    ] {
         let ring = RingInstance::from_integers(&weights).unwrap();
         let g = ring.graph();
         let v = 0usize;
@@ -510,8 +591,12 @@ fn e13_protocol_level() {
 /// partitions × weight simplex); any value above 2 would refute the
 /// conjecture. None has been found.
 fn e14_general_conjecture() {
+    use prs_core::bd::par::{par_map_indexed, worker_threads};
     use prs_core::sybil::{best_general_sybil, GeneralAttackConfig};
-    header("E14", "Conjecture — incentive ratio ≤ 2 on general networks");
+    header(
+        "E14",
+        "Conjecture — incentive ratio ≤ 2 on general networks",
+    );
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let cfg = GeneralAttackConfig {
@@ -520,31 +605,37 @@ fn e14_general_conjecture() {
     };
     let mut t = Table::new(&["family", "instances", "attacks", "max ζ lower bound"]);
     let mut push_family = |name: &str, graphs: Vec<Graph>| {
+        // Enumerate the attack sites first, then fan the independent
+        // optimizations out over scoped workers; results come back in site
+        // order, so the aggregation below is identical to a sequential run.
+        let sites: Vec<(usize, usize)> = graphs
+            .iter()
+            .enumerate()
+            .flat_map(|(gi, g)| {
+                (0..g.n().min(3))
+                    .filter(|&v| g.degree(v) >= 2) // Definition 7 needs m ≥ 2 ≤ d_v
+                    .map(move |v| (gi, v))
+            })
+            .collect();
+        let ratios = par_map_indexed(sites.len(), worker_threads(sites.len()), |i| {
+            let (gi, v) = sites[i];
+            best_general_sybil(&graphs[gi], v, &cfg).ratio
+        });
         let mut max_ratio = Rational::zero();
-        let mut attacks = 0usize;
-        let count = graphs.len();
-        for g in &graphs {
-            for v in 0..g.n().min(3) {
-                if g.degree(v) < 2 {
-                    continue; // Definition 7 needs m ≥ 2 ≤ d_v
-                }
-                let out = best_general_sybil(g, v, &cfg);
-                attacks += 1;
-                assert!(
-                    out.ratio <= Rational::from_integer(2),
-                    "CONJECTURE REFUTED on {name}: ζ = {} at v={v}, {:?}",
-                    out.ratio,
-                    g.weights()
-                );
-                if out.ratio > max_ratio {
-                    max_ratio = out.ratio;
-                }
+        for (&(gi, v), ratio) in sites.iter().zip(ratios) {
+            assert!(
+                ratio <= Rational::from_integer(2),
+                "CONJECTURE REFUTED on {name}: ζ = {ratio} at v={v}, {:?}",
+                graphs[gi].weights()
+            );
+            if ratio > max_ratio {
+                max_ratio = ratio;
             }
         }
         t.row(vec![
             name.into(),
-            count.to_string(),
-            attacks.to_string(),
+            graphs.len().to_string(),
+            sites.len().to_string(),
             format!("{:.6}", max_ratio.to_f64()),
         ]);
     };
@@ -554,12 +645,7 @@ fn e14_general_conjecture() {
         "stars (center attacks)",
         (0..4)
             .map(|i| {
-                builders::star(
-                    (0..5)
-                        .map(|j| int(1 + ((i + j) % 4) as i64))
-                        .collect(),
-                )
-                .unwrap()
+                builders::star((0..5).map(|j| int(1 + ((i + j) % 4) as i64)).collect()).unwrap()
             })
             .collect(),
     );
@@ -582,10 +668,7 @@ fn e14_general_conjecture() {
             .map(|_| prs_core::graph::random::random_connected(&mut rng, 7, 0.4, 1, 9))
             .collect(),
     );
-    push_family(
-        "rings n=5 (sanity)",
-        ring_family(1400, 4, 5, 1, 12),
-    );
+    push_family("rings n=5 (sanity)", ring_family(1400, 4, 5, 1, 12));
     t.print();
     println!("  no certified lower bound exceeded 2 — consistent with the conjecture ✓");
 }
@@ -597,16 +680,30 @@ fn e14_general_conjecture() {
 /// Theorem 8 must hold on each of the thousands of instances — this is the
 /// closest a finite machine gets to the theorem's ∀-quantifier.
 fn e15_exhaustive_small_rings() {
-    header("E15", "Exhaustive small rings — Theorem 8 with no sampling gaps");
+    header(
+        "E15",
+        "Exhaustive small rings — Theorem 8 with no sampling gaps",
+    );
     let cfg = AttackConfig {
         grid: 12,
         zoom_levels: 2,
         keep: 2,
     };
-    let mut t = Table::new(&["n", "W", "instances", "attacks", "max ζ", "argmax weights", "agent"]);
+    let mut t = Table::new(&[
+        "n",
+        "W",
+        "instances",
+        "attacks",
+        "max ζ",
+        "argmax weights",
+        "agent",
+    ]);
     for (n, w_max) in [(3usize, 6i64), (4, 4)] {
         let rep = prs_core::sybil::exhaustive_ring_audit(n, w_max, &cfg, 8);
-        assert!(rep.upper_bound_holds, "Theorem 8 violated in the exhaustive grid");
+        assert!(
+            rep.upper_bound_holds,
+            "Theorem 8 violated in the exhaustive grid"
+        );
         t.row(vec![
             n.to_string(),
             w_max.to_string(),
@@ -624,13 +721,24 @@ fn e15_exhaustive_small_rings() {
 /// E16 — the Eisenberg–Gale cross-validation: a convex-programming solver,
 /// knowing nothing of bottlenecks, reproduces the Proposition 6 utilities.
 fn e16_eisenberg_gale() {
-    header("E16", "Eisenberg–Gale program — third derivation of the equilibrium");
+    header(
+        "E16",
+        "Eisenberg–Gale program — third derivation of the equilibrium",
+    );
     use prs_core::eg::{solve, EgConfig};
-    let mut t = Table::new(&["family", "instances", "max rel. utility gap", "median iters"]);
+    let mut t = Table::new(&[
+        "family",
+        "instances",
+        "max rel. utility gap",
+        "median iters",
+    ]);
     for (name, graphs) in [
         ("rings n=5", ring_family(1600, 6, 5, 1, 9)),
         ("rings n=8", ring_family(1601, 4, 8, 1, 9)),
-        ("random graphs n=7", prs_bench::connected_family(1602, 4, 7, 0.35)),
+        (
+            "random graphs n=7",
+            prs_bench::connected_family(1602, 4, 7, 0.35),
+        ),
     ] {
         let mut max_gap = 0f64;
         let mut iters: Vec<usize> = Vec::new();
@@ -665,7 +773,10 @@ fn e16_eisenberg_gale() {
 /// attacker, as the Theorem 10 monotonicity intuition predicts.
 fn e17_withholding() {
     use prs_core::sybil::best_split_with_withholding;
-    header("E17", "Extension — Sybil + withholding (relaxed budget w₁+w₂ ≤ w_v)");
+    header(
+        "E17",
+        "Extension — Sybil + withholding (relaxed budget w₁+w₂ ≤ w_v)",
+    );
     let mut audited = 0usize;
     let mut helped = 0usize;
     for n in [4usize, 5, 6] {
@@ -695,18 +806,33 @@ fn e17_withholding() {
 /// E18 — extension: coalition of two Sybil attackers on one ring.
 fn e18_collusion() {
     use prs_core::sybil::best_collusion;
-    header("E18", "Extension — two-agent Sybil collusion (coalition ratio)");
-    let mut t = Table::new(&["ring", "agents", "joint honest", "best joint", "coalition ratio"]);
+    header(
+        "E18",
+        "Extension — two-agent Sybil collusion (coalition ratio)",
+    );
+    let mut t = Table::new(&[
+        "ring",
+        "agents",
+        "joint honest",
+        "best joint",
+        "coalition ratio",
+    ]);
     let mut max_ratio = Rational::zero();
     for g in ring_family(1800, 5, 5, 1, 10) {
         let (u, v) = (0usize, 2usize);
         let out = best_collusion(&g, u, v, 10);
-        assert!(out.coalition_ratio <= Rational::from_integer(2), "coalition beat 2!");
+        assert!(
+            out.coalition_ratio <= Rational::from_integer(2),
+            "coalition beat 2!"
+        );
         if out.coalition_ratio > max_ratio {
             max_ratio = out.coalition_ratio.clone();
         }
         t.row(vec![
-            format!("{:?}", g.weights().iter().map(|w| w.to_f64()).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                g.weights().iter().map(|w| w.to_f64()).collect::<Vec<_>>()
+            ),
             format!("({u},{v})"),
             format!("{:.4}", out.honest_joint.to_f64()),
             format!("{:.4}", out.best_joint.to_f64()),
@@ -733,4 +859,130 @@ fn e18_collusion() {
   single-attacker bound of 2 on every audited instance",
         max_ratio.to_f64()
     );
+}
+
+/// `bench` — the exact engine vs the two-tier (float-prefiltered) engine on
+/// the decomposition hot path, plus the flow-instrumentation counters,
+/// written to `BENCH_seed.json`.
+///
+/// Both engines return bit-identical decompositions (the float tier only
+/// proposes; an exact pass certifies — see DESIGN.md §3.1), so the timings
+/// compare two routes to the same answer. The "sybil" rows time the
+/// decomposition of split rings — the inner loop of every attack optimizer.
+fn bench_two_tier() {
+    use prs_core::bd::{decompose as decompose_two_tier, decompose_exact};
+    use prs_core::flow::stats;
+    use prs_core::sybil::SybilSplitFamily;
+    use std::time::Instant;
+
+    header(
+        "bench",
+        "two-tier vs exact decomposition engine → BENCH_seed.json",
+    );
+
+    fn median_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+        times[times.len() / 2]
+    }
+
+    let reps = std::env::var("BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(7);
+
+    // The measured workloads: rings (the paper's domain, the Criterion
+    // `decompose` bench shape) and the split rings the Sybil optimizer
+    // decomposes at every payoff evaluation.
+    let mut workloads: Vec<(String, Graph)> = Vec::new();
+    for n in [16usize, 32, 48, 64] {
+        let ring = ring_family(9000 + n as u64, 1, n, 1, 50).pop().unwrap();
+        workloads.push((format!("ring/n={n}"), ring));
+    }
+    for n in [32usize, 64] {
+        let ring = ring_family(9000 + n as u64, 1, n, 1, 50).pop().unwrap();
+        let fam = SybilSplitFamily::new(ring.clone(), 0);
+        let w1 = ring.weight(0) * &ratio(1, 3);
+        let w2 = ring.weight(0) - &w1;
+        let (split, _, _) = fam.path_at(&w1, &w2);
+        workloads.push((format!("sybil-split/n={n}"), split));
+    }
+
+    let mut t = Table::new(&[
+        "instance",
+        "exact ms",
+        "two-tier ms",
+        "speedup",
+        "fast-path hits",
+        "fallbacks",
+    ]);
+    let mut rows: Vec<String> = Vec::new();
+    for (name, g) in &workloads {
+        let want = decompose_exact(g).unwrap();
+        let got = decompose_two_tier(g).unwrap();
+        assert_eq!(want.shape(), got.shape(), "{name}: engines disagree");
+        let exact_ms = median_ms(reps, || decompose_exact(g).unwrap());
+        let before = stats::snapshot();
+        let two_tier_ms = median_ms(reps, || decompose_two_tier(g).unwrap());
+        let delta = stats::snapshot().since(&before);
+        let speedup = exact_ms / two_tier_ms;
+        t.row(vec![
+            name.clone(),
+            format!("{exact_ms:.3}"),
+            format!("{two_tier_ms:.3}"),
+            format!("{speedup:.2}×"),
+            delta.fast_path_hits.to_string(),
+            delta.fast_path_fallbacks.to_string(),
+        ]);
+        rows.push(format!(
+            concat!(
+                "    {{\"instance\": \"{}\", \"n\": {}, \"exact_ms\": {:.4}, ",
+                "\"two_tier_ms\": {:.4}, \"speedup\": {:.3}, \"stats\": {}}}"
+            ),
+            name,
+            g.n(),
+            exact_ms,
+            two_tier_ms,
+            speedup,
+            delta.to_json(),
+        ));
+    }
+    t.print();
+
+    // One end-to-end number: a full attack optimization (whose inner loop is
+    // thousands of split-ring decompositions) under the two-tier engine.
+    let ring = ring_family(9032, 1, 32, 1, 50).pop().unwrap();
+    let cfg = AttackConfig {
+        grid: 12,
+        zoom_levels: 2,
+        keep: 2,
+    };
+    let before = stats::snapshot();
+    let attack_ms = median_ms(3, || best_sybil_split(&ring, 0, &cfg));
+    let attack_stats = stats::snapshot().since(&before);
+    println!("  end-to-end Sybil attack (n=32, two-tier): {attack_ms:.1} ms/optimization");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"generated_by\": \"cargo run --release -p prs-bench --bin experiments bench\",\n",
+            "  \"reps_per_measurement\": {},\n",
+            "  \"engines\": [\n{}\n  ],\n",
+            "  \"sybil_attack_n32\": {{\"two_tier_ms\": {:.4}, \"stats\": {}}}\n",
+            "}}\n"
+        ),
+        reps,
+        rows.join(",\n"),
+        attack_ms,
+        attack_stats.to_json(),
+    );
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_seed.json".into());
+    std::fs::write(&path, json).expect("write BENCH_seed.json");
+    println!("  wrote {path}");
 }

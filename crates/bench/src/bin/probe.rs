@@ -1,11 +1,23 @@
 use prs_core::prelude::*;
 fn main() {
-    let cfg = AttackConfig { grid: 64, zoom_levels: 8, keep: 3 };
+    let cfg = AttackConfig {
+        grid: 64,
+        zoom_levels: 8,
+        keep: 3,
+    };
     // Family A: generalize n=6 winner [eps, eps, H, H, w, w] with v=4
     for k in [2i32, 4, 6, 8, 10, 12] {
         let eps = Rational::from_integer(2).pow(-k);
         let h = Rational::from_integer(2).pow(k);
-        let g = builders::ring(vec![eps.clone(), eps.clone(), h.clone(), h.clone(), int(1), int(1)]).unwrap();
+        let g = builders::ring(vec![
+            eps.clone(),
+            eps.clone(),
+            h.clone(),
+            h.clone(),
+            int(1),
+            int(1),
+        ])
+        .unwrap();
         let out = best_sybil_split(&g, 4, &cfg);
         println!("A k={k}: ratio = {:.8}", out.ratio_f64());
     }

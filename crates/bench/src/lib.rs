@@ -126,7 +126,7 @@ mod tests {
     #[test]
     fn showcase_instances_are_valid() {
         for (name, g, v) in prop11_showcase() {
-            assert!(g.n() > *&v, "{name}");
+            assert!(g.n() > v, "{name}");
             assert!(g.weights().iter().all(|w| w.is_positive()));
         }
     }

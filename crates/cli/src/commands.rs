@@ -84,7 +84,10 @@ pub fn cmd_dynamics(g: &Graph, eps: f64, out: &mut dyn Write) -> std::io::Result
 /// `prs attack`: optimize a Sybil attack for one ring agent.
 pub fn cmd_attack(g: &Graph, v: usize, out: &mut dyn Write) -> std::io::Result<()> {
     if !g.is_ring() {
-        writeln!(out, "error: `attack` requires a ring instance (use `general-attack`)")?;
+        writeln!(
+            out,
+            "error: `attack` requires a ring instance (use `general-attack`)"
+        )?;
         return Ok(());
     }
     if v >= g.n() {
@@ -114,7 +117,10 @@ pub fn cmd_general_attack(g: &Graph, v: usize, out: &mut dyn Write) -> std::io::
         return Ok(());
     }
     if g.degree(v) < 2 {
-        writeln!(out, "error: agent {v} has degree < 2; no Sybil split exists")?;
+        writeln!(
+            out,
+            "error: agent {v} has degree < 2; no Sybil split exists"
+        )?;
         return Ok(());
     }
     let outcome = best_general_sybil(g, v, &GeneralAttackConfig::default());
@@ -125,7 +131,11 @@ pub fn cmd_general_attack(g: &Graph, v: usize, out: &mut dyn Write) -> std::io::
     writeln!(
         out,
         "  identity weights    = {:?}",
-        outcome.best_weights.iter().map(|w| w.to_string()).collect::<Vec<_>>()
+        outcome
+            .best_weights
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
     )?;
     writeln!(
         out,
@@ -136,8 +146,11 @@ pub fn cmd_general_attack(g: &Graph, v: usize, out: &mut dyn Write) -> std::io::
     Ok(())
 }
 
-/// `prs audit`: the full paper-claim battery on a ring instance.
-pub fn cmd_audit(g: &Graph, out: &mut dyn Write) -> std::io::Result<()> {
+/// `prs audit`: the full paper-claim battery on a ring instance. With
+/// `stats = true`, also prints the flow-engine instrumentation counters
+/// accumulated while the battery ran (max-flows, Dinkelbach iterations,
+/// fast-path hit rate, arena reuse — see `prs_flow::stats`).
+pub fn cmd_audit(g: &Graph, stats: bool, out: &mut dyn Write) -> std::io::Result<()> {
     if !g.is_ring() {
         writeln!(out, "error: `audit` requires a ring instance")?;
         return Ok(());
@@ -149,6 +162,7 @@ pub fn cmd_audit(g: &Graph, out: &mut dyn Write) -> std::io::Result<()> {
             return Ok(());
         }
     };
+    let before = prs_core::flow::stats::snapshot();
     let audit = audit_paper_claims(
         &ring,
         &AttackConfig {
@@ -159,15 +173,59 @@ pub fn cmd_audit(g: &Graph, out: &mut dyn Write) -> std::io::Result<()> {
         12,
     );
     writeln!(out, "paper-claim audit:")?;
-    writeln!(out, "  Proposition 3 (invariants)      : {}", mark(audit.prop3))?;
-    writeln!(out, "  Proposition 6 (allocation)      : {}", mark(audit.prop6))?;
-    writeln!(out, "  Lemma 9 (honest split neutral)  : {}", mark(audit.lemma9))?;
-    writeln!(out, "  Theorem 10 (misreport monotone) : {}", mark(audit.theorem10))?;
-    writeln!(out, "  Proposition 11 (α monotone)     : {}", mark(audit.prop11))?;
-    writeln!(out, "  Lemmas 14/20 (path cases)       : {}", mark(audit.cases))?;
-    writeln!(out, "  Stage lemmas 16/18/22/24        : {}", mark(audit.stages))?;
-    writeln!(out, "  Theorem 8 (ζ ≤ 2)               : {}", mark(audit.theorem8))?;
-    writeln!(out, "  max ζ_v observed                : {} (≈{:.6})", audit.max_ratio, audit.max_ratio.to_f64())?;
+    writeln!(
+        out,
+        "  Proposition 3 (invariants)      : {}",
+        mark(audit.prop3)
+    )?;
+    writeln!(
+        out,
+        "  Proposition 6 (allocation)      : {}",
+        mark(audit.prop6)
+    )?;
+    writeln!(
+        out,
+        "  Lemma 9 (honest split neutral)  : {}",
+        mark(audit.lemma9)
+    )?;
+    writeln!(
+        out,
+        "  Theorem 10 (misreport monotone) : {}",
+        mark(audit.theorem10)
+    )?;
+    writeln!(
+        out,
+        "  Proposition 11 (α monotone)     : {}",
+        mark(audit.prop11)
+    )?;
+    writeln!(
+        out,
+        "  Lemmas 14/20 (path cases)       : {}",
+        mark(audit.cases)
+    )?;
+    writeln!(
+        out,
+        "  Stage lemmas 16/18/22/24        : {}",
+        mark(audit.stages)
+    )?;
+    writeln!(
+        out,
+        "  Theorem 8 (ζ ≤ 2)               : {}",
+        mark(audit.theorem8)
+    )?;
+    writeln!(
+        out,
+        "  max ζ_v observed                : {} (≈{:.6})",
+        audit.max_ratio,
+        audit.max_ratio.to_f64()
+    )?;
+    if stats {
+        let delta = prs_core::flow::stats::snapshot().since(&before);
+        writeln!(out, "flow-engine stats:")?;
+        for line in delta.render().lines() {
+            writeln!(out, "  {line}")?;
+        }
+    }
     Ok(())
 }
 
@@ -247,7 +305,8 @@ COMMANDS:
     general-attack <file> <vertex>   Definition 7 attack on any graph
     certified-attack <file> <vertex> symbolic (certified) attack optimum
     eg <file>                     Eisenberg–Gale solve vs Proposition 6
-    audit <file>                  run every paper-claim check on a ring
+    audit <file> [--stats]        run every paper-claim check on a ring
+                                  (--stats: print flow-engine counters)
 
 INSTANCE FILES:
     ring                          # or `path` / `graph`
@@ -317,9 +376,19 @@ mod tests {
 
     #[test]
     fn audit_prints_all_checks() {
-        let out = capture(|w| cmd_audit(&ring(), w));
+        let out = capture(|w| cmd_audit(&ring(), false, w));
         assert_eq!(out.matches(": ok").count(), 8, "{out}");
         assert!(!out.contains("VIOLATED"), "{out}");
+        assert!(!out.contains("flow-engine stats"), "{out}");
+    }
+
+    #[test]
+    fn audit_with_stats_prints_counters() {
+        let out = capture(|w| cmd_audit(&ring(), true, w));
+        assert_eq!(out.matches(": ok").count(), 8, "{out}");
+        assert!(out.contains("flow-engine stats"), "{out}");
+        assert!(out.contains("exact max-flows"), "{out}");
+        assert!(out.contains("fast-path"), "{out}");
     }
 
     #[test]

@@ -19,6 +19,8 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    let stats = args.iter().any(|a| a == "--stats");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--stats").cloned().collect();
     let Some(cmd) = args.first() else {
         return Err(commands::USAGE.to_string());
     };
@@ -51,7 +53,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "certified-attack" => commands::cmd_certified_attack(&graph, vertex_arg(2)?, &mut stdout),
         "eg" => commands::cmd_eg(&graph, &mut stdout),
         "general-attack" => commands::cmd_general_attack(&graph, vertex_arg(2)?, &mut stdout),
-        "audit" => commands::cmd_audit(&graph, &mut stdout),
+        "audit" => commands::cmd_audit(&graph, stats, &mut stdout),
         other => return Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
     };
     result.map_err(|e| format!("io error: {e}"))

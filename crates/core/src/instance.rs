@@ -152,11 +152,14 @@ mod tests {
     fn sybil_ratio_within_theorem8() {
         let r = RingInstance::from_integers(&[4, 1, 2, 8, 1]).unwrap();
         for v in 0..r.n() {
-            let out = r.sybil_attack(v, &AttackConfig {
-                grid: 16,
-                zoom_levels: 3,
-                keep: 2,
-            });
+            let out = r.sybil_attack(
+                v,
+                &AttackConfig {
+                    grid: 16,
+                    zoom_levels: 3,
+                    keep: 2,
+                },
+            );
             assert!(out.ratio >= Rational::one());
             assert!(out.ratio <= int(2));
         }
@@ -164,8 +167,8 @@ mod tests {
 
     #[test]
     fn rational_weights_work_end_to_end() {
-        let r = RingInstance::new(vec![ratio(1, 2), ratio(3, 4), ratio(5, 6), ratio(7, 8)])
-            .unwrap();
+        let r =
+            RingInstance::new(vec![ratio(1, 2), ratio(3, 4), ratio(5, 6), ratio(7, 8)]).unwrap();
         let (w1, w2) = r.honest_split(2);
         assert_eq!(&w1 + &w2, ratio(5, 6));
     }

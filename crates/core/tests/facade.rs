@@ -33,11 +33,14 @@ fn prelude_covers_the_full_workflow() {
     }
 
     // Sybil attack + case + audit.
-    let attack: SybilOutcome = ring.sybil_attack(0, &AttackConfig {
-        grid: 12,
-        zoom_levels: 2,
-        keep: 2,
-    });
+    let attack: SybilOutcome = ring.sybil_attack(
+        0,
+        &AttackConfig {
+            grid: 12,
+            zoom_levels: 2,
+            keep: 2,
+        },
+    );
     assert!(attack.ratio <= Rational::from_integer(2));
     let case = classify_initial_path(ring.graph(), 0);
     assert!(matches!(

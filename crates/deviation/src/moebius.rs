@@ -79,11 +79,7 @@ impl Moebius {
 ///
 /// Uses the family's weight model: `p = w(C)(x0) − slope(C)·x0`,
 /// `q = slope(C)`, and likewise for `B` — all exact rationals.
-pub fn pair_moebius<F: GraphFamily>(
-    fam: &F,
-    x0: &Rational,
-    pair_idx: usize,
-) -> Option<Moebius> {
+pub fn pair_moebius<F: GraphFamily>(fam: &F, x0: &Rational, pair_idx: usize) -> Option<Moebius> {
     let g = fam.graph_at(x0);
     let bd = decompose(&g).ok()?;
     let pair = bd.pairs().get(pair_idx)?;
@@ -215,10 +211,25 @@ mod tests {
 
     #[test]
     fn equality_root_rejects_parallel_and_quadratic() {
-        let f = Moebius { p: int(1), q: int(1), r: int(2), s: int(0) };
+        let f = Moebius {
+            p: int(1),
+            q: int(1),
+            r: int(2),
+            s: int(0),
+        };
         assert_eq!(f.equality_root(&f), None); // identical
-        let g = Moebius { p: int(0), q: int(1), r: int(1), s: int(1) };
-        let h = Moebius { p: int(1), q: int(1), r: int(1), s: int(0) };
+        let g = Moebius {
+            p: int(0),
+            q: int(1),
+            r: int(1),
+            s: int(1),
+        };
+        let h = Moebius {
+            p: int(1),
+            q: int(1),
+            r: int(1),
+            s: int(0),
+        };
         // g vs h: a = q_g·s_h − q_h·s_g = 0·? … compute: (0+x)(1+0x) vs
         // (1+x)(1+x): a = 1·0 − 1·1 = −1 ≠ 0 → quadratic → None.
         assert_eq!(g.equality_root(&h), None);
@@ -233,14 +244,28 @@ mod tests {
         let m = pair_moebius(&fam, &int(1), 0).unwrap();
         assert_eq!(m.eval(&int(1)).unwrap(), ratio(6, 9));
         assert_eq!(m.eval(&int(3)).unwrap(), ratio(8, 9));
-        assert_eq!(m, Moebius { p: int(5), q: int(1), r: int(9), s: int(0) });
+        assert_eq!(
+            m,
+            Moebius {
+                p: int(5),
+                q: int(1),
+                r: int(9),
+                s: int(0)
+            }
+        );
     }
 
     #[test]
     fn interval_models_verify_across_sweeps() {
         let g = builders::ring(ints(&[6, 2, 4, 3, 5])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(&fam, &SweepConfig { grid: 24, refine_bits: 20 });
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 24,
+                refine_bits: 20,
+            },
+        );
         for iv in &res.intervals {
             verify_interval(&fam, iv).unwrap();
         }
@@ -252,7 +277,13 @@ mod tests {
         // x = 4 — where α₀(x) = (5+x)/9 crosses 1.
         let g = builders::ring(ints(&[6, 2, 4, 3, 5])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(&fam, &SweepConfig { grid: 24, refine_bits: 22 });
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 24,
+                refine_bits: 22,
+            },
+        );
         assert_eq!(res.intervals.len(), 2);
         let bp = exact_breakpoint(&fam, &res.intervals[0], &res.intervals[1]);
         assert_eq!(bp, Some(int(4)));
@@ -264,7 +295,13 @@ mod tests {
         // α = 1/x ⇔ both meet 1).
         let g = builders::path(ints(&[1, 10])).unwrap();
         let fam = MisreportFamily::new(g, 1);
-        let res = sweep(&fam, &SweepConfig { grid: 24, refine_bits: 22 });
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 24,
+                refine_bits: 22,
+            },
+        );
         let bps = exact_breakpoints(&fam, &res);
         assert!(bps.iter().flatten().any(|b| b == &int(1)), "{bps:?}");
     }

@@ -141,7 +141,10 @@ mod tests {
         let fam = MisreportFamily::new(g, 1);
         match classify_prop11(&fam, 30) {
             Prop11Case::B3 { lo, hi } => {
-                assert!(lo <= int(1) && int(1) <= hi, "x* = 1 expected, got [{lo}, {hi}]");
+                assert!(
+                    lo <= int(1) && int(1) <= hi,
+                    "x* = 1 expected, got [{lo}, {hi}]"
+                );
             }
             other => panic!("expected B-3, got {other:?}"),
         }
@@ -156,7 +159,13 @@ mod tests {
         let g = builders::ring(ints(&[1, 10, 1, 10])).unwrap();
         let fam = MisreportFamily::new(g, 1);
         let case = classify_prop11(&fam, 20);
-        let res = sweep(&fam, &SweepConfig { grid: 40, refine_bits: 12 });
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 40,
+                refine_bits: 12,
+            },
+        );
         let series: Vec<_> = res
             .samples
             .iter()
@@ -165,12 +174,18 @@ mod tests {
             .collect();
         check_prop11_monotonicity(&series).unwrap();
         // The case must agree with the observed classes.
-        let any_b = series.iter().any(|(_, _, c)| matches!(c, prs_bd::AgentClass::B));
-        let any_c = series.iter().any(|(_, _, c)| matches!(c, prs_bd::AgentClass::C));
+        let any_b = series
+            .iter()
+            .any(|(_, _, c)| matches!(c, prs_bd::AgentClass::B));
+        let any_c = series
+            .iter()
+            .any(|(_, _, c)| matches!(c, prs_bd::AgentClass::C));
         match case {
             Prop11Case::B1 => assert!(!any_b),
             Prop11Case::B2 => assert!(!any_c),
-            Prop11Case::B3 { .. } => assert!(any_b && any_c || series.iter().any(|(_, a, _)| a == &int(1))),
+            Prop11Case::B3 { .. } => {
+                assert!(any_b && any_c || series.iter().any(|(_, a, _)| a == &int(1)))
+            }
         }
     }
 
@@ -181,7 +196,13 @@ mod tests {
             let g = random::random_ring(&mut rng, 6, 1, 10);
             for v in 0..3 {
                 let fam = MisreportFamily::new(g.clone(), v);
-                let res = sweep(&fam, &SweepConfig { grid: 24, refine_bits: 10 });
+                let res = sweep(
+                    &fam,
+                    &SweepConfig {
+                        grid: 24,
+                        refine_bits: 10,
+                    },
+                );
                 let series: Vec<_> = res
                     .samples
                     .iter()

@@ -9,6 +9,7 @@
 //! combinatorics.
 
 use crate::family::GraphFamily;
+use prs_bd::par::{par_map_indexed, worker_threads};
 use prs_bd::{decompose, AgentClass, BottleneckDecomposition};
 use prs_graph::VertexId;
 use prs_numeric::Rational;
@@ -110,9 +111,38 @@ fn sample<F: GraphFamily>(fam: &F, x: &Rational) -> Option<AlphaSample> {
     })
 }
 
+/// Bisect one grid cell whose endpoints disagree in shape, returning the
+/// refined `(left, right)` bracket samples.
+fn refine_cell<F: GraphFamily>(
+    fam: &F,
+    mut a: AlphaSample,
+    mut b: AlphaSample,
+    refine_bits: u32,
+) -> (AlphaSample, AlphaSample) {
+    for _ in 0..refine_bits {
+        let mid_x = a.x.midpoint(&b.x);
+        let Some(mid) = sample(fam, &mid_x) else {
+            break; // interior degeneracy: stop refining this cell
+        };
+        if mid.bd.shape() == a.bd.shape() {
+            a = mid;
+        } else {
+            // The midpoint may match b's shape or be a third shape (two
+            // breakpoints in the cell); either way the left boundary of
+            // "not a's shape" lies in [a, mid].
+            b = mid;
+        }
+    }
+    (a, b)
+}
+
 /// Sweep a one-parameter family: exact decompositions on a uniform grid,
 /// exact bisection where the shape changes.
-pub fn sweep<F: GraphFamily>(fam: &F, cfg: &SweepConfig) -> SweepResult {
+///
+/// Every evaluation is independent, so both passes fan out over scoped
+/// worker threads; results are reassembled in parameter order, making the
+/// output identical to a sequential sweep.
+pub fn sweep<F: GraphFamily + Sync>(fam: &F, cfg: &SweepConfig) -> SweepResult {
     let (lo, hi) = fam.domain();
     assert!(lo < hi, "degenerate domain");
     let grid = cfg.grid.max(1);
@@ -120,13 +150,14 @@ pub fn sweep<F: GraphFamily>(fam: &F, cfg: &SweepConfig) -> SweepResult {
 
     // Grid pass (boundary points where the decomposition is undefined are
     // skipped — see `sample`).
-    let mut samples: Vec<AlphaSample> = Vec::with_capacity(grid + 1);
-    for i in 0..=grid {
-        let x = &lo + &(&width * &Rational::from_integer(i as i64));
-        if let Some(s) = sample(fam, &x) {
-            samples.push(s);
-        }
-    }
+    let xs: Vec<Rational> = (0..=grid)
+        .map(|i| &lo + &(&width * &Rational::from_integer(i as i64)))
+        .collect();
+    let mut samples: Vec<AlphaSample> =
+        par_map_indexed(xs.len(), worker_threads(xs.len()), |i| sample(fam, &xs[i]))
+            .into_iter()
+            .flatten()
+            .collect();
     assert!(
         !samples.is_empty(),
         "family undecomposable on the whole sampled domain"
@@ -135,29 +166,19 @@ pub fn sweep<F: GraphFamily>(fam: &F, cfg: &SweepConfig) -> SweepResult {
     // Bisection pass: localize boundaries inside cells whose endpoints have
     // different shapes. (A cell hiding ≥ 2 breakpoints with identical outer
     // shapes is resolved only if the grid is fine enough — documented
-    // limitation; raise `grid` for adversarial families.)
+    // limitation; raise `grid` for adversarial families.) Cells refine
+    // independently, one worker each.
+    let cells: Vec<(AlphaSample, AlphaSample)> = samples
+        .windows(2)
+        .filter(|w| w[0].bd.shape() != w[1].bd.shape())
+        .map(|w| (w[0].clone(), w[1].clone()))
+        .collect();
+    let refined = par_map_indexed(cells.len(), worker_threads(cells.len()), |i| {
+        let (a, b) = cells[i].clone();
+        refine_cell(fam, a, b, cfg.refine_bits)
+    });
     let mut extra: Vec<AlphaSample> = Vec::new();
-    for w in samples.windows(2) {
-        let (l, r) = (&w[0], &w[1]);
-        if l.bd.shape() == r.bd.shape() {
-            continue;
-        }
-        let mut a = l.clone();
-        let mut b = r.clone();
-        for _ in 0..cfg.refine_bits {
-            let mid_x = a.x.midpoint(&b.x);
-            let Some(mid) = sample(fam, &mid_x) else {
-                break; // interior degeneracy: stop refining this cell
-            };
-            if mid.bd.shape() == a.bd.shape() {
-                a = mid;
-            } else {
-                // The midpoint may match b's shape or be a third shape (two
-                // breakpoints in the cell); either way the left boundary of
-                // "not a's shape" lies in [a, mid].
-                b = mid;
-            }
-        }
+    for (a, b) in refined {
         extra.push(a);
         extra.push(b);
     }
@@ -208,7 +229,13 @@ mod tests {
         // α({0}) = 4/x ≥ 4 — B = {1} always, shape constant.
         let g = builders::path(ints(&[1, 4])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(&fam, &SweepConfig { grid: 8, refine_bits: 10 });
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 8,
+                refine_bits: 10,
+            },
+        );
         assert_eq!(res.intervals.len(), 1);
         assert!(res.breakpoints().is_empty());
     }
@@ -222,7 +249,13 @@ mod tests {
         // localize it tightly.
         let g = builders::path(ints(&[1, 10])).unwrap();
         let fam = MisreportFamily::new(g, 1);
-        let res = sweep(&fam, &SweepConfig { grid: 24, refine_bits: 25 });
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 24,
+                refine_bits: 25,
+            },
+        );
         assert!(res.intervals.len() >= 2, "expected a shape change");
         // The breakpoint estimate brackets x* = 1 within the refinement width.
         let bps = res.breakpoints();
@@ -242,7 +275,13 @@ mod tests {
     fn samples_are_sorted_and_unique() {
         let g = builders::ring(ints(&[3, 1, 4, 1, 5])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(&fam, &SweepConfig { grid: 16, refine_bits: 12 });
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 16,
+                refine_bits: 12,
+            },
+        );
         for w in res.samples.windows(2) {
             assert!(w[0].x < w[1].x);
         }
@@ -252,7 +291,13 @@ mod tests {
     fn utilities_in_sweep_match_direct_decomposition() {
         let g = builders::ring(ints(&[2, 5, 3, 7])).unwrap();
         let fam = MisreportFamily::new(g.clone(), 1);
-        let res = sweep(&fam, &SweepConfig { grid: 10, refine_bits: 4 });
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 10,
+                refine_bits: 4,
+            },
+        );
         for s in &res.samples {
             let g_x = g.with_weight(1, s.x.clone());
             let bd = prs_bd::decompose(&g_x).unwrap();

@@ -85,7 +85,13 @@ mod tests {
 
     fn check(g: prs_graph::Graph, v: usize) -> Theorem10Report {
         let fam = MisreportFamily::new(g, v);
-        let res = sweep(&fam, &SweepConfig { grid: 32, refine_bits: 24 });
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 32,
+                refine_bits: 24,
+            },
+        );
         check_theorem10_monotonicity(&fam, &res)
     }
 
@@ -95,7 +101,11 @@ mod tests {
             for v in 0..3 {
                 let g = builders::path(ints(&weights)).unwrap();
                 let rep = check(g, v);
-                assert!(rep.monotone, "violation {:?} on {weights:?} v={v}", rep.violation);
+                assert!(
+                    rep.monotone,
+                    "violation {:?} on {weights:?} v={v}",
+                    rep.violation
+                );
             }
         }
     }
@@ -107,7 +117,12 @@ mod tests {
             let g = random::random_ring(&mut rng, 7, 1, 12);
             for v in [0usize, 3] {
                 let rep = check(g.clone(), v);
-                assert!(rep.monotone, "violation {:?} on {:?} v={v}", rep.violation, g.weights());
+                assert!(
+                    rep.monotone,
+                    "violation {:?} on {:?} v={v}",
+                    rep.violation,
+                    g.weights()
+                );
             }
         }
     }
@@ -118,7 +133,13 @@ mod tests {
         // just require they are already tiny at 24 bits.
         let g = builders::ring(ints(&[6, 2, 4, 3, 5])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(&fam, &SweepConfig { grid: 32, refine_bits: 24 });
+        let res = sweep(
+            &fam,
+            &SweepConfig {
+                grid: 32,
+                refine_bits: 24,
+            },
+        );
         let rep = check_theorem10_monotonicity(&fam, &res);
         assert!(rep.monotone);
         assert!(

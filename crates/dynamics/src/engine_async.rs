@@ -106,16 +106,16 @@ impl AsyncEngine {
             // Receipts right now.
             let mut incoming = vec![0.0; d];
             let mut total = 0.0;
-            for i in 0..d {
+            for (i, slot) in incoming.iter_mut().enumerate() {
                 let u = self.adj[v][i];
                 let amt = self.x[u][self.rev[v][i]];
-                incoming[i] = amt;
+                *slot = amt;
                 total += amt;
             }
             if total > 0.0 {
                 let scale = self.w[v] / total;
-                for i in 0..d {
-                    self.x[v][i] = incoming[i] * scale;
+                for (slot, &amt) in self.x[v].iter_mut().zip(&incoming) {
+                    *slot = amt * scale;
                 }
             } else {
                 for slot in self.x[v].iter_mut() {
@@ -128,7 +128,12 @@ impl AsyncEngine {
 
     /// Run sweeps until utilities are within `eps` of `target` (relative)
     /// or the cap is hit. Returns `(converged, sweeps_used)`.
-    pub fn run_until_close(&mut self, target: &[f64], eps: f64, max_sweeps: usize) -> (bool, usize) {
+    pub fn run_until_close(
+        &mut self,
+        target: &[f64],
+        eps: f64,
+        max_sweeps: usize,
+    ) -> (bool, usize) {
         let err = |u: &[f64]| {
             u.iter()
                 .zip(target)
@@ -175,7 +180,11 @@ mod tests {
             // Tolerance matched to the worst case: α = 1 instances converge
             // only sublinearly (~1/t), same as the synchronous engine.
             let (ok, sweeps) = eng.run_until_close(&t, 1e-5, 500_000);
-            assert!(ok, "async round-robin failed on {:?} after {sweeps}", g.weights());
+            assert!(
+                ok,
+                "async round-robin failed on {:?} after {sweeps}",
+                g.weights()
+            );
         }
     }
 

@@ -88,16 +88,16 @@ impl ExactEngine {
     /// One exact round of equation (1).
     pub fn step(&mut self) {
         let mut x_next = self.x.clone();
-        for v in 0..self.adj.len() {
+        for (v, x_next_v) in x_next.iter_mut().enumerate() {
             let total = &self.received[v];
             if total.is_positive() {
                 let scale = &self.w[v] / total;
                 for (i, &u) in self.adj[v].iter().enumerate() {
-                    x_next[v][i] = &self.x[u][self.rev[v][i]] * &scale;
+                    x_next_v[i] = &self.x[u][self.rev[v][i]] * &scale;
                 }
             } else {
                 let d = Rational::from_integer(self.adj[v].len().max(1) as i64);
-                for slot in x_next[v].iter_mut() {
+                for slot in x_next_v.iter_mut() {
                     *slot = &self.w[v] / &d;
                 }
             }

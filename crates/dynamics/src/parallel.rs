@@ -34,8 +34,9 @@ pub fn convergence_sweep(
     let mut results: Vec<Option<SweepResult>> = vec![None; instances.len()];
     // Hand each worker a disjoint view of the results via split_at_mut-style
     // slot distribution: collect into per-index cells.
-    let cells: Vec<parking_lot_free::Cell<SweepResult>> =
-        (0..instances.len()).map(|_| parking_lot_free::Cell::new()).collect();
+    let cells: Vec<parking_lot_free::Cell<SweepResult>> = (0..instances.len())
+        .map(|_| parking_lot_free::Cell::new())
+        .collect();
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
@@ -60,7 +61,10 @@ pub fn convergence_sweep(
     for (i, cell) in cells.into_iter().enumerate() {
         results[i] = cell.take();
     }
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// A minimal one-shot cell: written at most once by exactly one worker (the
@@ -115,7 +119,11 @@ mod tests {
         let results = convergence_sweep(&instances, 1e-7, 200_000, 4);
         assert_eq!(results.len(), 16);
         for r in &results {
-            assert!(r.report.converged, "instance {} failed: {:?}", r.instance, r.report);
+            assert!(
+                r.report.converged,
+                "instance {} failed: {:?}",
+                r.instance, r.report
+            );
         }
     }
 

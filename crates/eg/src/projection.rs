@@ -11,7 +11,10 @@
 pub fn project_to_simplex(v: &[f64], budget: f64) -> Vec<f64> {
     assert!(budget >= 0.0, "negative budget");
     if v.is_empty() {
-        assert!(budget == 0.0, "cannot place positive budget on no coordinates");
+        assert!(
+            budget == 0.0,
+            "cannot place positive budget on no coordinates"
+        );
         return Vec::new();
     }
     if budget == 0.0 {
@@ -95,8 +98,12 @@ mod tests {
                 let total: f64 = p.iter().sum();
                 assert!((total - budget).abs() < 1e-9, "not on simplex");
                 assert!(p.iter().all(|&x| x >= 0.0), "negative coordinate");
-                let dist =
-                    |a: &[f64]| a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum::<f64>();
+                let dist = |a: &[f64]| {
+                    a.iter()
+                        .zip(&v)
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                };
                 // Compare against a few feasible points.
                 let mut q: Vec<f64> = (0..n).map(|_| next().abs()).collect();
                 let qs: f64 = q.iter().sum();

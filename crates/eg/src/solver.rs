@@ -56,9 +56,9 @@ pub struct EgSolution {
 
 fn utilities(g: &Graph, x: &[Vec<f64>]) -> Vec<f64> {
     let mut u = vec![0.0; g.n()];
-    for v in 0..g.n() {
+    for (v, xv) in x.iter().enumerate() {
         for (i, &nb) in g.neighbors(v).iter().enumerate() {
-            u[nb] += x[v][i];
+            u[nb] += xv[i];
         }
     }
     u

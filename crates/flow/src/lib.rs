@@ -18,6 +18,16 @@
 //!   residual path *to* `t`, used to extract the maximal tight set
 //!   (= maximal bottleneck).
 
+//!
+//! The exact engine is complemented by [`NetworkF64`], a floating-point
+//! mirror used by the two-tier Dinkelbach driver in `prs-bd` to *propose*
+//! candidate parameters that a single exact flow then certifies, and by
+//! [`stats`], process-wide counters over both engines (`prs audit --stats`).
+
 pub mod network;
+pub mod network_f64;
+pub mod stats;
 
 pub use network::{Cap, EdgeId, FlowNetwork, NodeId};
+pub use network_f64::NetworkF64;
+pub use stats::FlowStats;

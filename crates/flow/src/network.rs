@@ -1,5 +1,6 @@
 //! Dinic's maximum-flow algorithm with exact rational capacities.
 
+use crate::stats;
 use prs_numeric::Rational;
 use std::collections::VecDeque;
 
@@ -72,6 +73,7 @@ const UNREACHED: u32 = u32::MAX;
 impl FlowNetwork {
     /// A network with `n` nodes and no arcs.
     pub fn new(n: usize) -> Self {
+        stats::record_networks_built(1);
         FlowNetwork {
             arcs: Vec::new(),
             adj: vec![Vec::new(); n],
@@ -83,6 +85,29 @@ impl FlowNetwork {
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.adj.len()
+    }
+
+    /// Drop all arcs and resize to `n` nodes, keeping every allocation so
+    /// the next build reuses arc storage (arena reuse across decomposition
+    /// rounds and sweep evaluations).
+    pub fn clear(&mut self, n: usize) {
+        stats::record_networks_reused(1);
+        self.arcs.clear();
+        self.adj.iter_mut().for_each(|a| a.clear());
+        self.adj.resize_with(n, Vec::new);
+        self.level.clear();
+        self.level.resize(n, UNREACHED);
+        self.iter.clear();
+        self.iter.resize(n, 0);
+    }
+
+    /// Replace the capacity of forward edge `id` without touching topology —
+    /// the Dinkelbach loop updates only the sink arcs `w_u/α` between
+    /// parameter values. Call [`reset_flow`](Self::reset_flow) before the
+    /// next [`max_flow`](Self::max_flow).
+    pub fn set_capacity(&mut self, id: EdgeId, cap: Cap) {
+        debug_assert_eq!(id % 2, 0, "capacities live on forward arcs");
+        self.arcs[id].cap = cap;
     }
 
     /// Add a directed edge `from → to` with the given capacity; returns its id.
@@ -125,6 +150,7 @@ impl FlowNetwork {
     }
 
     fn bfs_levels(&mut self, s: NodeId) {
+        stats::record_exact_bfs_phases(1);
         self.level.iter_mut().for_each(|l| *l = UNREACHED);
         self.level[s] = 0;
         let mut q = VecDeque::new();
@@ -140,41 +166,61 @@ impl FlowNetwork {
         }
     }
 
-    /// DFS a single augmenting path in the level graph; returns the amount
-    /// pushed (`None` = +∞ bottleneck is impossible because the path ends at
-    /// `t` through at least the source arcs, so a finite value or zero).
-    fn dfs_augment(&mut self, v: NodeId, t: NodeId, limit: Option<Rational>) -> Rational {
-        if v == t {
-            return limit.expect("an s→t path must pass a finite-capacity arc");
-        }
-        while self.iter[v] < self.adj[v].len() {
-            let aid = self.adj[v][self.iter[v]];
-            let (to, residual) = {
-                let a = &self.arcs[aid];
-                (a.to, a.residual())
-            };
-            let usable = match &residual {
-                Some(r) if r.is_zero() => false,
-                _ => true,
-            };
-            if usable && self.level[to] == self.level[v] + 1 {
-                let new_limit = match (&limit, &residual) {
-                    (None, None) => None,
-                    (Some(l), None) => Some(l.clone()),
-                    (None, Some(r)) => Some(r.clone()),
-                    (Some(l), Some(r)) => Some(if l <= r { l.clone() } else { r.clone() }),
-                };
-                let pushed = self.dfs_augment(to, t, new_limit);
-                if !pushed.is_zero() {
+    /// Find one augmenting path in the level graph and push flow along it;
+    /// returns the amount pushed (zero when no path remains this phase).
+    ///
+    /// Iterative with an explicit arc stack: path lengths are bounded only by
+    /// the node count, so recursion would overflow the thread stack on long
+    /// chains (n ≳ 10⁴).
+    fn dfs_augment(&mut self, s: NodeId, t: NodeId) -> Rational {
+        let mut path: Vec<usize> = Vec::new();
+        let mut v = s;
+        loop {
+            if v == t {
+                // Bottleneck = min finite residual along the path. Every
+                // s→t path crosses a finite arc, so the min exists.
+                let mut limit: Option<Rational> = None;
+                for &aid in &path {
+                    if let Some(r) = self.arcs[aid].residual() {
+                        limit = Some(match limit {
+                            Some(l) if l <= r => l,
+                            _ => r,
+                        });
+                    }
+                }
+                let pushed = limit.expect("an s→t path must pass a finite-capacity arc");
+                for &aid in &path {
                     self.arcs[aid].flow += &pushed;
-                    let rev = aid ^ 1;
-                    self.arcs[rev].flow -= &pushed;
-                    return pushed;
+                    self.arcs[aid ^ 1].flow -= &pushed;
+                }
+                stats::record_exact_augmenting_paths(1);
+                return pushed;
+            }
+            // Advance v's per-phase arc cursor to the next usable level arc.
+            let mut advanced = false;
+            while self.iter[v] < self.adj[v].len() {
+                let aid = self.adj[v][self.iter[v]];
+                let a = &self.arcs[aid];
+                if a.has_residual() && self.level[a.to] == self.level[v] + 1 {
+                    path.push(aid);
+                    v = a.to;
+                    advanced = true;
+                    break;
+                }
+                self.iter[v] += 1;
+            }
+            if !advanced {
+                // Dead end: retreat one step and skip the arc that led here.
+                match path.pop() {
+                    Some(aid) => {
+                        let parent = self.arcs[aid ^ 1].to;
+                        self.iter[parent] += 1;
+                        v = parent;
+                    }
+                    None => return Rational::zero(),
                 }
             }
-            self.iter[v] += 1;
         }
-        Rational::zero()
     }
 
     /// Compute the maximum `s → t` flow (exact). The network must not contain
@@ -182,6 +228,7 @@ impl FlowNetwork {
     /// (every path crosses a finite source or sink arc).
     pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> Rational {
         assert_ne!(s, t, "source equals sink");
+        stats::record_exact_max_flows(1);
         let mut total = Rational::zero();
         loop {
             self.bfs_levels(s);
@@ -190,7 +237,7 @@ impl FlowNetwork {
             }
             self.iter.iter_mut().for_each(|i| *i = 0);
             loop {
-                let pushed = self.dfs_augment(s, t, None);
+                let pushed = self.dfs_augment(s, t);
                 if pushed.is_zero() {
                     break;
                 }
@@ -251,13 +298,14 @@ impl FlowNetwork {
         reaches
     }
 
-    /// Sum of flow leaving `s` (= the max-flow value after a run).
+    /// Net flow leaving `s` over forward arcs: flow on edges `s → ·` minus
+    /// flow on edges `· → s`. After [`max_flow`](Self::max_flow) this equals
+    /// the flow value when `s` was the source (even if the network has edges
+    /// into the source); at a conserving interior node it is zero.
     pub fn outflow(&self, s: NodeId) -> Rational {
-        self.adj[s]
-            .iter()
-            .map(|&aid| &self.arcs[aid].flow)
-            .filter(|f| f.is_positive())
-            .sum()
+        // An edge u → s appears in adj[s] as its reverse arc, whose flow is
+        // exactly −(flow on u → s), so the plain sum over adj[s] is the net.
+        self.adj[s].iter().map(|&aid| &self.arcs[aid].flow).sum()
     }
 
     /// Verify conservation at every node except `s` and `t` (testing hook).
@@ -407,6 +455,30 @@ mod tests {
     }
 
     #[test]
+    fn set_capacity_reparameterizes_in_place() {
+        let mut net = FlowNetwork::new(3);
+        let sa = net.add_edge(0, 1, fin(1, 1));
+        net.add_edge(1, 2, fin(10, 1));
+        assert_eq!(net.max_flow(0, 2), int(1));
+        net.set_capacity(sa, fin(7, 2));
+        net.reset_flow();
+        assert_eq!(net.max_flow(0, 2), ratio(7, 2));
+    }
+
+    #[test]
+    fn clear_rebuilds_in_place() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, fin(1, 1));
+        assert_eq!(net.max_flow(0, 1), int(1));
+        net.clear(3);
+        assert_eq!(net.n(), 3);
+        net.add_edge(0, 1, fin(2, 1));
+        net.add_edge(1, 2, fin(3, 1));
+        assert_eq!(net.max_flow(0, 2), int(2));
+        assert!(net.check_conservation(0, 2));
+    }
+
+    #[test]
     fn exactness_no_drift() {
         // Many tiny rational capacities whose sum is exactly 1.
         let mut net = FlowNetwork::new(12);
@@ -415,6 +487,48 @@ mod tests {
             net.add_edge(1 + i, 11, Cap::Infinite);
         }
         assert_eq!(net.max_flow(0, 11), int(1)); // would be 0.9999… in f64
+    }
+
+    #[test]
+    fn outflow_is_net_with_edge_into_source() {
+        // a → s → b, max flow from a: one unit passes *through* s, so the
+        // net outflow of s is zero even though s has a saturated outgoing
+        // arc (the gross sum would wrongly report 1).
+        let mut net = FlowNetwork::new(3);
+        let (a, s, b) = (0, 1, 2);
+        net.add_edge(a, s, fin(1, 1));
+        net.add_edge(s, b, fin(1, 1));
+        assert_eq!(net.max_flow(a, b), int(1));
+        assert_eq!(net.outflow(a), int(1));
+        assert_eq!(net.outflow(s), int(0));
+        assert_eq!(net.outflow(b), int(-1));
+    }
+
+    #[test]
+    fn outflow_counts_incoming_at_the_run_source() {
+        // Edges into the source exist but carry nothing when s is the run
+        // source; outflow(s) must still equal the flow value.
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(2, 0, fin(5, 1)); // into the source
+        net.add_edge(0, 1, fin(2, 1));
+        net.add_edge(1, 2, fin(3, 1));
+        assert_eq!(net.max_flow(0, 2), int(2));
+        assert_eq!(net.outflow(0), int(2));
+    }
+
+    #[test]
+    fn long_path_augments_without_stack_overflow() {
+        // 50 001 nodes in series: one augmenting path of length 50 000.
+        // A recursive DFS would blow the thread stack here; the explicit
+        // stack must not.
+        let n = 50_001;
+        let mut net = FlowNetwork::new(n);
+        for v in 0..n - 1 {
+            net.add_edge(v, v + 1, fin(1, 2));
+        }
+        assert_eq!(net.max_flow(0, n - 1), ratio(1, 2));
+        assert!(net.check_conservation(0, n - 1));
+        assert!(net.check_capacities());
     }
 
     #[test]

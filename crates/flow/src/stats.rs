@@ -1,0 +1,204 @@
+//! Process-wide instrumentation counters for the parametric max-flow
+//! engines.
+//!
+//! The decomposition hot path fans out across worker threads (deviation
+//! sweeps, Sybil grids, audit batches), so the counters are lock-free
+//! atomics that any crate in the stack can bump; [`snapshot`] reads a
+//! consistent-enough view for reporting (counts are monotone, so a snapshot
+//! taken at a quiescent point — e.g. after a sweep joins its workers — is
+//! exact). `prs audit --stats` and the experiment harness call [`reset`]
+//! before a measured region and [`snapshot`] after it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time copy of every engine counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Exact-engine Dinic BFS phases.
+    pub exact_bfs_phases: u64,
+    /// Exact-engine augmenting paths pushed.
+    pub exact_augmenting_paths: u64,
+    /// Exact max-flow computations run to completion.
+    pub exact_max_flows: u64,
+    /// Float-engine Dinic BFS phases.
+    pub f64_bfs_phases: u64,
+    /// Float-engine augmenting paths pushed.
+    pub f64_augmenting_paths: u64,
+    /// Float max-flow computations run to completion.
+    pub f64_max_flows: u64,
+    /// Exact Dinkelbach descent steps (certifications + fallback steps).
+    pub dinkelbach_iterations: u64,
+    /// Rounds where the float proposal certified on the first exact flow.
+    pub fast_path_hits: u64,
+    /// Rounds where certification failed and the exact descent resumed.
+    pub fast_path_fallbacks: u64,
+    /// Flow networks built from scratch (fresh arc storage).
+    pub networks_built: u64,
+    /// Network rebuilds that reused existing arc storage (arena hits).
+    pub networks_reused: u64,
+}
+
+impl FlowStats {
+    /// Fraction of decomposition rounds settled by the fast path
+    /// (`NaN` when no round was instrumented).
+    pub fn fast_path_rate(&self) -> f64 {
+        let total = self.fast_path_hits + self.fast_path_fallbacks;
+        if total == 0 {
+            f64::NAN
+        } else {
+            self.fast_path_hits as f64 / total as f64
+        }
+    }
+
+    /// Field-wise difference `self − earlier` (counters are monotone).
+    pub fn since(&self, earlier: &FlowStats) -> FlowStats {
+        FlowStats {
+            exact_bfs_phases: self.exact_bfs_phases - earlier.exact_bfs_phases,
+            exact_augmenting_paths: self.exact_augmenting_paths - earlier.exact_augmenting_paths,
+            exact_max_flows: self.exact_max_flows - earlier.exact_max_flows,
+            f64_bfs_phases: self.f64_bfs_phases - earlier.f64_bfs_phases,
+            f64_augmenting_paths: self.f64_augmenting_paths - earlier.f64_augmenting_paths,
+            f64_max_flows: self.f64_max_flows - earlier.f64_max_flows,
+            dinkelbach_iterations: self.dinkelbach_iterations - earlier.dinkelbach_iterations,
+            fast_path_hits: self.fast_path_hits - earlier.fast_path_hits,
+            fast_path_fallbacks: self.fast_path_fallbacks - earlier.fast_path_fallbacks,
+            networks_built: self.networks_built - earlier.networks_built,
+            networks_reused: self.networks_reused - earlier.networks_reused,
+        }
+    }
+
+    /// Render as `key = value` lines for terminal reporting.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let rate = self.fast_path_rate();
+        let rows: &[(&str, u64)] = &[
+            ("exact max-flows", self.exact_max_flows),
+            ("exact BFS phases", self.exact_bfs_phases),
+            ("exact augmenting paths", self.exact_augmenting_paths),
+            ("f64 max-flows", self.f64_max_flows),
+            ("f64 BFS phases", self.f64_bfs_phases),
+            ("f64 augmenting paths", self.f64_augmenting_paths),
+            ("Dinkelbach iterations", self.dinkelbach_iterations),
+            ("fast-path hits", self.fast_path_hits),
+            ("fast-path fallbacks", self.fast_path_fallbacks),
+            ("networks built", self.networks_built),
+            ("networks reused", self.networks_reused),
+        ];
+        for (k, v) in rows {
+            out.push_str(&format!("  {k:<24} {v}\n"));
+        }
+        if rate.is_finite() {
+            out.push_str(&format!(
+                "  {:<24} {:.1}%\n",
+                "fast-path rate",
+                rate * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Serialize as a JSON object (no external serializer in the build
+    /// environment).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"exact_max_flows\": {}, \"exact_bfs_phases\": {}, ",
+                "\"exact_augmenting_paths\": {}, \"f64_max_flows\": {}, ",
+                "\"f64_bfs_phases\": {}, \"f64_augmenting_paths\": {}, ",
+                "\"dinkelbach_iterations\": {}, \"fast_path_hits\": {}, ",
+                "\"fast_path_fallbacks\": {}, \"networks_built\": {}, ",
+                "\"networks_reused\": {}}}"
+            ),
+            self.exact_max_flows,
+            self.exact_bfs_phases,
+            self.exact_augmenting_paths,
+            self.f64_max_flows,
+            self.f64_bfs_phases,
+            self.f64_augmenting_paths,
+            self.dinkelbach_iterations,
+            self.fast_path_hits,
+            self.fast_path_fallbacks,
+            self.networks_built,
+            self.networks_reused,
+        )
+    }
+}
+
+macro_rules! counters {
+    ($($static_name:ident => $field:ident, $record:ident;)+) => {
+        $(static $static_name: AtomicU64 = AtomicU64::new(0);)+
+
+        $(
+            /// Bump the corresponding engine counter by `n`.
+            #[inline]
+            pub fn $record(n: u64) {
+                $static_name.fetch_add(n, Ordering::Relaxed);
+            }
+        )+
+
+        /// Read every counter.
+        pub fn snapshot() -> FlowStats {
+            FlowStats {
+                $($field: $static_name.load(Ordering::Relaxed),)+
+            }
+        }
+
+        /// Zero every counter (start of a measured region).
+        pub fn reset() {
+            $($static_name.store(0, Ordering::Relaxed);)+
+        }
+    };
+}
+
+counters! {
+    EXACT_BFS => exact_bfs_phases, record_exact_bfs_phases;
+    EXACT_AUG => exact_augmenting_paths, record_exact_augmenting_paths;
+    EXACT_FLOWS => exact_max_flows, record_exact_max_flows;
+    F64_BFS => f64_bfs_phases, record_f64_bfs_phases;
+    F64_AUG => f64_augmenting_paths, record_f64_augmenting_paths;
+    F64_FLOWS => f64_max_flows, record_f64_max_flows;
+    DINKELBACH => dinkelbach_iterations, record_dinkelbach_iterations;
+    FAST_HITS => fast_path_hits, record_fast_path_hits;
+    FAST_FALLBACKS => fast_path_fallbacks, record_fast_path_fallbacks;
+    NETS_BUILT => networks_built, record_networks_built;
+    NETS_REUSED => networks_reused, record_networks_reused;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Counters are process-global; the tests below only assert relative
+    // movement so they stay robust under parallel test execution.
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let before = snapshot();
+        record_fast_path_hits(3);
+        record_networks_reused(2);
+        let after = snapshot();
+        let delta = after.since(&before);
+        assert!(delta.fast_path_hits >= 3);
+        assert!(delta.networks_reused >= 2);
+    }
+
+    #[test]
+    fn render_and_json_mention_every_counter() {
+        let s = FlowStats {
+            fast_path_hits: 7,
+            fast_path_fallbacks: 1,
+            ..FlowStats::default()
+        };
+        let text = s.render();
+        assert!(text.contains("fast-path hits"));
+        assert!(text.contains("87.5%"), "rate rendering: {text}");
+        let json = s.to_json();
+        assert!(json.contains("\"fast_path_hits\": 7"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn rate_is_nan_when_uninstrumented() {
+        assert!(FlowStats::default().fast_path_rate().is_nan());
+    }
+}

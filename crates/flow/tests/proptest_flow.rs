@@ -51,16 +51,15 @@ fn ford_fulkerson_f64(n: usize, edges: &[(usize, usize, f64)], s: usize, t: usiz
 fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
     (4usize..9).prop_flat_map(|n| {
         let edge = (0..n, 0..n, 1i64..20);
-        proptest::collection::vec(edge, 1..20)
-            .prop_map(move |edges| {
-                (
-                    n,
-                    edges
-                        .into_iter()
-                        .filter(|&(u, v, _)| u != v)
-                        .collect::<Vec<_>>(),
-                )
-            })
+        proptest::collection::vec(edge, 1..20).prop_map(move |edges| {
+            (
+                n,
+                edges
+                    .into_iter()
+                    .filter(|&(u, v, _)| u != v)
+                    .collect::<Vec<_>>(),
+            )
+        })
     })
 }
 

@@ -49,7 +49,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),

@@ -56,7 +56,11 @@ impl Graph {
             l.sort_unstable();
         }
         edges.sort_unstable();
-        Ok(Graph { weights, adj, edges })
+        Ok(Graph {
+            weights,
+            adj,
+            edges,
+        })
     }
 
     /// Number of vertices.
@@ -299,10 +303,7 @@ mod tests {
         assert_eq!(g.alpha_ratio(&s).unwrap(), int(2)); // w({1})/w({0}) = 2
         let s02 = VertexSet::from_iter_cap(3, [0, 2]);
         assert_eq!(g.neighborhood(&s02).to_vec(), vec![1]);
-        assert_eq!(
-            g.alpha_ratio(&s02).unwrap(),
-            prs_numeric::ratio(2, 5)
-        );
+        assert_eq!(g.alpha_ratio(&s02).unwrap(), prs_numeric::ratio(2, 5));
         // Non-independent set: Γ(S) overlaps S.
         let s01 = VertexSet::from_iter_cap(3, [0, 1]);
         assert_eq!(g.neighborhood(&s01).to_vec(), vec![0, 1, 2]);

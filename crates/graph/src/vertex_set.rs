@@ -126,10 +126,7 @@ impl VertexSet {
 
     /// True iff the sets share no member.
     pub fn is_disjoint(&self, other: &VertexSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// True iff every member of `self` is in `other`.
@@ -214,9 +211,7 @@ mod tests {
         assert_eq!(a.intersection(&b).to_vec(), vec![2, 3]);
         assert_eq!(a.difference(&b).to_vec(), vec![1, 70]);
         assert!(!a.is_disjoint(&b));
-        assert!(a
-            .difference(&b)
-            .is_disjoint(&b.difference(&a)));
+        assert!(a.difference(&b).is_disjoint(&b.difference(&a)));
         assert!(a.intersection(&b).is_subset(&a));
         assert!(!a.is_subset(&b));
     }

@@ -106,7 +106,11 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
         BigInt::from_parts(
-            if self.is_zero() { Sign::NoSign } else { Sign::Plus },
+            if self.is_zero() {
+                Sign::NoSign
+            } else {
+                Sign::Plus
+            },
             self.mag.clone(),
         )
     }
@@ -122,8 +126,21 @@ impl BigInt {
         } else {
             Sign::Minus
         };
-        let r_sign = if rm.is_zero() { Sign::NoSign } else { self.sign };
-        (BigInt { sign: q_sign, mag: qm }, BigInt { sign: r_sign, mag: rm })
+        let r_sign = if rm.is_zero() {
+            Sign::NoSign
+        } else {
+            self.sign
+        };
+        (
+            BigInt {
+                sign: q_sign,
+                mag: qm,
+            },
+            BigInt {
+                sign: r_sign,
+                mag: rm,
+            },
+        )
     }
 
     /// `self^exp`.
@@ -190,13 +207,20 @@ impl From<i32> for BigInt {
 
 impl From<u64> for BigInt {
     fn from(v: u64) -> Self {
-        BigInt::from_parts(if v == 0 { Sign::NoSign } else { Sign::Plus }, BigUint::from(v))
+        BigInt::from_parts(
+            if v == 0 { Sign::NoSign } else { Sign::Plus },
+            BigUint::from(v),
+        )
     }
 }
 
 impl From<BigUint> for BigInt {
     fn from(mag: BigUint) -> Self {
-        let sign = if mag.is_zero() { Sign::NoSign } else { Sign::Plus };
+        let sign = if mag.is_zero() {
+            Sign::NoSign
+        } else {
+            Sign::Plus
+        };
         BigInt { sign, mag }
     }
 }

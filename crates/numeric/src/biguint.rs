@@ -57,7 +57,7 @@ impl BigUint {
     /// True iff the value is even (zero counts as even).
     #[inline]
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |&l| l & 1 == 0)
+        self.limbs.first().is_none_or(|&l| l & 1 == 0)
     }
 
     /// Construct from raw little-endian limbs (normalizing trailing zeros).
@@ -732,7 +732,9 @@ mod tests {
     #[test]
     fn mul_large_karatsuba_agrees_with_schoolbook() {
         // Operands above the Karatsuba threshold.
-        let a_limbs: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(0x9E3779B9) | 1).collect();
+        let a_limbs: Vec<u32> = (0..100u32)
+            .map(|i| i.wrapping_mul(0x9E3779B9) | 1)
+            .collect();
         let b_limbs: Vec<u32> = (0..80u32).map(|i| i.wrapping_mul(0x85EBCA6B) | 1).collect();
         let a = BigUint::from_limbs(a_limbs.clone());
         let b = BigUint::from_limbs(b_limbs.clone());
@@ -753,7 +755,11 @@ mod tests {
 
     #[test]
     fn div_rem_roundtrip_large() {
-        let a = BigUint::from_limbs((0..50u32).map(|i| i.wrapping_mul(2654435761) ^ 0xabc).collect());
+        let a = BigUint::from_limbs(
+            (0..50u32)
+                .map(|i| i.wrapping_mul(2654435761) ^ 0xabc)
+                .collect(),
+        );
         let d = BigUint::from_limbs((0..13u32).map(|i| i.wrapping_mul(40503) | 5).collect());
         let (q, r) = a.div_rem(&d);
         assert!(r < d);
@@ -765,7 +771,14 @@ mod tests {
         // A case engineered to exercise the rare add-back correction:
         // dividend just below a multiple of the divisor with top digits equal.
         let d = BigUint::from_limbs(vec![0, 0, 1, u32::MAX]);
-        let a = BigUint::from_limbs(vec![u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX, u32::MAX]);
+        let a = BigUint::from_limbs(vec![
+            u32::MAX,
+            u32::MAX,
+            u32::MAX,
+            u32::MAX,
+            u32::MAX,
+            u32::MAX,
+        ]);
         let (q, r) = a.div_rem(&d);
         assert!(r < d);
         assert_eq!(&(&q * &d) + &r, a);
@@ -797,12 +810,21 @@ mod tests {
     fn pow() {
         assert_eq!(big(2).pow(10), big(1024));
         assert_eq!(big(3).pow(0), BigUint::one());
-        assert_eq!(big(10).pow(30), "1000000000000000000000000000000".parse().unwrap());
+        assert_eq!(
+            big(10).pow(30),
+            "1000000000000000000000000000000".parse().unwrap()
+        );
     }
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for s in ["0", "1", "999999999", "1000000000", "123456789012345678901234567890"] {
+        for s in [
+            "0",
+            "1",
+            "999999999",
+            "1000000000",
+            "123456789012345678901234567890",
+        ] {
             let v: BigUint = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

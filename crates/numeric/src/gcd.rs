@@ -30,7 +30,9 @@ pub fn gcd(a: &BigUint, b: &BigUint) -> BigUint {
         }
         u -= &v;
         // u is now even and nonzero.
-        let z = u.trailing_zeros().expect("u > 0 after swap ensures nonzero");
+        let z = u
+            .trailing_zeros()
+            .expect("u > 0 after swap ensures nonzero");
         u = &u >> z;
     }
 }

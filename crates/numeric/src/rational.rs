@@ -424,6 +424,7 @@ impl MulAssign<&Rational> for Rational {
 
 impl Div<&Rational> for &Rational {
     type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via exact reciprocal
     fn div(self, rhs: &Rational) -> Rational {
         self * &rhs.recip()
     }
@@ -516,7 +517,8 @@ impl std::str::FromStr for Rational {
             let int_val: BigInt = int_part.trim().parse().map_err(|_| ParseRationalError)?;
             let frac_mag: BigUint = frac_part.trim().parse().map_err(|_| ParseRationalError)?;
             let scale = BigUint::from(10u32).pow(frac_part.trim().len() as u32);
-            let mut num = &(&int_val.abs() * &BigInt::from(scale.clone())) + &BigInt::from(frac_mag);
+            let mut num =
+                &(&int_val.abs() * &BigInt::from(scale.clone())) + &BigInt::from(frac_mag);
             if neg {
                 num = -num;
             }

@@ -70,7 +70,11 @@ mod tests {
         let jobs: Vec<SwarmJob> = (0..8)
             .map(|i| SwarmJob {
                 graph: random::random_ring(&mut rng, 6, 1, 9),
-                attacker: if i % 2 == 0 { None } else { Some((0, 1.0, 1.0)) },
+                attacker: if i % 2 == 0 {
+                    None
+                } else {
+                    Some((0, 1.0, 1.0))
+                },
             })
             .collect();
         let cfg = SwarmConfig::default();

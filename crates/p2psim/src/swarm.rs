@@ -184,7 +184,7 @@ impl Swarm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prs_bd::{decompose};
+    use prs_bd::decompose;
     use prs_graph::{builders, random};
     use prs_numeric::int;
     use rand::rngs::StdRng;

@@ -127,5 +127,8 @@ fn fairness_index_within_bounds() {
     let mut swarm = Swarm::new(&g);
     let m = swarm.run(&SwarmConfig::default());
     let f = prs_p2psim::jain_fairness(&m, &g.weights_f64());
-    assert!((0.25..=1.0 + 1e-9).contains(&f), "Jain index {f} out of bounds");
+    assert!(
+        (0.25..=1.0 + 1e-9).contains(&f),
+        "Jain index {f} out of bounds"
+    );
 }

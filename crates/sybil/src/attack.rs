@@ -14,6 +14,7 @@
 //! hyperbolically), zooming keeps a few best cells per level, not just one.
 
 use crate::split::SybilSplitFamily;
+use prs_bd::par::{par_map_indexed, worker_threads};
 use prs_graph::{Graph, VertexId};
 use prs_numeric::Rational;
 
@@ -78,13 +79,21 @@ impl SybilOutcome {
     }
 }
 
-fn eval(fam: &SybilSplitFamily, w1: &Rational, evals: &mut usize) -> Option<SplitSample> {
-    *evals += 1;
+fn eval(fam: &SybilSplitFamily, w1: &Rational) -> Option<SplitSample> {
     fam.payoff(w1).map(|(u1, u2)| SplitSample {
         w1: w1.clone(),
         u1,
         u2,
     })
+}
+
+/// Evaluate every split in `xs` (exact decompositions, fanned out over
+/// scoped workers), keeping successful samples in input order.
+fn eval_batch(fam: &SybilSplitFamily, xs: &[Rational]) -> Vec<SplitSample> {
+    par_map_indexed(xs.len(), worker_threads(xs.len()), |i| eval(fam, &xs[i]))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Maximize the attacker payoff over `w₁ ∈ [0, w_v]` for agent `v` on a
@@ -118,15 +127,15 @@ pub fn best_sybil_split(ring: &Graph, v: VertexId, cfg: &AttackConfig) -> SybilO
 
     // Level 0: full-domain grid (also retained as the reported curve), plus
     // the honest split — Lemma 9 makes it the ratio-1 floor, so the
-    // optimizer must always consider it.
-    let mut curve: Vec<SplitSample> = Vec::new();
-    for x in grid_pts(&Rational::zero(), &total, cfg.grid) {
-        if let Some(s) = eval(&fam, &x, &mut evals) {
-            curve.push(s);
-        }
-    }
+    // optimizer must always consider it. The grid evaluations fan out over
+    // worker threads; `eval_batch` preserves input order, so the best-pick
+    // below is identical to a sequential scan.
+    let level0 = grid_pts(&Rational::zero(), &total, cfg.grid);
+    evals += level0.len();
+    let mut curve: Vec<SplitSample> = eval_batch(&fam, &level0);
     let (w1_honest, _) = crate::split::honest_split(ring, v);
-    if let Some(s) = eval(&fam, &w1_honest, &mut evals) {
+    evals += 1;
+    if let Some(s) = eval(&fam, &w1_honest) {
         curve.push(s);
         curve.sort_by(|a, b| a.w1.cmp(&b.w1));
         curve.dedup_by(|a, b| a.w1 == b.w1);
@@ -142,7 +151,7 @@ pub fn best_sybil_split(ring: &Graph, v: VertexId, cfg: &AttackConfig) -> SybilO
     let cell = &total / &Rational::from_integer(cfg.grid as i64);
     let mut brackets: Vec<(Rational, Rational)> = {
         let mut ranked: Vec<&SplitSample> = curve.iter().collect();
-        ranked.sort_by(|a, b| b.total().cmp(&a.total()));
+        ranked.sort_by_key(|s| std::cmp::Reverse(s.total()));
         ranked
             .iter()
             .take(cfg.keep.max(1))
@@ -160,12 +169,9 @@ pub fn best_sybil_split(ring: &Graph, v: VertexId, cfg: &AttackConfig) -> SybilO
             if lo >= hi {
                 continue;
             }
-            let mut local: Vec<SplitSample> = Vec::new();
-            for x in grid_pts(lo, hi, cfg.grid.min(16)) {
-                if let Some(s) = eval(&fam, &x, &mut evals) {
-                    local.push(s);
-                }
-            }
+            let pts = grid_pts(lo, hi, cfg.grid.min(16));
+            evals += pts.len();
+            let local: Vec<SplitSample> = eval_batch(&fam, &pts);
             let Some(loc_best) = local.iter().max_by(|a, b| a.total().cmp(&b.total())) else {
                 continue;
             };
@@ -258,11 +264,7 @@ mod tests {
         let out = best_sybil_split(&g, 0, &small_cfg());
         let two_uv = &out.honest_utility * &int(2);
         for s in &out.curve {
-            assert!(
-                s.total() <= two_uv,
-                "sample at w1={} exceeds 2·U_v",
-                s.w1
-            );
+            assert!(s.total() <= two_uv, "sample at w1={} exceeds 2·U_v", s.w1);
         }
     }
 
@@ -293,6 +295,9 @@ mod tests {
                 }
             }
         }
-        assert!(found_gain, "no instance with a strictly profitable Sybil attack found");
+        assert!(
+            found_gain,
+            "no instance with a strictly profitable Sybil attack found"
+        );
     }
 }

@@ -68,7 +68,10 @@ pub fn classify_initial_path(ring: &Graph, v: VertexId) -> InitialPathReport {
     let fam = SybilSplitFamily::new(ring.clone(), v);
     let (p, v1, v2) = fam.path_at(&w1_0, &w2_0);
     let pbd = decompose(&p).unwrap_or_else(|e| {
-        panic!("initial path undecomposable ({e}); ring {:?} v={v}", ring.weights())
+        panic!(
+            "initial path undecomposable ({e}); ring {:?} v={v}",
+            ring.weights()
+        )
     });
 
     // The paper labels the copies WLOG so its case patterns come out
@@ -87,11 +90,12 @@ pub fn classify_initial_path(ring: &Graph, v: VertexId) -> InitialPathReport {
         // C cases: want (v¹ B-side with v² C-side) or (w₁⁰ = 0 B-side) or
         // (both C with α_{v¹} ≥ α_{v²}).
         AgentClass::C => {
-            let fits = |c1: &AgentClass, c2: &AgentClass, a1: &Rational, a2: &Rational, w1: &Rational| {
-                (c1.is_b() && c2.is_c() && !w1.is_zero())
-                    || (w1.is_zero() && c1.is_b() && c2.is_c())
-                    || (c1.is_c() && c2.is_c() && a1 >= a2)
-            };
+            let fits =
+                |c1: &AgentClass, c2: &AgentClass, a1: &Rational, a2: &Rational, w1: &Rational| {
+                    (c1.is_b() && c2.is_c() && !w1.is_zero())
+                        || (w1.is_zero() && c1.is_b() && c2.is_c())
+                        || (c1.is_c() && c2.is_c() && a1 >= a2)
+                };
             !fits(&raw.0, &raw.1, &raw.2, &raw.3, &raw.4)
                 && fits(&raw.1, &raw.0, &raw.3, &raw.2, &raw.5)
         }
@@ -115,8 +119,8 @@ pub fn classify_initial_path(ring: &Graph, v: VertexId) -> InitialPathReport {
             let alternates = (0..p.n().saturating_sub(1)).all(|path_v| {
                 let a = pbd.class_of(path_v);
                 let b = pbd.class_of(path_v + 1);
-                !(a == AgentClass::B && b == AgentClass::B)
-                    && !(a == AgentClass::C && b == AgentClass::C)
+                (a != AgentClass::B || b != AgentClass::B)
+                    && (a != AgentClass::C || b != AgentClass::C)
             });
             if class1.is_b()
                 && class2.is_c()
@@ -127,7 +131,8 @@ pub fn classify_initial_path(ring: &Graph, v: VertexId) -> InitialPathReport {
             {
                 // Case C-1: single pair, v¹ B-side, v² C-side, α = α_v.
                 assert_eq!(
-                    alpha_v1, alpha_v,
+                    alpha_v1,
+                    alpha_v,
                     "Case C-1 requires α₁ = α_v (ring {:?}, v={v})",
                     ring.weights()
                 );
@@ -142,7 +147,8 @@ pub fn classify_initial_path(ring: &Graph, v: VertexId) -> InitialPathReport {
                     ring.weights()
                 );
                 assert_eq!(
-                    alpha_v2, alpha_v,
+                    alpha_v2,
+                    alpha_v,
                     "Case C-3 requires α_(v²) = α_v (ring {:?}, v={v})",
                     ring.weights()
                 );
@@ -169,7 +175,8 @@ pub fn classify_initial_path(ring: &Graph, v: VertexId) -> InitialPathReport {
                 ring.weights()
             );
             assert_eq!(
-                alpha_v2, alpha_v,
+                alpha_v2,
+                alpha_v,
                 "Case D-1 requires α_(v²) = α_v (ring {:?}, v={v})",
                 ring.weights()
             );
@@ -246,7 +253,10 @@ mod tests {
         let rep = classify_initial_path(&g, 0);
         assert_eq!(rep.ring_class, AgentClass::C);
         assert!(
-            matches!(rep.case, InitialPathCase::C1 | InitialPathCase::C2 | InitialPathCase::C3),
+            matches!(
+                rep.case,
+                InitialPathCase::C1 | InitialPathCase::C2 | InitialPathCase::C3
+            ),
             "{rep:?}"
         );
     }

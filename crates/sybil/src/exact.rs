@@ -75,12 +75,7 @@ fn copy_utility_model(
 /// breakpoints and irrational critical points. Every candidate optimum is
 /// re-evaluated by a direct exact decomposition, so `best_payoff` (and thus
 /// the ratio) is exact even when `best_w1` is a localized critical point.
-pub fn certified_best_split(
-    ring: &Graph,
-    v: VertexId,
-    grid: usize,
-    bits: u32,
-) -> CertifiedOutcome {
+pub fn certified_best_split(ring: &Graph, v: VertexId, grid: usize, bits: u32) -> CertifiedOutcome {
     let fam = SybilSplitFamily::new(ring.clone(), v);
     let bd = decompose(ring).expect("ring decomposes");
     let honest = bd.utility(ring, v);
@@ -180,7 +175,9 @@ mod tests {
             // The model must reproduce the exact utilities at both interval
             // ends.
             for x in [&iv.lo, &iv.hi] {
-                let Some((u1, u2)) = fam.payoff(x) else { continue };
+                let Some((u1, u2)) = fam.payoff(x) else {
+                    continue;
+                };
                 assert_eq!(m1.eval(x).unwrap(), u1, "v1 model at {x}");
                 assert_eq!(m2.eval(x).unwrap(), u2, "v2 model at {x}");
             }

@@ -206,6 +206,11 @@ mod tests {
         // E15 measured max ζ = 1.4 at weights (6, 5, 1) on the {1..6}³ grid.
         let rep = exhaustive_ring_audit(3, 6, &cfg(), 8);
         assert!(rep.upper_bound_holds);
-        assert_eq!(rep.max_ratio, ratio(7, 5), "expected ζ = 1.4, got {}", rep.max_ratio);
+        assert_eq!(
+            rep.max_ratio,
+            ratio(7, 5),
+            "expected ζ = 1.4, got {}",
+            rep.max_ratio
+        );
     }
 }

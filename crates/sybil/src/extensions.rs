@@ -37,7 +37,8 @@ pub struct WithholdingOutcome {
 /// Payoff of the two-copy split `(w₁, w₂)` of `v` on `ring`, allowing
 /// `w₁ + w₂ ≤ w_v`. `None` on undecomposable degenerate splits.
 pub fn split_payoff(ring: &Graph, v: VertexId, w1: &Rational, w2: &Rational) -> Option<Rational> {
-    let (p, c1, c2) = prs_graph::builders::sybil_split_path(&ring.clone(), v, w1.clone(), w2.clone()).ok()?;
+    let (p, c1, c2) =
+        prs_graph::builders::sybil_split_path(&ring.clone(), v, w1.clone(), w2.clone()).ok()?;
     match decompose(&p) {
         Ok(bd) => Some(&bd.utility(&p, c1) + &bd.utility(&p, c2)),
         Err(BdError::ZeroAlpha { .. }) | Err(BdError::ZeroWeightResidue { .. }) => None,
@@ -48,11 +49,7 @@ pub fn split_payoff(ring: &Graph, v: VertexId, w1: &Rational, w2: &Rational) -> 
 /// Optimize the Sybil split over the *relaxed* budget `w₁ + w₂ ≤ w_v`
 /// (triangular grid of granularity `grid`), and compare against the
 /// Definition 7 frontier `w₁ + w₂ = w_v`.
-pub fn best_split_with_withholding(
-    ring: &Graph,
-    v: VertexId,
-    grid: usize,
-) -> WithholdingOutcome {
+pub fn best_split_with_withholding(ring: &Graph, v: VertexId, grid: usize) -> WithholdingOutcome {
     assert!(ring.is_ring());
     let bd = decompose(ring).expect("ring decomposes");
     let honest = bd.utility(ring, v);

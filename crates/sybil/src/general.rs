@@ -43,9 +43,7 @@ pub fn split_graph(
         "partition indices must address a copy"
     );
     let n = g.n();
-    let copy_ids: Vec<VertexId> = (0..m)
-        .map(|j| if j == 0 { v } else { n + j - 1 })
-        .collect();
+    let copy_ids: Vec<VertexId> = (0..m).map(|j| if j == 0 { v } else { n + j - 1 }).collect();
 
     let mut new_weights: Vec<Rational> = g.weights().to_vec();
     new_weights[v] = weights[0].clone();
@@ -73,7 +71,13 @@ pub fn enumerate_partitions(k: usize, max_groups: usize) -> Vec<Vec<usize>> {
     assert!(k <= 12, "Bell(k) explodes past 12 items");
     let mut out = Vec::new();
     let mut current = vec![0usize; k];
-    fn rec(i: usize, used: usize, current: &mut Vec<usize>, max_groups: usize, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        i: usize,
+        used: usize,
+        current: &mut Vec<usize>,
+        max_groups: usize,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if i == current.len() {
             out.push(current.clone());
             return;
@@ -272,9 +276,21 @@ mod tests {
         for _ in 0..4 {
             let g = random::random_ring(&mut rng, 5, 1, 10);
             for v in 0..2 {
-                let out = best_general_sybil(&g, v, &GeneralAttackConfig { grid: 10, max_copies: 2 });
+                let out = best_general_sybil(
+                    &g,
+                    v,
+                    &GeneralAttackConfig {
+                        grid: 10,
+                        max_copies: 2,
+                    },
+                );
                 assert!(out.ratio >= Rational::one());
-                assert!(out.ratio <= int(2), "ζ = {} on {:?}", out.ratio, g.weights());
+                assert!(
+                    out.ratio <= int(2),
+                    "ζ = {} on {:?}",
+                    out.ratio,
+                    g.weights()
+                );
             }
         }
     }
@@ -284,12 +300,26 @@ mod tests {
         // The paper's conjecture: ζ ≤ 2 on general networks. Certified
         // lower bounds must stay below 2 on these families.
         let star = builders::star(vec![int(4), int(1), int(2), int(3)]).unwrap();
-        let out = best_general_sybil(&star, 0, &GeneralAttackConfig { grid: 8, max_copies: 3 });
+        let out = best_general_sybil(
+            &star,
+            0,
+            &GeneralAttackConfig {
+                grid: 8,
+                max_copies: 3,
+            },
+        );
         assert!(out.ratio <= int(2), "star: ζ = {}", out.ratio);
 
         let k4 = builders::complete(vec![int(3), int(1), int(2), int(5)]).unwrap();
         for v in 0..4 {
-            let out = best_general_sybil(&k4, v, &GeneralAttackConfig { grid: 6, max_copies: 3 });
+            let out = best_general_sybil(
+                &k4,
+                v,
+                &GeneralAttackConfig {
+                    grid: 6,
+                    max_copies: 3,
+                },
+            );
             assert!(out.ratio <= int(2), "K4 v={v}: ζ = {}", out.ratio);
         }
     }
@@ -300,7 +330,14 @@ mod tests {
         // particular splitting should rarely pay at all on symmetric K_n.
         let kn = builders::complete(vec![int(2); 5]).unwrap();
         for v in 0..5 {
-            let out = best_general_sybil(&kn, v, &GeneralAttackConfig { grid: 6, max_copies: 2 });
+            let out = best_general_sybil(
+                &kn,
+                v,
+                &GeneralAttackConfig {
+                    grid: 6,
+                    max_copies: 2,
+                },
+            );
             assert_eq!(out.ratio, Rational::one(), "symmetric K5 admits no gain");
         }
     }

@@ -47,10 +47,12 @@ pub mod stages;
 pub mod theorem8;
 
 pub use attack::{best_sybil_split, AttackConfig, SplitSample, SybilOutcome};
+pub use cases::{classify_initial_path, InitialPathCase};
 pub use exact::{certified_best_split, CertifiedOutcome};
 pub use exhaustive::{exhaustive_ring_audit, ExhaustiveReport};
-pub use extensions::{best_collusion, best_split_with_withholding, CollusionOutcome, WithholdingOutcome};
+pub use extensions::{
+    best_collusion, best_split_with_withholding, CollusionOutcome, WithholdingOutcome,
+};
 pub use general::{best_general_sybil, GeneralAttackConfig, GeneralSybilOutcome};
-pub use cases::{classify_initial_path, InitialPathCase};
 pub use split::{honest_split, lemma9_check, SybilSplitFamily};
 pub use theorem8::{check_ring_theorem8, worst_case_search, RingTheorem8Report, SearchReport};

@@ -166,7 +166,8 @@ mod tests {
                 for v in 0..n {
                     let (honest, split) = lemma9_check(&g, v);
                     assert_eq!(
-                        honest, split,
+                        honest,
+                        split,
                         "Lemma 9 violated at v={v} on {:?}",
                         g.weights()
                     );

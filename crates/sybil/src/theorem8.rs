@@ -140,8 +140,8 @@ pub fn worst_case_search(
     let cursor = AtomicUsize::new(0);
     // Per-restart result slots, reduced deterministically after the join
     // (first restart index wins ties, independent of thread interleaving).
-    let slots: Vec<Mutex<Option<(Rational, Vec<Rational>, VertexId, usize)>>> =
-        (0..restarts).map(|_| Mutex::new(None)).collect();
+    type RestartSlot = Mutex<Option<(Rational, Vec<Rational>, VertexId, usize)>>;
+    let slots: Vec<RestartSlot> = (0..restarts).map(|_| Mutex::new(None)).collect();
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
@@ -150,7 +150,8 @@ pub fn worst_case_search(
                 if k >= restarts {
                     break;
                 }
-                let mut rng = StdRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15));
                 // Random start: weights 2^e with e ∈ [-4, 4] expose the
                 // scale-separated structures high ratios need.
                 let mut weights: Vec<Rational> = (0..n)
@@ -181,7 +182,7 @@ pub fn worst_case_search(
         if ratio > two {
             upper_bound_holds = false;
         }
-        if best.as_ref().map_or(true, |(r, _, _)| ratio > *r) {
+        if best.as_ref().is_none_or(|(r, _, _)| ratio > *r) {
             best = Some((ratio, weights, v));
         }
     }

@@ -143,16 +143,49 @@ proptest! {
     }
 }
 
+/// Directed replay of the counterexample pinned in
+/// `proptest_sybil.proptest-regressions` (`weights = [1, 3, 1], v_raw = 2,
+/// num = 0`): the degenerate split `w1 = 0` at the path-reversal property.
+/// The vendored proptest shim cannot replay upstream `cc` seeds, so the
+/// instance is kept alive here as a plain test.
+#[test]
+fn regression_1_3_1_reversal_at_zero_split() {
+    let weights = [1i64, 3, 1];
+    let g = ring_of(&weights);
+    let v = 2usize;
+    let fam = SybilSplitFamily::new(g.clone(), v);
+    let w_v = g.weight(v).clone();
+    let w1 = &w_v * &ratio(0, 16);
+    let w2 = &w_v - &w1;
+    let direct = fam.payoff(&w1).map(|(x, y)| &x + &y);
+
+    let (p, p1, p2) = fam.path_at(&w1, &w2);
+    let n = p.n();
+    let rev_weights: Vec<_> = (0..n).map(|i| p.weight(n - 1 - i).clone()).collect();
+    let rev = builders::path(rev_weights).unwrap();
+    let reversed = prs_bd::decompose(&rev)
+        .ok()
+        .map(|bd| &bd.utility(&rev, n - 1 - p1) + &bd.utility(&rev, n - 1 - p2));
+    assert_eq!(
+        direct, reversed,
+        "reversal changed the payoff on {weights:?} v={v}"
+    );
+}
+
 #[test]
 fn lower_bound_family_is_monotone_in_k() {
     let mut prev = Rational::zero();
     for k in [1u32, 3, 5, 7] {
         let g = prs_sybil::theorem8::lower_bound_ring(k);
-        let out = best_sybil_split(&g, prs_sybil::theorem8::LOWER_BOUND_AGENT, &AttackConfig {
-            grid: 32,
-            zoom_levels: 4,
-            keep: 2,
-        });
+        let out = best_sybil_split(
+            &g,
+            prs_sybil::theorem8::LOWER_BOUND_AGENT,
+            &AttackConfig {
+                grid: 32,
+                zoom_levels: 4,
+                keep: 2,
+            },
+        );
         assert!(out.ratio > prev, "k={k}: {} ≤ {}", out.ratio, prev);
         prev = out.ratio;
     }

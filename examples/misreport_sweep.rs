@@ -21,7 +21,11 @@ fn main() {
     ])
     .expect("valid ring");
     let v = 0usize;
-    println!("ring weights {:?}; sweeping agent {v}'s report x ∈ [0, {}]", g.weights(), g.weight(v));
+    println!(
+        "ring weights {:?}; sweeping agent {v}'s report x ∈ [0, {}]",
+        g.weights(),
+        g.weight(v)
+    );
 
     let fam = MisreportFamily::new(g.clone(), v);
     let res = sweep(

@@ -47,9 +47,7 @@ fn main() {
     let out = ring.sybil_attack(attacker, &AttackConfig::default());
     let w1 = out.best.w1.to_f64();
     let w2 = g.weight(attacker).to_f64() - w1;
-    println!(
-        "\nagent {attacker} attacks with identities (w1, w2) = ({w1:.4}, {w2:.4})"
-    );
+    println!("\nagent {attacker} attacks with identities (w1, w2) = ({w1:.4}, {w2:.4})");
 
     let mut sybil_swarm = Swarm::with_strategies(g, |a| {
         if a == attacker {

@@ -27,7 +27,10 @@ fn main() {
         let out = ring.sybil_attack(v, &cfg);
 
         println!("agent {v} (w = {}):", ring.graph().weight(v));
-        println!("  honest utility U_v           = {honest}  (class {:?})", ring.class_of(v));
+        println!(
+            "  honest utility U_v           = {honest}  (class {:?})",
+            ring.class_of(v)
+        );
         println!("  honest split (w1⁰, w2⁰)      = ({w1_0}, {w2_0})");
         println!("  initial path case (Lem 14/20) = {:?}", case.case);
         println!(
@@ -40,17 +43,25 @@ fn main() {
             out.best.total(),
             out.ratio_f64()
         );
-        assert!(out.ratio <= Rational::from_integer(2), "Theorem 8 violated!");
+        assert!(
+            out.ratio <= Rational::from_integer(2),
+            "Theorem 8 violated!"
+        );
 
         let w2_star = &ring.graph().weight(v).clone() - &out.best.w1;
         match audit_stages(ring.graph(), v, &out.best.w1, &w2_star) {
             Some(rep) => {
-                println!("  stage audit ({} trajectory):", if rep.mirrored { "mirrored" } else { "direct" });
+                println!(
+                    "  stage audit ({} trajectory):",
+                    if rep.mirrored { "mirrored" } else { "direct" }
+                );
                 for (name, ok) in &rep.checks {
                     println!("    [{}] {name}", if *ok { "ok" } else { "VIOLATED" });
                 }
             }
-            None => println!("  stage audit: trajectory payoff-neutral (Adjusting Technique) — nothing to audit"),
+            None => println!(
+                "  stage audit: trajectory payoff-neutral (Adjusting Technique) — nothing to audit"
+            ),
         }
         println!();
 

@@ -45,7 +45,10 @@ fn main() {
     for k in [2u32, 4, 6, 8, 10, 12] {
         let g = lower_bound_ring(k);
         let cert = certified_best_split(&g, LOWER_BOUND_AGENT, 32, 35);
-        assert!(cert.ratio <= Rational::from_integer(2), "Theorem 8 violated!");
+        assert!(
+            cert.ratio <= Rational::from_integer(2),
+            "Theorem 8 violated!"
+        );
         let gap = 2.0 - cert.ratio.to_f64();
         println!(
             "  {k:>2} | {:.8} | {:.2e}   (best split w1 = {})",

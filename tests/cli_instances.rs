@@ -88,3 +88,38 @@ fn star_instance_supports_general_attack() {
     );
     assert!(out.ratio <= Rational::from_integer(2));
 }
+
+/// Every shipped instance decomposes identically under the two-tier
+/// (float-prefiltered) engine and the single-tier exact reference — the
+/// `instances/` leg of the cross-engine property suite (the randomized
+/// families live in `tests/two_tier_engine.rs`).
+#[test]
+fn both_engines_agree_on_every_shipped_instance() {
+    let dir = format!("{}/instances", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(dir).expect("instances/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("prs") {
+            continue;
+        }
+        let g = parse(&std::fs::read_to_string(&path).expect("readable instance"));
+        let two_tier = prs::bd::decompose(&g).unwrap();
+        let exact = prs::bd::decompose_exact(&g).unwrap();
+        assert_eq!(two_tier.shape(), exact.shape(), "shape differs on {path:?}");
+        for (p, q) in two_tier.pairs().iter().zip(exact.pairs()) {
+            assert_eq!(p.alpha, q.alpha, "α differs on {path:?}");
+        }
+        for v in 0..g.n() {
+            assert_eq!(
+                two_tier.class_of(v),
+                exact.class_of(v),
+                "class differs on {path:?}"
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected the shipped instances, found {checked}"
+    );
+}

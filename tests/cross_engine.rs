@@ -37,8 +37,14 @@ fn four_ways_to_the_same_utilities() {
 
     for v in 0..g.n() {
         assert_eq!(closed[v], from_alloc[v], "closed form vs allocation at {v}");
-        assert!((closed[v] - from_dynamics[v]).abs() < 1e-7, "dynamics at {v}");
-        assert!((closed[v] - metrics.utilities[v]).abs() < 1e-5, "swarm at {v}");
+        assert!(
+            (closed[v] - from_dynamics[v]).abs() < 1e-7,
+            "dynamics at {v}"
+        );
+        assert!(
+            (closed[v] - metrics.utilities[v]).abs() < 1e-5,
+            "swarm at {v}"
+        );
     }
 }
 
@@ -83,8 +89,8 @@ fn general_split_machinery_reduces_to_ring_machinery() {
     let w2 = &int(7) - &w1;
     // General machinery: neighbors(2) = [1, 3]; copy 0 ← neighbor 1,
     // copy 1 ← neighbor 3.
-    let payoff_general = prs::sybil::general::attack_payoff(&g, v, &[0, 1], &[w1.clone(), w2.clone()])
-        .unwrap();
+    let payoff_general =
+        prs::sybil::general::attack_payoff(&g, v, &[0, 1], &[w1.clone(), w2.clone()]).unwrap();
     // Ring machinery: v1 faces successor = neighbors[0] = 1.
     let fam = prs::sybil::SybilSplitFamily::new(g, v);
     let (u1, u2) = fam.payoff(&w1).unwrap();

@@ -38,7 +38,10 @@ fn decomposition_rejections() {
     assert_eq!(decompose(&empty), Err(BdError::EmptyGraph));
     // Isolated positive-weight agent → α = 0.
     let isolated = Graph::new(vec![int(1), int(1), int(1)], &[(0, 1)]).unwrap();
-    assert!(matches!(decompose(&isolated), Err(BdError::ZeroAlpha { .. })));
+    assert!(matches!(
+        decompose(&isolated),
+        Err(BdError::ZeroAlpha { .. })
+    ));
     // All-zero weights → undefined α everywhere.
     let zeros = Graph::new(vec![int(0), int(0)], &[(0, 1)]).unwrap();
     assert!(matches!(
@@ -81,7 +84,10 @@ fn swarm_with_zero_capacity_agent() {
         record_trace: false,
     });
     assert!(m.converged);
-    assert!(m.utilities[0].abs() < 1e-9, "free riders download nothing at the fixed point");
+    assert!(
+        m.utilities[0].abs() < 1e-9,
+        "free riders download nothing at the fixed point"
+    );
 }
 
 #[test]

@@ -52,13 +52,7 @@ fn audit_random_rings() {
 
 #[test]
 fn audit_rational_weight_rings() {
-    let ring = RingInstance::new(vec![
-        ratio(1, 3),
-        ratio(7, 2),
-        ratio(2, 5),
-        ratio(9, 4),
-    ])
-    .unwrap();
+    let ring = RingInstance::new(vec![ratio(1, 3), ratio(7, 2), ratio(2, 5), ratio(9, 4)]).unwrap();
     let audit = audit_paper_claims(&ring, &quick_cfg(), 8);
     assert!(audit.all_hold(), "{audit:?}");
 }

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 #[allow(unused_imports)]
-use prs::prelude::{AttackConfig, InitialPathCase, Rational, classify_initial_path, decompose, ratio};
+use prs::prelude::{
+    classify_initial_path, decompose, ratio, AttackConfig, InitialPathCase, Rational,
+};
 use prs::RingInstance;
 
 /// Strategy: a ring of 3..=7 agents with integer weights 1..=12.

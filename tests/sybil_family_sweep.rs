@@ -66,7 +66,10 @@ fn split_family_breakpoints_bracket_exact_solutions() {
     let exact = prs::deviation::exact_breakpoints(&fam, &res);
     for (w, bp) in res.intervals.windows(2).zip(&exact) {
         if let Some(x) = bp {
-            assert!(*x >= w[0].hi && *x <= w[1].lo, "breakpoint {x} escaped its bracket");
+            assert!(
+                *x >= w[0].hi && *x <= w[1].lo,
+                "breakpoint {x} escaped its bracket"
+            );
         }
     }
 }

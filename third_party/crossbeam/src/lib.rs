@@ -1,0 +1,87 @@
+//! Offline drop-in shim for the subset of `crossbeam` this workspace uses.
+//!
+//! Only [`scope`] is provided. It is a thin adapter over
+//! `std::thread::scope` (stable since Rust 1.63), which supersedes
+//! crossbeam's scoped threads; the adapter keeps crossbeam's call shape —
+//! `scope(|s| { s.spawn(|_| …); }).unwrap()` — so call sites read
+//! identically to the upstream crate and can migrate back verbatim if the
+//! registry ever becomes reachable.
+
+/// Scope handle passed to the [`scope`] closure; mirrors
+/// `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread; mirrors
+/// `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish; `Err` carries the thread's panic
+    /// payload, as in crossbeam.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope again (the
+    /// crossbeam signature), so nested spawns type-check unchanged.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+        }
+    }
+}
+
+/// Run `f` with a [`Scope`]; every thread spawned inside is joined before
+/// `scope` returns. Mirrors `crossbeam::scope`, including the
+/// `thread::Result` wrapper (`Err` only if a *detached* child panicked —
+/// with std scopes a child panic propagates on join instead, so this shim
+/// returns `Ok` or propagates the panic; `.unwrap()` call sites behave the
+/// same either way).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_stack_data() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out = super::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}
