@@ -24,9 +24,9 @@
 //! is exactly their union — see DESIGN.md §3.1 for the exchange argument.)
 
 use crate::error::BdError;
-use prs_flow::{stats, Cap, EdgeId, FlowNetwork, NetworkF64};
+use prs_flow::{stats, Cap, CapInt, EdgeId, FlowNetwork, NetworkF64, NetworkInt};
 use prs_graph::{Graph, VertexId, VertexSet};
-use prs_numeric::Rational;
+use prs_numeric::{gcd::lcm, BigInt, BigUint, Rational, Sign};
 
 /// Which side of its bottleneck pair an agent is on (Definition 4).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -220,20 +220,20 @@ impl BottleneckDecomposition {
 }
 
 /// Node layout of the feasibility network.
-struct Layout {
-    n: usize,
+pub(crate) struct Layout {
+    pub(crate) n: usize,
 }
 
 impl Layout {
-    const S: usize = 0;
-    const T: usize = 1;
-    fn left(&self, v: VertexId) -> usize {
+    pub(crate) const S: usize = 0;
+    pub(crate) const T: usize = 1;
+    pub(crate) fn left(&self, v: VertexId) -> usize {
         2 + v
     }
-    fn right(&self, v: VertexId) -> usize {
+    pub(crate) fn right(&self, v: VertexId) -> usize {
         2 + self.n + v
     }
-    fn nodes(&self) -> usize {
+    pub(crate) fn nodes(&self) -> usize {
         2 + 2 * self.n
     }
 }
@@ -319,45 +319,95 @@ fn maximal_bottleneck_exact(
 /// decomposition round) and re-parameterized capacity-only between
 /// Dinkelbach steps: only the sink arcs `w_u/α` depend on α, so a step is
 /// `set_capacity` over the sink arcs plus `reset_flow` — no allocation.
-struct RoundNets {
-    exact: FlowNetwork,
-    approx: NetworkF64,
-    /// Per alive vertex: `(v, exact sink edge, f64 sink edge)`.
-    sink_edges: Vec<(VertexId, EdgeId, EdgeId)>,
+pub(crate) struct RoundNets {
+    pub(crate) exact: FlowNetwork,
+    pub(crate) approx: NetworkF64,
+    /// Scaled-integer twin of `exact` for the session's warm certification:
+    /// capacities are multiplied by `p·D` (α = p/q in lowest terms, `D`
+    /// clears the alive weights' denominators), turning every flow step into
+    /// gcd-free big-integer arithmetic. Only meaningful after
+    /// [`RoundNets::rebuild_int_only`].
+    pub(crate) exact_int: NetworkInt,
+    /// `p·D` of the current integer build (positive when valid).
+    pub(crate) int_scale: BigInt,
+    /// `D` = lcm of the alive weights' denominators (α-independent part of
+    /// the scale, kept so a Dinkelbach step can re-parameterize in place).
+    int_d: BigInt,
+    /// Scaled integer weight `w_v·D` per alive vertex, in `alive` order.
+    int_weights: Vec<BigInt>,
+    /// Sum of the integer source capacities `Σ w_v·D·p` — the feasibility
+    /// target: the scaled network saturates its sources iff the max flow
+    /// equals this.
+    pub(crate) int_source_total: BigInt,
+    /// Per alive vertex: `(v, sink edge, f64 sink edge)`. The sink edge is
+    /// valid for whichever engine built last (`exact` after
+    /// [`RoundNets::rebuild`], `exact_int` after
+    /// [`RoundNets::rebuild_int_only`] — the two add arcs in the same order,
+    /// so the ids coincide).
+    ///
+    /// The f64 `EdgeId` is only meaningful after a full [`RoundNets::rebuild`]
+    /// — an integer-only rebuild records a placeholder and flips
+    /// `approx_valid` off.
+    pub(crate) sink_edges: Vec<(VertexId, EdgeId, EdgeId)>,
+    /// Per alive vertex: `(v, exact source edge)`, in `alive` order.
+    pub(crate) source_edges: Vec<(VertexId, EdgeId)>,
+    /// The exact middle arcs `(v, u, edge left(v)→right(u))`, sorted
+    /// lexicographically by `(v, u)` (alive iteration is ascending and
+    /// neighbor lists are sorted). The session reads the certifying flow
+    /// off these arcs and seeds the next warm start from it.
+    pub(crate) mid_edges: Vec<(VertexId, VertexId, EdgeId)>,
+    /// Whether `approx` mirrors the current alive set (exact-only rebuilds
+    /// leave it stale).
+    approx_valid: bool,
 }
 
 impl RoundNets {
-    fn new(n_nodes: usize) -> Self {
+    pub(crate) fn new(n_nodes: usize) -> Self {
         RoundNets {
             exact: FlowNetwork::new(n_nodes),
             approx: NetworkF64::new(n_nodes),
+            exact_int: NetworkInt::new(n_nodes),
+            int_scale: BigInt::zero(),
+            int_d: BigInt::zero(),
+            int_weights: Vec::new(),
+            int_source_total: BigInt::zero(),
             sink_edges: Vec::new(),
+            source_edges: Vec::new(),
+            mid_edges: Vec::new(),
+            approx_valid: false,
         }
     }
 
     /// Rebuild both networks for the induced subgraph on `alive` at `alpha`.
-    fn rebuild(&mut self, g: &Graph, alive: &VertexSet, alpha: &Rational) {
+    pub(crate) fn rebuild(&mut self, g: &Graph, alive: &VertexSet, alpha: &Rational) {
         let layout = Layout { n: g.n() };
         let alpha_f = alpha.to_f64();
         self.exact.clear(layout.nodes());
         self.approx.clear(layout.nodes());
+        self.approx_valid = true;
         self.sink_edges.clear();
+        self.source_edges.clear();
+        self.mid_edges.clear();
         for v in alive.iter() {
             let w = g.weight(v);
-            self.exact
+            let s = self
+                .exact
                 .add_edge(Layout::S, layout.left(v), Cap::Finite(w.clone()));
-            self.approx.add_edge(Layout::S, layout.left(v), w.to_f64());
             let e = self
                 .exact
                 .add_edge(layout.right(v), Layout::T, Cap::Finite(w / alpha));
+            self.approx.add_edge(Layout::S, layout.left(v), w.to_f64());
             let a = self
                 .approx
                 .add_edge(layout.right(v), Layout::T, w.to_f64() / alpha_f);
             self.sink_edges.push((v, e, a));
+            self.source_edges.push((v, s));
             for &u in g.neighbors(v) {
                 if alive.contains(u) {
-                    self.exact
+                    let m = self
+                        .exact
                         .add_edge(layout.left(v), layout.right(u), Cap::Infinite);
+                    self.mid_edges.push((v, u, m));
                     self.approx
                         .add_edge(layout.left(v), layout.right(u), f64::INFINITY);
                 }
@@ -366,15 +416,99 @@ impl RoundNets {
     }
 
     /// Re-parameterize the exact network to `alpha` (sink caps + flow reset).
-    fn set_alpha_exact(&mut self, g: &Graph, alpha: &Rational) {
+    pub(crate) fn set_alpha_exact(&mut self, g: &Graph, alpha: &Rational) {
         for &(v, e, _) in &self.sink_edges {
             self.exact.set_capacity(e, Cap::Finite(g.weight(v) / alpha));
         }
         self.exact.reset_flow();
     }
 
+    /// Rebuild only the scaled-integer network at `alpha = p/q` — the
+    /// session's warm certification path. Every capacity is multiplied by
+    /// the positive constant `p·D`, where `D` is the lcm of the alive
+    /// weights' denominators: source arcs carry `(w_v·D)·p`, sink arcs
+    /// `(w_v·D)·q`, middle arcs stay infinite — all integers, so Dinic runs
+    /// gcd-free. Uniform positive scaling preserves the feasibility
+    /// decision, min cuts, and residual reachability of the rational
+    /// network, so every set extracted here is bit-identical to what
+    /// [`RoundNets::rebuild_exact_only`] at the same `alpha` would yield.
+    ///
+    /// Arcs are added in the exact same order as `rebuild_inner`, so the
+    /// `EdgeId`s recorded in `source_edges` / `sink_edges` / `mid_edges`
+    /// are valid for `exact_int`.
+    pub(crate) fn rebuild_int_only(&mut self, g: &Graph, alive: &VertexSet, alpha: &Rational) {
+        let layout = Layout { n: g.n() };
+        self.exact_int.clear(layout.nodes());
+        self.approx_valid = false;
+        self.sink_edges.clear();
+        self.source_edges.clear();
+        self.mid_edges.clear();
+        self.int_weights.clear();
+        let mut d = BigUint::one();
+        for v in alive.iter() {
+            d = lcm(&d, g.weight(v).denom());
+        }
+        let d = BigInt::from_parts(Sign::Plus, d);
+        let p = alpha.numer();
+        let q = BigInt::from_parts(Sign::Plus, alpha.denom().clone());
+        debug_assert!(p.is_positive(), "bottleneck ratios are positive");
+        let mut total = BigInt::zero();
+        for v in alive.iter() {
+            let w = g.weight(v);
+            // w_v·D is integral because denom(w_v) divides D.
+            let iw = w.numer() * &(&d / &BigInt::from_parts(Sign::Plus, w.denom().clone()));
+            let src_cap = &iw * p;
+            let snk_cap = &iw * &q;
+            total += &src_cap;
+            let s = self
+                .exact_int
+                .add_edge(Layout::S, layout.left(v), CapInt::Finite(src_cap));
+            let e = self
+                .exact_int
+                .add_edge(layout.right(v), Layout::T, CapInt::Finite(snk_cap));
+            self.sink_edges.push((v, e, EdgeId::default()));
+            self.source_edges.push((v, s));
+            self.int_weights.push(iw);
+            for &u in g.neighbors(v) {
+                if alive.contains(u) {
+                    let m =
+                        self.exact_int
+                            .add_edge(layout.left(v), layout.right(u), CapInt::Infinite);
+                    self.mid_edges.push((v, u, m));
+                }
+            }
+        }
+        self.int_scale = p * &d;
+        self.int_d = d;
+        self.int_source_total = total;
+    }
+
+    /// Re-parameterize the integer network to `alpha = p'/q'`. Unlike the
+    /// rational network, *both* arc families depend on α here (source caps
+    /// carry the `p` factor of the scale), so both are rewritten; `D` and
+    /// the arc structure are untouched.
+    pub(crate) fn set_alpha_int(&mut self, alpha: &Rational) {
+        let p = alpha.numer();
+        let q = BigInt::from_parts(Sign::Plus, alpha.denom().clone());
+        debug_assert!(p.is_positive(), "bottleneck ratios are positive");
+        debug_assert_eq!(self.int_weights.len(), self.source_edges.len());
+        let mut total = BigInt::zero();
+        for (i, iw) in self.int_weights.iter().enumerate() {
+            let src_cap = iw * p;
+            total += &src_cap;
+            self.exact_int
+                .set_capacity(self.source_edges[i].1, CapInt::Finite(src_cap));
+            self.exact_int
+                .set_capacity(self.sink_edges[i].1, CapInt::Finite(iw * &q));
+        }
+        self.exact_int.reset_flow();
+        self.int_scale = p * &self.int_d;
+        self.int_source_total = total;
+    }
+
     /// Re-parameterize the float network to `alpha_f`.
     fn set_alpha_f64(&mut self, g: &Graph, alpha_f: f64) {
+        debug_assert!(self.approx_valid, "float network is stale");
         for &(v, _, a) in &self.sink_edges {
             self.approx.set_capacity(a, g.weight(v).to_f64() / alpha_f);
         }
@@ -469,7 +603,7 @@ fn propose_f64(
 /// The float tier can therefore change only *how fast* the optimum is
 /// reached (one exact flow on a hit instead of a full descent), never the
 /// result.
-fn maximal_bottleneck(
+pub(crate) fn maximal_bottleneck(
     g: &Graph,
     alive: &VertexSet,
     round: usize,
@@ -572,6 +706,22 @@ pub fn decompose_exact(g: &Graph) -> Result<BottleneckDecomposition, BdError> {
 }
 
 fn decompose_driver(g: &Graph, two_tier: bool) -> Result<BottleneckDecomposition, BdError> {
+    let mut nets = two_tier.then(|| RoundNets::new(2 + 2 * g.n().max(1)));
+    drive(g, |g, alive, round| match &mut nets {
+        Some(nets) => maximal_bottleneck(g, alive, round, nets),
+        None => maximal_bottleneck_exact(g, alive, round),
+    })
+}
+
+/// The shared round loop of every decomposition engine: peel maximal
+/// bottlenecks off the alive set until it is empty, classifying vertices as
+/// it goes. `solve_round(g, alive, round)` supplies each round's
+/// `(B, α)` — the single-tier descent, the two-tier engine, or the session's
+/// warm-started solver.
+pub(crate) fn drive<F>(g: &Graph, mut solve_round: F) -> Result<BottleneckDecomposition, BdError>
+where
+    F: FnMut(&Graph, &VertexSet, usize) -> Result<(VertexSet, Rational), BdError>,
+{
     if g.n() == 0 {
         return Err(BdError::EmptyGraph);
     }
@@ -581,16 +731,12 @@ fn decompose_driver(g: &Graph, two_tier: bool) -> Result<BottleneckDecomposition
     let mut pair_of = vec![usize::MAX; n];
     let mut class_of = vec![AgentClass::B; n];
     let mut round = 0;
-    let mut nets = two_tier.then(|| RoundNets::new(2 + 2 * n));
 
     while !alive.is_empty() {
         if g.set_weight_of(&alive).is_zero() {
             return Err(BdError::ZeroWeightResidue { round });
         }
-        let (b, alpha) = match &mut nets {
-            Some(nets) => maximal_bottleneck(g, &alive, round, nets)?,
-            None => maximal_bottleneck_exact(g, &alive, round)?,
-        };
+        let (b, alpha) = solve_round(g, &alive, round)?;
         let c = g.neighborhood_in(&b, &alive);
         let one = Rational::one();
         debug_assert!(alpha <= one, "α(S) ≤ α(V) ≤ 1 on every subgraph");

@@ -43,9 +43,12 @@ pub mod decomposition;
 pub mod error;
 pub mod par;
 pub mod reference;
+pub mod session;
 
 pub use allocation::{allocate, Allocation};
 pub use decomposition::{
     decompose, decompose_exact, AgentClass, BottleneckDecomposition, BottleneckPair,
 };
 pub use error::BdError;
+pub use par::SessionPool;
+pub use session::{DecompositionSession, SessionConfig, SessionStats};

@@ -9,6 +9,7 @@
 //! (work stealing), each worker writes into its index's slot, and the scope
 //! join makes the slots safe to drain in order.
 
+use crate::session::{DecompositionSession, SessionConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -61,9 +62,103 @@ where
         .collect()
 }
 
+/// A pool of [`DecompositionSession`]s for parallel fan-outs: each worker
+/// checks one session out for its whole lifetime (so every evaluation it
+/// runs warm-starts from its predecessors), and sessions return to the pool
+/// at the join — a later fan-out (the next zoom level, the bisection pass)
+/// re-checks them out with their shape caches intact.
+pub struct SessionPool {
+    cfg: SessionConfig,
+    free: Mutex<Vec<DecompositionSession>>,
+}
+
+impl SessionPool {
+    /// An empty pool; sessions are created on demand with `cfg`.
+    pub fn new(cfg: SessionConfig) -> Self {
+        SessionPool {
+            cfg,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take a session out of the pool (or create a fresh one).
+    pub fn checkout(&self) -> DecompositionSession {
+        self.free
+            .lock()
+            .expect("pool poisoned")
+            .pop()
+            .unwrap_or_else(|| DecompositionSession::with_config(self.cfg.clone()))
+    }
+
+    /// Return a session (and its warm cache) to the pool.
+    pub fn checkin(&self, session: DecompositionSession) {
+        self.free.lock().expect("pool poisoned").push(session);
+    }
+
+    /// Aggregate hit/miss/warm-start counters over the pooled (checked-in)
+    /// sessions.
+    pub fn stats(&self) -> crate::session::SessionStats {
+        let free = self.free.lock().expect("pool poisoned");
+        let mut total = crate::session::SessionStats::default();
+        for s in free.iter() {
+            let st = s.stats();
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.warm_starts += st.warm_starts;
+        }
+        total
+    }
+
+    /// [`par_map_indexed`], with a pooled session threaded through each
+    /// worker: evaluate `f(&mut session, i)` for `i ∈ 0..count` on
+    /// `threads` workers and return results in index order.
+    pub fn map_indexed<T, F>(&self, count: usize, threads: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut DecompositionSession, usize) -> T + Sync,
+    {
+        let threads = threads.clamp(1, count.max(1));
+        if threads == 1 {
+            let mut session = self.checkout();
+            let out = (0..count).map(|i| f(&mut session, i)).collect();
+            self.checkin(session);
+            return out;
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut session = self.checkout();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        *slots[i].lock().expect("slot poisoned") = Some(f(&mut session, i));
+                    }
+                    self.checkin(session);
+                });
+            }
+        })
+        .expect("parallel worker panicked");
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot poisoned")
+                    .expect("cursor covered every index")
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decompose;
+    use prs_graph::builders;
+    use prs_numeric::int;
 
     #[test]
     fn results_in_index_order() {
@@ -82,5 +177,34 @@ mod tests {
         assert_eq!(worker_threads(0), 1);
         assert!(worker_threads(1000) >= 1);
         assert!(worker_threads(2) <= 2);
+    }
+
+    #[test]
+    fn pooled_sessions_match_cold_decompose() {
+        let pool = SessionPool::new(SessionConfig::new());
+        let out = pool.map_indexed(24, 4, |session, i| {
+            let g = builders::path(vec![int(1 + i as i64), int(10), int(3)]).unwrap();
+            (session.decompose(&g).unwrap(), decompose(&g).unwrap())
+        });
+        for (warm, cold) in out {
+            assert_eq!(warm, cold);
+        }
+        // All sessions are back in the pool and did real work.
+        let stats = pool.stats();
+        assert!(stats.hits + stats.misses > 0);
+    }
+
+    #[test]
+    fn pool_reuses_sessions_across_fanouts() {
+        let pool = SessionPool::new(SessionConfig::new());
+        let g = builders::path(vec![int(2), int(10), int(3)]).unwrap();
+        pool.map_indexed(4, 1, |session, _| session.decompose(&g).unwrap());
+        let warm_before = pool.stats();
+        pool.map_indexed(4, 1, |session, _| session.decompose(&g).unwrap());
+        let warm_after = pool.stats();
+        assert!(
+            warm_after.hits > warm_before.hits,
+            "second fan-out must hit the warmed cache: {warm_before:?} → {warm_after:?}"
+        );
     }
 }

@@ -1,0 +1,787 @@
+//! `DecompositionSession` — a warm-started, memoizing solver handle.
+//!
+//! The misreport sweep (Section III-B) and the Sybil grids call
+//! [`decompose`](crate::decompose) at hundreds of nearby parameter values.
+//! Because the decomposition `𝓑(x)` is **piecewise constant** in any single
+//! weight (the breakpoint argument of Section III-B: finitely many candidate
+//! ratios `w(Γ(S))/w(S)` cross each other at finitely many `x`), the
+//! combinatorial *shape* — which vertices form each round's maximal
+//! bottleneck — repeats across almost the entire grid. A cold call cannot
+//! exploit that: every round re-runs the float Dinkelbach descent (each step
+//! of which computes an exact α-ratio), then certifies.
+//!
+//! A session keeps the flow arenas **and** a small MRU cache of *shape
+//! certificates*: the per-round certified bottleneck sets of recent
+//! decompositions, with their certifying flow patterns. Each round then
+//! takes the cheapest sound path:
+//!
+//! 1. **Replay** — a cached round whose exact inputs (alive set, weights on
+//!    it, induced adjacency) equal the current round's returns its certified
+//!    `(B, α)` verbatim, zero flow work. This dominates inside a sweep:
+//!    only one weight moves per grid point, so every round solved after the
+//!    moving vertex is peeled is an exact replay of the cached tail.
+//! 2. **Warm certification** — otherwise compute `α̂ = α(B_cached)` (one
+//!    exact ratio) and certify it with a single max-flow on a
+//!    **scaled-integer network**: every capacity is multiplied by `p·D`
+//!    (`α̂ = p/q` in lowest terms, `D` the lcm of the alive weights'
+//!    denominators), so source arcs carry `(w_v·D)·p` and sink arcs
+//!    `(w_v·D)·q` — all integers, turning each Dinic step from a
+//!    gcd-normalized rational operation into plain big-integer arithmetic.
+//!    The network is pre-seeded with the cached certifying flow rescaled to
+//!    the current weights, so inside a known `ShapeInterval` the flow is
+//!    (nearly) maximal before the first BFS.
+//! 3. **Descent** — at a breakpoint the certification is infeasible and the
+//!    unchanged exact Dinkelbach descent resumes from the min cut (still on
+//!    the integer network); with no usable candidate at all, the standard
+//!    two-tier engine runs on the session's arenas.
+//!
+//! **Bit-identity.** Replay is sound because the round solver is a pure
+//! function of the inputs it compares. For *any* vertex set `S`,
+//! `α(S) ≥ α* = min α`, so a cached candidate can never seed the descent
+//! below the optimum; at the optimum the maximal tight set extracted from
+//! the residual graph is unique (flow-independent — DESIGN.md §3.1); and
+//! uniform positive scaling of all capacities preserves the feasibility
+//! decision, min cuts, and residual reachability, so the integer network
+//! extracts the same sets as the rational one. The session therefore
+//! changes only where exact arithmetic is spent, never what it concludes;
+//! the `session_equivalence` property suite enforces this against cold
+//! [`decompose`](crate::decompose) calls.
+
+use crate::decomposition::{drive, maximal_bottleneck, BottleneckDecomposition, Layout, RoundNets};
+use crate::error::BdError;
+use prs_flow::{stats, CapInt};
+use prs_graph::{Graph, VertexId, VertexSet};
+use prs_numeric::{BigInt, Rational, Sign};
+
+/// How many MRU cache entries a warm-start probe inspects per round.
+/// Sweeps alternate between at most two shapes near a breakpoint (the
+/// bisection pattern), so a small probe window captures essentially all
+/// hits without scanning the whole cache.
+const PROBE_WINDOW: usize = 4;
+
+/// Tuning knobs for a [`DecompositionSession`].
+///
+/// Construct via [`SessionConfig::new`] + `with_*` builders; the struct is
+/// `#[non_exhaustive]` so future knobs are non-breaking.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Seed each round from cached shape certificates (default `true`).
+    /// With this off the session still amortizes arena allocation but every
+    /// round runs the plain two-tier descent.
+    pub warm_start: bool,
+    /// Maximum number of cached shape certificates (default `32`; `0`
+    /// disables the cache entirely).
+    pub cache_capacity: usize,
+}
+
+impl SessionConfig {
+    /// The default configuration: warm starts on, 32 cached shapes.
+    pub fn new() -> Self {
+        SessionConfig {
+            warm_start: true,
+            cache_capacity: 32,
+        }
+    }
+
+    /// Enable or disable warm-starting from cached shapes.
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Set the shape-cache capacity (`0` disables caching).
+    pub fn with_cache_capacity(mut self, cap: usize) -> Self {
+        self.cache_capacity = cap;
+        self
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig::new()
+    }
+}
+
+/// Counter snapshot of one session (see [`DecompositionSession::stats`]).
+///
+/// `hits + misses` equals the total number of decomposition rounds served;
+/// `warm_starts ≥ hits` (a warm-started round that fails certification
+/// counts as a miss).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Rounds settled by a cached shape: one certification max-flow.
+    pub hits: u64,
+    /// Rounds that ran a descent (no usable cached candidate, or the warm
+    /// candidate sat on the wrong side of a breakpoint).
+    pub misses: u64,
+    /// Rounds seeded from a cached shape (successful or not).
+    pub warm_starts: u64,
+}
+
+/// One certified round of a memoized decomposition: the answer `(B, α)`
+/// plus everything needed to (a) replay it verbatim when the round's exact
+/// inputs recur and (b) seed the certification max-flow when only the
+/// weights moved.
+#[derive(Clone)]
+struct RoundCert {
+    /// The certified maximal bottleneck `B_i`.
+    b: VertexSet,
+    /// Its certified ratio `α_i`.
+    alpha: Rational,
+    /// The certification context, shared so replaying a cached round into a
+    /// fresh cache entry is a pointer bump, not a deep copy.
+    data: std::sync::Arc<CertData>,
+}
+
+/// The inputs and certificate of one solved round.
+struct CertData {
+    /// The alive set the round was solved on.
+    alive: VertexSet,
+    /// `w_v` for each alive `v`, in `alive` iteration order.
+    weights: Vec<Rational>,
+    /// The alive-induced adjacency `(v, u)` pairs, in network build order.
+    adj: Vec<(VertexId, VertexId)>,
+    /// The certifying max-flow's middle arcs carrying positive flow:
+    /// `(v, u, flow, w_v-at-certification)`. A later warm start on weights
+    /// `w'` seeds the arc `left(v)→right(u)` with `flow · w'_v / w_v` —
+    /// a straight clone when `w'_v = w_v`, the common case in a sweep where
+    /// only one vertex's weight moves per grid point.
+    support: Vec<(VertexId, VertexId, Rational, Rational)>,
+}
+
+/// One memoized decomposition: the certified per-round bottleneck sets and
+/// their certifying flow patterns.
+///
+/// The capacity signature is implicit: `rounds[i]` is only *used* as a
+/// candidate, never trusted — its α-ratio is recomputed exactly against the
+/// current weights, and the seeded flow is clamped to the current capacities
+/// before [`max_flow`](prs_flow::FlowNetwork::max_flow) completes it, so a
+/// stale entry costs one wasted certification flow at worst and can never
+/// corrupt a result.
+struct ShapeEntry {
+    n: usize,
+    rounds: Vec<RoundCert>,
+}
+
+/// A reusable decomposition solver: owns the exact and f64 flow arenas
+/// across calls and memoizes shape certificates so repeated decompositions
+/// of nearby instances cost one certification max-flow per round instead of
+/// a full Dinkelbach descent.
+///
+/// Results are **bit-identical** to [`decompose`](crate::decompose) on every
+/// input; see the module docs for the argument.
+///
+/// ```
+/// use prs_bd::{decompose, DecompositionSession};
+/// use prs_graph::builders;
+/// use prs_numeric::{int, ratio};
+///
+/// let mut session = DecompositionSession::new();
+/// for w in 1..6 {
+///     let g = builders::path(vec![int(w), int(10)]).unwrap();
+///     assert_eq!(session.decompose(&g).unwrap(), decompose(&g).unwrap());
+/// }
+/// assert!(session.stats().hits > 0); // the shape repeated across the sweep
+/// ```
+pub struct DecompositionSession {
+    cfg: SessionConfig,
+    nets: RoundNets,
+    /// MRU-ordered shape certificates (front = most recent).
+    cache: Vec<ShapeEntry>,
+    local: SessionStats,
+}
+
+impl DecompositionSession {
+    /// A session with the default [`SessionConfig`].
+    pub fn new() -> Self {
+        Self::with_config(SessionConfig::new())
+    }
+
+    /// A session with explicit tuning knobs.
+    pub fn with_config(cfg: SessionConfig) -> Self {
+        DecompositionSession {
+            cfg,
+            nets: RoundNets::new(0),
+            cache: Vec::new(),
+            local: SessionStats::default(),
+        }
+    }
+
+    /// This session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Lifetime hit/miss/warm-start counters for this session. The same
+    /// counts also flow into the process-global [`prs_flow::stats`]
+    /// (`session_hits` / `session_misses` / `session_warm_starts`).
+    pub fn stats(&self) -> SessionStats {
+        self.local
+    }
+
+    /// Number of cached shape certificates.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drop every cached shape certificate (arenas are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Compute the bottleneck decomposition of `g`, warm-starting each round
+    /// from this session's shape cache. Bit-identical to
+    /// [`decompose`](crate::decompose).
+    pub fn decompose(&mut self, g: &Graph) -> Result<BottleneckDecomposition, BdError> {
+        let mut certified: Vec<RoundCert> = Vec::new();
+        let result = {
+            let cfg = self.cfg.clone();
+            let nets = &mut self.nets;
+            let cache = &self.cache;
+            let local = &mut self.local;
+            let certified = &mut certified;
+            drive(g, |g, alive, round| {
+                solve_round_warm(g, alive, round, &cfg, nets, cache, local, certified)
+            })
+        };
+        if result.is_ok() {
+            self.store(g.n(), certified);
+        }
+        result
+    }
+
+    /// Insert a freshly certified shape at the cache front (MRU), deduping
+    /// identical shapes (the fresh entry wins, so the cached flow pattern
+    /// tracks the most recent weights) and evicting beyond capacity.
+    fn store(&mut self, n: usize, rounds: Vec<RoundCert>) {
+        if self.cfg.cache_capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.cache.iter().position(|e| {
+            e.n == n
+                && e.rounds.len() == rounds.len()
+                && e.rounds.iter().zip(&rounds).all(|(a, b)| a.b == b.b)
+        }) {
+            self.cache.remove(pos);
+        }
+        self.cache.insert(0, ShapeEntry { n, rounds });
+        self.cache.truncate(self.cfg.cache_capacity);
+    }
+}
+
+impl Default for DecompositionSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One session round, fastest path first:
+///
+/// 1. **Replay**: a cached round whose exact inputs (alive set, weights,
+///    induced adjacency) match the current ones returns its certified
+///    `(B, α)` verbatim — zero flow work. Sound because the round solver is
+///    a pure function of those inputs.
+/// 2. **Warm certification**: otherwise probe the shape cache for the best
+///    candidate set, build the exact network at its ratio `α̂`, seed it with
+///    the cached certifying flow, and run a single certification max-flow.
+/// 3. **Fallback**: no usable candidate → the standard two-tier engine;
+///    certification fails at a breakpoint → the unchanged exact descent.
+#[allow(clippy::too_many_arguments)]
+fn solve_round_warm(
+    g: &Graph,
+    alive: &VertexSet,
+    round: usize,
+    cfg: &SessionConfig,
+    nets: &mut RoundNets,
+    cache: &[ShapeEntry],
+    local: &mut SessionStats,
+    certified: &mut Vec<RoundCert>,
+) -> Result<(VertexSet, Rational), BdError> {
+    if cfg.warm_start {
+        if let Some(rc) = replay_candidate(g, alive, round, cache) {
+            local.hits += 1;
+            local.warm_starts += 1;
+            stats::record_session_hits(1);
+            stats::record_session_warm_starts(1);
+            if cfg.cache_capacity > 0 {
+                certified.push(rc.clone());
+            }
+            return Ok((rc.b.clone(), rc.alpha.clone()));
+        }
+    }
+
+    let warm = if cfg.warm_start {
+        best_warm_candidate(g, alive, round, cache)
+    } else {
+        None
+    };
+
+    let Some((alpha_hat, entry_idx)) = warm else {
+        // Cold round: the plain two-tier engine (float proposal + exact
+        // certification), reusing this session's arenas.
+        local.misses += 1;
+        stats::record_session_misses(1);
+        let (b, alpha) = maximal_bottleneck(g, alive, round, nets)?;
+        if cfg.cache_capacity > 0 {
+            certified.push(snapshot_cert(nets, g, alive, &b, &alpha));
+        }
+        return Ok((b, alpha));
+    };
+
+    local.warm_starts += 1;
+    stats::record_session_warm_starts(1);
+
+    let layout = Layout { n: g.n() };
+
+    // Build the *scaled-integer* network directly at α̂: multiplying every
+    // capacity by `p·D` (α̂ = p/q in lowest terms, `D` clears the alive
+    // weights' denominators) turns each Dinic step from a gcd-normalized
+    // rational operation into a plain big-integer one, while preserving the
+    // feasibility decision, min cuts, and residual reachability — so the
+    // extracted sets are bit-identical to the rational network's. Then seed
+    // it with the cached round's certifying flow pattern rescaled to the
+    // current weights: inside a known `ShapeInterval` the seed is already
+    // (nearly) maximal, so certification does little more than one
+    // confirming BFS instead of a full augmenting-path run.
+    nets.rebuild_int_only(g, alive, &alpha_hat);
+    let seeded =
+        seed_certification_flow_int(nets, g, alive, &cache[entry_idx].rounds[round].data.support);
+    let mut alpha = alpha_hat;
+    let mut first = true;
+    loop {
+        stats::record_dinkelbach_iterations(1);
+        if !first {
+            nets.set_alpha_int(&alpha);
+        }
+        let mut flow = nets.exact_int.max_flow(Layout::S, Layout::T);
+        if first {
+            // `max_flow` reports only the flow it pushed on top of the seed.
+            flow += &seeded;
+        }
+        // Feasible iff the sources saturate: max flow = Σ (w_v·D)·p.
+        if flow == nets.int_source_total {
+            if first {
+                local.hits += 1;
+                stats::record_session_hits(1);
+            }
+            let reaches = nets.exact_int.residual_reaches_sink(Layout::T);
+            let mut b = VertexSet::empty(g.n());
+            for v in alive.iter() {
+                if !reaches[layout.left(v)] {
+                    b.insert(v);
+                }
+            }
+            debug_assert!(!b.is_empty(), "a tight set must exist at the optimum");
+            if cfg.cache_capacity > 0 {
+                certified.push(snapshot_cert_int(nets, g, alive, &b, &alpha));
+            }
+            return Ok((b, alpha));
+        }
+        if first {
+            // Breakpoint crossed: the cached shape's ratio is no longer the
+            // minimum. Continue the unchanged exact descent from the min
+            // cut — no float-tier re-entry; misses are rare and the pure
+            // descent from α̂ is already close.
+            local.misses += 1;
+            stats::record_session_misses(1);
+            first = false;
+        }
+        let side = nets.exact_int.min_cut_source_side(Layout::S);
+        let mut s_set = VertexSet::empty(g.n());
+        for v in alive.iter() {
+            if side[layout.left(v)] {
+                s_set.insert(v);
+            }
+        }
+        let new_alpha = g
+            .alpha_ratio_in(&s_set, alive)
+            .expect("violating sets have positive weight");
+        if new_alpha.is_zero() {
+            return Err(BdError::ZeroAlpha { round });
+        }
+        debug_assert!(
+            new_alpha < alpha,
+            "Dinkelbach step must strictly decrease α"
+        );
+        alpha = new_alpha;
+    }
+}
+
+/// Find a cached round whose exact inputs — alive set, weights on it, and
+/// the alive-induced adjacency — equal the current round's. The round
+/// solver is a pure function of those inputs, so its certified `(B, α)`
+/// replays verbatim: no network rebuild, no ratio computation, no flow.
+///
+/// This is the dominant path inside a sweep: only one vertex's weight moves
+/// per grid point, so every round solved after that vertex is peeled is an
+/// exact replay of the cached decomposition's tail.
+fn replay_candidate<'a>(
+    g: &Graph,
+    alive: &VertexSet,
+    round: usize,
+    cache: &'a [ShapeEntry],
+) -> Option<&'a RoundCert> {
+    for entry in cache.iter().take(PROBE_WINDOW) {
+        if entry.n != g.n() || round >= entry.rounds.len() {
+            continue;
+        }
+        let data = &entry.rounds[round].data;
+        if data.alive != *alive {
+            continue;
+        }
+        if !alive
+            .iter()
+            .zip(&data.weights)
+            .all(|(v, w)| g.weight(v) == w)
+        {
+            continue;
+        }
+        // Same alive set and weights; confirm the induced adjacency (the
+        // session accepts arbitrary graphs, not just one weight family).
+        let mut cached_adj = data.adj.iter();
+        let mut same = true;
+        'topo: for v in alive.iter() {
+            for &u in g.neighbors(v) {
+                if alive.contains(u) && cached_adj.next() != Some(&(v, u)) {
+                    same = false;
+                    break 'topo;
+                }
+            }
+        }
+        if same && cached_adj.next().is_none() {
+            return Some(&entry.rounds[round]);
+        }
+    }
+    None
+}
+
+/// Snapshot a freshly certified round into a [`RoundCert`]: the answer, the
+/// inputs it was solved on, and the certifying max-flow's middle-arc
+/// pattern (read off the exact network, which every solve path leaves at
+/// the feasible optimum).
+fn snapshot_cert(
+    nets: &RoundNets,
+    g: &Graph,
+    alive: &VertexSet,
+    b: &VertexSet,
+    alpha: &Rational,
+) -> RoundCert {
+    let mut weights = Vec::with_capacity(alive.len());
+    for v in alive.iter() {
+        weights.push(g.weight(v).clone());
+    }
+    let mut adj = Vec::with_capacity(nets.mid_edges.len());
+    let mut support = Vec::new();
+    for &(v, u, e) in &nets.mid_edges {
+        adj.push((v, u));
+        let f = nets.exact.flow_on(e);
+        if f.is_positive() {
+            support.push((v, u, f.clone(), g.weight(v).clone()));
+        }
+    }
+    RoundCert {
+        b: b.clone(),
+        alpha: alpha.clone(),
+        data: std::sync::Arc::new(CertData {
+            alive: alive.clone(),
+            weights,
+            adj,
+            support,
+        }),
+    }
+}
+
+/// Probe the MRU front of the cache for this round's best warm seed: the
+/// candidate set with the smallest exact α-ratio among usable entries
+/// (`0 < α̂ ≤ 1`, candidate alive), together with the cache index it came
+/// from (its certifying flow pattern seeds the max-flow). Smaller seeds
+/// dominate: `α(S) ≥ α*` always, so the smallest available ratio is the one
+/// closest to the optimum.
+fn best_warm_candidate(
+    g: &Graph,
+    alive: &VertexSet,
+    round: usize,
+    cache: &[ShapeEntry],
+) -> Option<(Rational, usize)> {
+    let one = Rational::one();
+    let mut best: Option<(Rational, usize)> = None;
+    for (idx, entry) in cache.iter().take(PROBE_WINDOW).enumerate() {
+        if entry.n != g.n() || round >= entry.rounds.len() {
+            continue;
+        }
+        let cand = &entry.rounds[round].b;
+        if cand.is_empty() || !cand.is_subset(alive) {
+            continue;
+        }
+        let Some(alpha_hat) = g.alpha_ratio_in(cand, alive) else {
+            continue;
+        };
+        if !alpha_hat.is_positive() || alpha_hat > one {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(b, _)| alpha_hat < *b) {
+            best = Some((alpha_hat, idx));
+        }
+    }
+    best
+}
+
+/// Snapshot a round certified on the *integer* network: identical to
+/// [`snapshot_cert`] except the middle-arc flows are read off
+/// `nets.exact_int` and divided back by the scale `p·D`, so the cached
+/// support is in true (unscaled) flow units regardless of which engine
+/// certifies next time.
+fn snapshot_cert_int(
+    nets: &RoundNets,
+    g: &Graph,
+    alive: &VertexSet,
+    b: &VertexSet,
+    alpha: &Rational,
+) -> RoundCert {
+    debug_assert!(nets.int_scale.is_positive());
+    let scale = nets.int_scale.magnitude();
+    let mut weights = Vec::with_capacity(alive.len());
+    for v in alive.iter() {
+        weights.push(g.weight(v).clone());
+    }
+    let mut adj = Vec::with_capacity(nets.mid_edges.len());
+    let mut support = Vec::new();
+    for &(v, u, e) in &nets.mid_edges {
+        adj.push((v, u));
+        let f = nets.exact_int.flow_on(e);
+        if f.is_positive() {
+            support.push((
+                v,
+                u,
+                Rational::new(f.clone(), scale.clone()),
+                g.weight(v).clone(),
+            ));
+        }
+    }
+    RoundCert {
+        b: b.clone(),
+        alpha: alpha.clone(),
+        data: std::sync::Arc::new(CertData {
+            alive: alive.clone(),
+            weights,
+            adj,
+            support,
+        }),
+    }
+}
+
+/// Preload the scaled-integer network with the cached certifying flow
+/// pattern, rescaled from the cached weights to the current ones (and into
+/// the `p·D` integer units), then clamped to the current capacities.
+/// Returns the seeded flow value (the amount already routed s→t, in scaled
+/// units).
+///
+/// The seed is always a *valid* flow — capacity-respecting and conserving:
+/// each middle arc gets `min(⌊flow·(w'_v/w_v)·pD⌋, supply, sink room)`, and
+/// the source/sink arcs are then set to the exact per-vertex sums. The
+/// floor loses at most one scaled unit per arc, which the certification
+/// max-flow recovers from the residual graph: Dinic completes **any** valid
+/// flow to a maximum flow, so seeding changes only how many augmenting
+/// paths are needed, never the result.
+fn seed_certification_flow_int(
+    nets: &mut RoundNets,
+    g: &Graph,
+    alive: &VertexSet,
+    support: &[(VertexId, VertexId, Rational, Rational)],
+) -> BigInt {
+    let mut total = BigInt::zero();
+    if support.is_empty() {
+        return total;
+    }
+    debug_assert!(nets.int_scale.is_positive());
+    let n = g.n();
+    let mut out = vec![BigInt::zero(); n];
+    let mut intake = vec![BigInt::zero(); n];
+    for (v, u, f, w_then) in support {
+        let (v, u) = (*v, *u);
+        if !alive.contains(v) || !alive.contains(u) {
+            continue;
+        }
+        let Ok(mid) = nets
+            .mid_edges
+            .binary_search_by(|probe| (probe.0, probe.1).cmp(&(v, u)))
+        else {
+            continue; // edge no longer present (different topology)
+        };
+        let w_now = g.weight(v);
+        // desired = ⌊ f · (w'_v / w_v) · p·D ⌋, assembled numerator over
+        // denominator so there is exactly one big division per arc.
+        let num = &(&(f.numer() * w_now.numer())
+            * &BigInt::from_parts(Sign::Plus, w_then.denom().clone()))
+            * &nets.int_scale;
+        let den = &(&BigInt::from_parts(Sign::Plus, f.denom().clone())
+            * &BigInt::from_parts(Sign::Plus, w_now.denom().clone()))
+            * w_then.numer();
+        let mut desired = &num / &den;
+        if !desired.is_positive() {
+            continue;
+        }
+        // Clamp the sender to its remaining source capacity and the
+        // receiver to its remaining sink room.
+        let Ok(vpos) = nets.source_edges.binary_search_by(|probe| probe.0.cmp(&v)) else {
+            continue;
+        };
+        if let CapInt::Finite(scap) = nets.exact_int.capacity_of(nets.source_edges[vpos].1) {
+            let supply = scap - &out[v];
+            if !supply.is_positive() {
+                continue;
+            }
+            if desired > supply {
+                desired = supply;
+            }
+        }
+        let Ok(upos) = nets.sink_edges.binary_search_by(|probe| probe.0.cmp(&u)) else {
+            continue;
+        };
+        let sink_e = nets.sink_edges[upos].1;
+        if let CapInt::Finite(cap) = nets.exact_int.capacity_of(sink_e) {
+            let room = cap - &intake[u];
+            if !room.is_positive() {
+                continue;
+            }
+            if desired > room {
+                desired = room;
+            }
+        }
+        out[v] += &desired;
+        intake[u] += &desired;
+        let e = nets.mid_edges[mid].2;
+        nets.exact_int.preset_flow(e, desired);
+    }
+    // Mirror the middle flows onto the source and sink arcs so the seed
+    // conserves at every inner node.
+    for &(u, sink_e, _) in &nets.sink_edges {
+        if intake[u].is_positive() {
+            nets.exact_int.preset_flow(sink_e, intake[u].clone());
+        }
+    }
+    for &(v, src_e) in &nets.source_edges {
+        if out[v].is_positive() {
+            total += &out[v];
+            nets.exact_int.preset_flow(src_e, out[v].clone());
+        }
+    }
+    debug_assert!(nets.exact_int.check_capacities());
+    debug_assert!(nets.exact_int.check_conservation(Layout::S, Layout::T));
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose;
+    use prs_graph::builders;
+    use prs_numeric::{int, ratio, Rational};
+
+    fn path_graph(w0: Rational) -> Graph {
+        builders::path(vec![w0, int(10), int(3)]).unwrap()
+    }
+
+    #[test]
+    fn session_matches_cold_decompose_across_a_sweep() {
+        let mut session = DecompositionSession::new();
+        for k in 1..40 {
+            let g = path_graph(ratio(k, 7));
+            let warm = session.decompose(&g).unwrap();
+            let cold = decompose(&g).unwrap();
+            assert_eq!(warm, cold, "diverged at w0 = {}/7", k);
+        }
+        let s = session.stats();
+        assert!(s.hits > 0, "a 40-point sweep must re-enter shapes: {s:?}");
+        assert!(s.hits + s.misses > 0);
+        assert!(s.warm_starts >= s.hits);
+    }
+
+    #[test]
+    fn warm_start_off_never_warm_starts() {
+        let cfg = SessionConfig::new().with_warm_start(false);
+        let mut session = DecompositionSession::with_config(cfg);
+        for k in 1..10 {
+            let g = path_graph(int(k));
+            assert_eq!(session.decompose(&g).unwrap(), decompose(&g).unwrap());
+        }
+        let s = session.stats();
+        assert_eq!(s.warm_starts, 0);
+        assert_eq!(s.hits, 0);
+        assert!(s.misses > 0);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_caching() {
+        let cfg = SessionConfig::new().with_cache_capacity(0);
+        let mut session = DecompositionSession::with_config(cfg);
+        for k in 1..6 {
+            let g = path_graph(int(k));
+            session.decompose(&g).unwrap();
+        }
+        assert_eq!(session.cache_len(), 0);
+        assert_eq!(session.stats().hits, 0);
+    }
+
+    #[test]
+    fn cache_evicts_beyond_capacity_and_dedupes() {
+        let cfg = SessionConfig::new().with_cache_capacity(2);
+        let mut session = DecompositionSession::with_config(cfg);
+        // Same shape every time → a single deduped entry.
+        for k in 1..5 {
+            session.decompose(&path_graph(int(k))).unwrap();
+        }
+        assert_eq!(session.cache_len(), 1);
+        // Distinct shapes (different n) evict down to capacity.
+        session
+            .decompose(&builders::path(vec![int(1), int(4)]).unwrap())
+            .unwrap();
+        session
+            .decompose(&builders::star(vec![int(10), int(1), int(1), int(1)]).unwrap())
+            .unwrap();
+        assert_eq!(session.cache_len(), 2);
+    }
+
+    #[test]
+    fn counters_are_monotone_and_account_every_round() {
+        let mut session = DecompositionSession::new();
+        let mut prev = SessionStats::default();
+        let mut rounds_served = 0u64;
+        for k in 1..12 {
+            let g = path_graph(int(k));
+            let bd = session.decompose(&g).unwrap();
+            rounds_served += bd.k() as u64;
+            let s = session.stats();
+            assert!(s.hits >= prev.hits);
+            assert!(s.misses >= prev.misses);
+            assert!(s.warm_starts >= prev.warm_starts);
+            assert_eq!(s.hits + s.misses, rounds_served);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn errors_propagate_and_leave_session_usable() {
+        let mut session = DecompositionSession::new();
+        let empty = Graph::new(vec![], &[]).unwrap();
+        assert_eq!(session.decompose(&empty), Err(BdError::EmptyGraph));
+        let isolated = Graph::new(vec![int(1), int(1), int(1)], &[(0, 1)]).unwrap();
+        assert!(matches!(
+            session.decompose(&isolated),
+            Err(BdError::ZeroAlpha { .. })
+        ));
+        let g = path_graph(int(3));
+        assert_eq!(session.decompose(&g).unwrap(), decompose(&g).unwrap());
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = SessionConfig::new()
+            .with_warm_start(false)
+            .with_cache_capacity(7);
+        assert!(!cfg.warm_start);
+        assert_eq!(cfg.cache_capacity, 7);
+        assert_eq!(SessionConfig::default(), SessionConfig::new());
+    }
+}

@@ -15,16 +15,14 @@ fn a1_optimizer_refinement(c: &mut Criterion) {
     let mut g = c.benchmark_group("a1_refinement");
     g.sample_size(10);
     let ring = ring_family(7700, 1, 8, 1, 16).pop().unwrap();
-    let coarse = AttackConfig {
-        grid: 32,
-        zoom_levels: 0,
-        keep: 1,
-    };
-    let zoomed = AttackConfig {
-        grid: 32,
-        zoom_levels: 5,
-        keep: 3,
-    };
+    let coarse = AttackConfig::new()
+        .with_grid(32)
+        .with_zoom_levels(0)
+        .with_keep(1);
+    let zoomed = AttackConfig::new()
+        .with_grid(32)
+        .with_zoom_levels(5)
+        .with_keep(3);
     g.bench_function("grid_only", |b| {
         b.iter(|| best_sybil_split(black_box(&ring), 0, &coarse))
     });

@@ -24,11 +24,10 @@ fn split_primitives(c: &mut Criterion) {
 fn attack_optimization(c: &mut Criterion) {
     let mut g = c.benchmark_group("sybil_attack");
     g.sample_size(10);
-    let cfg = AttackConfig {
-        grid: 24,
-        zoom_levels: 4,
-        keep: 2,
-    };
+    let cfg = AttackConfig::new()
+        .with_grid(24)
+        .with_zoom_levels(4)
+        .with_keep(2);
     for n in [6usize, 12, 24] {
         let ring = ring_family(8900 + n as u64, 1, n, 1, 20).pop().unwrap();
         g.bench_function(format!("best_split/n={n}"), |b| {
@@ -41,11 +40,10 @@ fn attack_optimization(c: &mut Criterion) {
 fn whole_ring_audit(c: &mut Criterion) {
     let mut g = c.benchmark_group("theorem8_audit");
     g.sample_size(10);
-    let cfg = AttackConfig {
-        grid: 12,
-        zoom_levels: 2,
-        keep: 2,
-    };
+    let cfg = AttackConfig::new()
+        .with_grid(12)
+        .with_zoom_levels(2)
+        .with_keep(2);
     for n in [5usize, 8] {
         let ring = ring_family(8950 + n as u64, 1, n, 1, 12).pop().unwrap();
         g.bench_function(format!("ring/n={n}"), |b| {

@@ -20,7 +20,11 @@ use prs_core::sybil::theorem8::{lower_bound_ring, LOWER_BOUND_AGENT};
 use prs_core::RingInstance;
 
 fn main() {
-    let which: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = std::env::args().skip(1).collect();
+    // `--quick` (or `quick`): smaller instances and fewer reps — the CI
+    // smoke configuration. Affects only the `bench` target.
+    let quick = which.iter().any(|w| w == "--quick" || w == "quick");
+    which.retain(|w| w != "--quick" && w != "quick");
     let run = |name: &str| which.is_empty() || which.iter().any(|w| w == name || w == "all");
 
     if run("e1") {
@@ -78,7 +82,7 @@ fn main() {
         e18_collusion();
     }
     if run("bench") {
-        bench_two_tier();
+        bench_two_tier(quick);
     }
 }
 
@@ -218,13 +222,7 @@ fn e5_alpha_curves() {
             "\n  {name} — weights {:?}, agent {v}: {case:?}",
             g.weights()
         );
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 12,
-                refine_bits: 10,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(12).with_refine_bits(10));
         println!("    x → α_v(x) [class]:");
         for s in res.samples.iter().step_by(2) {
             println!(
@@ -247,13 +245,7 @@ fn e6_theorem10() {
         for g in ring_family(300 + n as u64, 6, n, 1, 12) {
             for v in 0..2 {
                 let fam = MisreportFamily::new(g.clone(), v);
-                let res = sweep(
-                    &fam,
-                    &SweepConfig {
-                        grid: 24,
-                        refine_bits: 20,
-                    },
-                );
+                let res = sweep(&fam, &SweepConfig::new().with_grid(24).with_refine_bits(20));
                 let rep = prs_core::deviation::check_theorem10_monotonicity(&fam, &res);
                 total += 1;
                 if rep.monotone {
@@ -284,13 +276,7 @@ fn e7_breakpoint_events() {
         g.weight(v)
     );
     let fam = MisreportFamily::new(g, v);
-    let res = sweep(
-        &fam,
-        &SweepConfig {
-            grid: 48,
-            refine_bits: 25,
-        },
-    );
+    let res = sweep(&fam, &SweepConfig::new().with_grid(48).with_refine_bits(25));
     let mut t = Table::new(&["interval", "x range", "pairs (B | C)", "k", "v class"]);
     for (i, iv) in res.intervals.iter().enumerate() {
         let shape = iv
@@ -396,11 +382,10 @@ fn e10_stage_audits() {
         "E10",
         "Stage lemmas — per-stage utility deltas along optimal attacks",
     );
-    let cfg = AttackConfig {
-        grid: 20,
-        zoom_levels: 3,
-        keep: 2,
-    };
+    let cfg = AttackConfig::new()
+        .with_grid(20)
+        .with_zoom_levels(3)
+        .with_keep(2);
     let mut audited = 0usize;
     let mut neutral = 0usize;
     let mut checks_passed = 0usize;
@@ -437,11 +422,10 @@ fn e10_stage_audits() {
 /// E11 — Theorem 8: ζ = 2 on rings (upper bound audits + lower bound search).
 fn e11_theorem8() {
     header("E11", "Theorem 8 — the tight incentive ratio of two");
-    let cfg = AttackConfig {
-        grid: 32,
-        zoom_levels: 5,
-        keep: 3,
-    };
+    let cfg = AttackConfig::new()
+        .with_grid(32)
+        .with_zoom_levels(5)
+        .with_keep(3);
 
     // (a) Upper bound: no agent on any instance exceeds 2.
     let mut max_seen = Rational::zero();
@@ -505,11 +489,10 @@ fn e12_bound_history() {
         "E12",
         "Bound history — empirical max ζ vs published upper bounds",
     );
-    let cfg = AttackConfig {
-        grid: 24,
-        zoom_levels: 4,
-        keep: 3,
-    };
+    let cfg = AttackConfig::new()
+        .with_grid(24)
+        .with_zoom_levels(4)
+        .with_keep(3);
     let mut t = Table::new(&[
         "n",
         "empirical max ζ (search)",
@@ -599,10 +582,7 @@ fn e14_general_conjecture() {
     );
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let cfg = GeneralAttackConfig {
-        grid: 10,
-        max_copies: 3,
-    };
+    let cfg = GeneralAttackConfig::new().with_grid(10).with_max_copies(3);
     let mut t = Table::new(&["family", "instances", "attacks", "max ζ lower bound"]);
     let mut push_family = |name: &str, graphs: Vec<Graph>| {
         // Enumerate the attack sites first, then fan the independent
@@ -684,11 +664,10 @@ fn e15_exhaustive_small_rings() {
         "E15",
         "Exhaustive small rings — Theorem 8 with no sampling gaps",
     );
-    let cfg = AttackConfig {
-        grid: 12,
-        zoom_levels: 2,
-        keep: 2,
-    };
+    let cfg = AttackConfig::new()
+        .with_grid(12)
+        .with_zoom_levels(2)
+        .with_keep(2);
     let mut t = Table::new(&[
         "n",
         "W",
@@ -869,7 +848,13 @@ fn e18_collusion() {
 /// proposes; an exact pass certifies — see DESIGN.md §3.1), so the timings
 /// compare two routes to the same answer. The "sybil" rows time the
 /// decomposition of split rings — the inner loop of every attack optimizer.
-fn bench_two_tier() {
+///
+/// A second set of "session workloads" times whole sweeps and attack
+/// optimizations with warm-started [`DecompositionSession`]s (the default)
+/// against session-less cold runs (`warm_start(false)`,
+/// `cache_capacity(0)`), asserting identical results and recording the
+/// `session_hits`/`session_misses`/`session_warm_starts` counter deltas.
+fn bench_two_tier(quick: bool) {
     use prs_core::bd::{decompose as decompose_two_tier, decompose_exact};
     use prs_core::flow::stats;
     use prs_core::sybil::SybilSplitFamily;
@@ -895,17 +880,19 @@ fn bench_two_tier() {
     let reps = std::env::var("BENCH_REPS")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(7);
+        .unwrap_or(if quick { 3 } else { 7 });
 
     // The measured workloads: rings (the paper's domain, the Criterion
     // `decompose` bench shape) and the split rings the Sybil optimizer
     // decomposes at every payoff evaluation.
+    let ring_ns: &[usize] = if quick { &[12, 16] } else { &[16, 32, 48, 64] };
+    let split_ns: &[usize] = if quick { &[16] } else { &[32, 64] };
     let mut workloads: Vec<(String, Graph)> = Vec::new();
-    for n in [16usize, 32, 48, 64] {
+    for &n in ring_ns {
         let ring = ring_family(9000 + n as u64, 1, n, 1, 50).pop().unwrap();
         workloads.push((format!("ring/n={n}"), ring));
     }
-    for n in [32usize, 64] {
+    for &n in split_ns {
         let ring = ring_family(9000 + n as u64, 1, n, 1, 50).pop().unwrap();
         let fam = SybilSplitFamily::new(ring.clone(), 0);
         let w1 = ring.weight(0) * &ratio(1, 3);
@@ -957,28 +944,141 @@ fn bench_two_tier() {
 
     // One end-to-end number: a full attack optimization (whose inner loop is
     // thousands of split-ring decompositions) under the two-tier engine.
-    let ring = ring_family(9032, 1, 32, 1, 50).pop().unwrap();
-    let cfg = AttackConfig {
-        grid: 12,
-        zoom_levels: 2,
-        keep: 2,
-    };
+    let attack_n = if quick { 12 } else { 32 };
+    let ring = ring_family(9000 + attack_n as u64, 1, attack_n, 1, 50)
+        .pop()
+        .unwrap();
+    let cfg = AttackConfig::new()
+        .with_grid(12)
+        .with_zoom_levels(2)
+        .with_keep(2);
     let before = stats::snapshot();
     let attack_ms = median_ms(3, || best_sybil_split(&ring, 0, &cfg));
     let attack_stats = stats::snapshot().since(&before);
-    println!("  end-to-end Sybil attack (n=32, two-tier): {attack_ms:.1} ms/optimization");
+    println!("  end-to-end Sybil attack (n={attack_n}, two-tier): {attack_ms:.1} ms/optimization");
+
+    // --- session workloads: warm-started sessions vs cold per-call runs ---
+    //
+    // "cold" runs the same two-tier per-round engine with warm starts and
+    // the shape cache disabled, so the delta isolates exactly what the
+    // session machinery buys. Results are asserted identical first.
+    let mut session_rows: Vec<String> = Vec::new();
+    let mut ts = Table::new(&[
+        "workload",
+        "cold ms",
+        "session ms",
+        "speedup",
+        "hits",
+        "misses",
+        "warm-starts",
+    ]);
+    let mut push_session_row =
+        |name: &str, cold_ms: f64, session_ms: f64, delta: &prs_core::flow::stats::FlowStats| {
+            let speedup = cold_ms / session_ms;
+            ts.row(vec![
+                name.to_string(),
+                format!("{cold_ms:.3}"),
+                format!("{session_ms:.3}"),
+                format!("{speedup:.2}×"),
+                delta.session_hits.to_string(),
+                delta.session_misses.to_string(),
+                delta.session_warm_starts.to_string(),
+            ]);
+            session_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"cold_ms\": {:.4}, \"session_ms\": {:.4}, ",
+                    "\"speedup\": {:.3}, \"session_hits\": {}, \"session_misses\": {}, ",
+                    "\"session_warm_starts\": {}}}"
+                ),
+                name,
+                cold_ms,
+                session_ms,
+                speedup,
+                delta.session_hits,
+                delta.session_misses,
+                delta.session_warm_starts,
+            ));
+        };
+
+    // Misreport sweeps: the grid + bisection passes share one session pool.
+    let sweep_ns: &[usize] = if quick { &[12] } else { &[16, 32] };
+    let sweep_grid = if quick { 24 } else { 48 };
+    for &n in sweep_ns {
+        let ring = ring_family(9100 + n as u64, 1, n, 1, 50).pop().unwrap();
+        let fam = MisreportFamily::new(ring, 0);
+        let cold_cfg = SweepConfig::new()
+            .with_grid(sweep_grid)
+            .with_refine_bits(20)
+            .with_warm_start(false)
+            .with_cache_capacity(0);
+        let session_cfg = SweepConfig::new()
+            .with_grid(sweep_grid)
+            .with_refine_bits(20);
+        let cold = sweep(&fam, &cold_cfg);
+        let warm = sweep(&fam, &session_cfg);
+        assert_eq!(
+            cold.samples.len(),
+            warm.samples.len(),
+            "sweep n={n}: sample counts differ"
+        );
+        for (c, w) in cold.samples.iter().zip(&warm.samples) {
+            assert_eq!((&c.x, &c.alpha, &c.utility), (&w.x, &w.alpha, &w.utility));
+            assert_eq!(c.class, w.class, "sweep n={n}: class differs at x={}", c.x);
+        }
+        let cold_ms = median_ms(reps, || sweep(&fam, &cold_cfg));
+        let before = stats::snapshot();
+        let session_ms = median_ms(reps, || sweep(&fam, &session_cfg));
+        let delta = stats::snapshot().since(&before);
+        push_session_row(
+            &format!("misreport-sweep/n={n}"),
+            cold_ms,
+            session_ms,
+            &delta,
+        );
+    }
+
+    // Sybil grids: one pool across every zoom level of the optimizer.
+    let sybil_ns: &[usize] = if quick { &[8] } else { &[12, 16] };
+    for &n in sybil_ns {
+        let ring = ring_family(9200 + n as u64, 1, n, 1, 50).pop().unwrap();
+        let cold_cfg = AttackConfig::new()
+            .with_grid(24)
+            .with_zoom_levels(3)
+            .with_keep(2)
+            .with_warm_start(false)
+            .with_cache_capacity(0);
+        let session_cfg = AttackConfig::new()
+            .with_grid(24)
+            .with_zoom_levels(3)
+            .with_keep(2);
+        let cold = best_sybil_split(&ring, 0, &cold_cfg);
+        let warm = best_sybil_split(&ring, 0, &session_cfg);
+        assert_eq!(cold.ratio, warm.ratio, "sybil n={n}: ratios differ");
+        assert_eq!(cold.best.w1, warm.best.w1, "sybil n={n}: splits differ");
+        let cold_ms = median_ms(reps, || best_sybil_split(&ring, 0, &cold_cfg));
+        let before = stats::snapshot();
+        let session_ms = median_ms(reps, || best_sybil_split(&ring, 0, &session_cfg));
+        let delta = stats::snapshot().since(&before);
+        push_session_row(&format!("sybil-grid/n={n}"), cold_ms, session_ms, &delta);
+    }
+    ts.print();
 
     let json = format!(
         concat!(
             "{{\n",
             "  \"generated_by\": \"cargo run --release -p prs-bench --bin experiments bench\",\n",
+            "  \"quick\": {},\n",
             "  \"reps_per_measurement\": {},\n",
             "  \"engines\": [\n{}\n  ],\n",
-            "  \"sybil_attack_n32\": {{\"two_tier_ms\": {:.4}, \"stats\": {}}}\n",
+            "  \"session_workloads\": [\n{}\n  ],\n",
+            "  \"sybil_attack_n{}\": {{\"two_tier_ms\": {:.4}, \"stats\": {}}}\n",
             "}}\n"
         ),
+        quick,
         reps,
         rows.join(",\n"),
+        session_rows.join(",\n"),
+        attack_n,
         attack_ms,
         attack_stats.to_json(),
     );

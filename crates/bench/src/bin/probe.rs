@@ -1,10 +1,9 @@
 use prs_core::prelude::*;
 fn main() {
-    let cfg = AttackConfig {
-        grid: 64,
-        zoom_levels: 8,
-        keep: 3,
-    };
+    let cfg = AttackConfig::new()
+        .with_grid(64)
+        .with_zoom_levels(8)
+        .with_keep(3);
     // Family A: generalize n=6 winner [eps, eps, H, H, w, w] with v=4
     for k in [2i32, 4, 6, 8, 10, 12] {
         let eps = Rational::from_integer(2).pow(-k);

@@ -165,11 +165,10 @@ pub fn cmd_audit(g: &Graph, stats: bool, out: &mut dyn Write) -> std::io::Result
     let before = prs_core::flow::stats::snapshot();
     let audit = audit_paper_claims(
         &ring,
-        &AttackConfig {
-            grid: 16,
-            zoom_levels: 3,
-            keep: 2,
-        },
+        &AttackConfig::new()
+            .with_grid(16)
+            .with_zoom_levels(3)
+            .with_keep(2),
         12,
     );
     writeln!(out, "paper-claim audit:")?;
@@ -389,6 +388,7 @@ mod tests {
         assert!(out.contains("flow-engine stats"), "{out}");
         assert!(out.contains("exact max-flows"), "{out}");
         assert!(out.contains("fast-path"), "{out}");
+        assert!(out.contains("session"), "{out}");
     }
 
     #[test]

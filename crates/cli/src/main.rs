@@ -3,7 +3,6 @@
 //! See [`commands::USAGE`] or run `prs` with no arguments.
 
 mod commands;
-mod parse;
 
 use std::process::ExitCode;
 
@@ -28,7 +27,7 @@ fn run(args: &[String]) -> Result<(), String> {
         .get(1)
         .ok_or_else(|| format!("missing instance file\n\n{}", commands::USAGE))?;
     let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let graph = parse::parse_instance(&text).map_err(|e| format!("{file}: {e}"))?;
+    let graph = prs_core::parse::parse_instance(&text).map_err(|e| format!("{file}: {e}"))?;
 
     let mut stdout = std::io::stdout().lock();
     let vertex_arg = |idx: usize| -> Result<usize, String> {

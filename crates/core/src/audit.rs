@@ -81,10 +81,9 @@ pub fn audit_paper_claims(
         let fam = MisreportFamily::new(g.clone(), v);
         let res = sweep(
             &fam,
-            &SweepConfig {
-                grid: sweep_grid,
-                refine_bits: 16,
-            },
+            &SweepConfig::new()
+                .with_grid(sweep_grid)
+                .with_refine_bits(16),
         );
         let rep = prs_deviation::check_theorem10_monotonicity(&fam, &res);
         theorem10 &= rep.monotone;
@@ -140,11 +139,10 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> AttackConfig {
-        AttackConfig {
-            grid: 12,
-            zoom_levels: 2,
-            keep: 2,
-        }
+        AttackConfig::new()
+            .with_grid(12)
+            .with_zoom_levels(2)
+            .with_keep(2)
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! A weighted ring with the paper's full analysis surface.
 
+use crate::error::Error;
 use prs_bd::{allocate, decompose, AgentClass, Allocation, BottleneckDecomposition};
 use prs_deviation::{classify_prop11, MisreportFamily, Prop11Case};
 use prs_dynamics::{ConvergenceReport, F64Engine};
-use prs_graph::{builders, Graph, GraphError, VertexId};
+use prs_graph::{builders, Graph, VertexId};
 use prs_numeric::Rational;
 use prs_sybil::{
     attack::AttackConfig, best_sybil_split, cases::InitialPathReport, classify_initial_path,
@@ -32,14 +33,14 @@ impl std::fmt::Debug for RingInstance {
 impl RingInstance {
     /// Build from explicit rational weights (`n ≥ 3`). Weights must be
     /// positive for the decomposition to exist on a ring.
-    pub fn new(weights: Vec<Rational>) -> Result<Self, GraphError> {
+    pub fn new(weights: Vec<Rational>) -> Result<Self, Error> {
         let graph = builders::ring(weights)?;
-        let bd = decompose(&graph).expect("positive-weight rings always decompose");
+        let bd = decompose(&graph)?;
         Ok(RingInstance { graph, bd })
     }
 
     /// Build from integer weights.
-    pub fn from_integers(weights: &[i64]) -> Result<Self, GraphError> {
+    pub fn from_integers(weights: &[i64]) -> Result<Self, Error> {
         Self::new(weights.iter().map(|&w| Rational::from_integer(w)).collect())
     }
 
@@ -154,11 +155,10 @@ mod tests {
         for v in 0..r.n() {
             let out = r.sybil_attack(
                 v,
-                &AttackConfig {
-                    grid: 16,
-                    zoom_levels: 3,
-                    keep: 2,
-                },
+                &AttackConfig::new()
+                    .with_grid(16)
+                    .with_zoom_levels(3)
+                    .with_keep(2),
             );
             assert!(out.ratio >= Rational::one());
             assert!(out.ratio <= int(2));

@@ -35,25 +35,37 @@
 //! ```
 
 pub mod audit;
+pub mod error;
 pub mod instance;
+pub mod parse;
 
+pub use error::Error;
 pub use instance::RingInstance;
 
-/// Convenient glob-import surface.
+/// Convenient glob-import surface, session-first: the warm-started
+/// [`DecompositionSession`](prs_bd::DecompositionSession) and its pool are
+/// the intended entry points for anything that decomposes more than one
+/// graph.
 pub mod prelude {
     pub use crate::audit::{audit_paper_claims, PaperAudit};
+    pub use crate::error::Error;
     pub use crate::instance::RingInstance;
-    pub use prs_bd::{allocate, decompose, AgentClass, Allocation, BottleneckDecomposition};
+    pub use crate::parse::parse_instance;
+    pub use prs_bd::{
+        allocate, decompose, decompose_exact, AgentClass, Allocation, BdError,
+        BottleneckDecomposition, DecompositionSession, SessionConfig, SessionPool, SessionStats,
+    };
     pub use prs_deviation::{
-        classify_prop11, sweep, GraphFamily, MisreportFamily, Prop11Case, SweepConfig,
+        classify_prop11, sweep, AlphaSample, GraphFamily, MisreportFamily, Prop11Case,
+        ShapeInterval, SweepConfig, SweepResult,
     };
     pub use prs_dynamics::{ExactEngine, F64Engine};
-    pub use prs_graph::{builders, Graph, VertexId, VertexSet};
+    pub use prs_graph::{builders, Graph, GraphError, VertexId, VertexSet};
     pub use prs_numeric::{int, ratio, BigInt, BigUint, Rational};
     pub use prs_p2psim::{Strategy, Swarm, SwarmConfig};
     pub use prs_sybil::{
         best_sybil_split, check_ring_theorem8, classify_initial_path, honest_split,
-        worst_case_search, AttackConfig, InitialPathCase, SybilOutcome,
+        worst_case_search, AttackConfig, GeneralAttackConfig, InitialPathCase, SybilOutcome,
     };
 }
 

@@ -16,36 +16,22 @@
 //! ```
 //!
 //! Weights accept the same literals as [`Rational::from_str`]: integers,
-//! `p/q` fractions, and exact decimals.
+//! `p/q` fractions, and exact decimals. Failures come back as
+//! [`Error::Parse`] carrying the offending line number.
 
-use prs_core::graph::{builders, Graph};
-use prs_core::numeric::Rational;
-use std::fmt;
+use crate::error::Error;
+use prs_graph::{builders, Graph};
+use prs_numeric::Rational;
 
-/// Parse error with a line number.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    pub line: usize,
-    pub message: String,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError {
+fn err(line: usize, message: impl Into<String>) -> Error {
+    Error::Parse {
         line,
         message: message.into(),
     }
 }
 
 /// Parse an instance file into a [`Graph`].
-pub fn parse_instance(text: &str) -> Result<Graph, ParseError> {
+pub fn parse_instance(text: &str) -> Result<Graph, Error> {
     let mut kind: Option<&str> = None;
     let mut weights: Option<Vec<Rational>> = None;
     let mut edges: Option<Vec<(usize, usize)>> = None;
@@ -106,7 +92,14 @@ pub fn parse_instance(text: &str) -> Result<Graph, ParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prs_core::numeric::{int, ratio};
+    use prs_numeric::{int, ratio};
+
+    fn parse_err(text: &str) -> (usize, String) {
+        match parse_instance(text).unwrap_err() {
+            Error::Parse { line, message } => (line, message),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
 
     #[test]
     fn parses_ring() {
@@ -140,16 +133,16 @@ mod tests {
     fn error_reporting() {
         assert!(parse_instance("").is_err());
         assert!(parse_instance("ring\n").is_err());
-        let e = parse_instance("ring\nweights: 1 x 3").unwrap_err();
-        assert_eq!(e.line, 2);
-        assert!(e.message.contains('x'));
-        let e = parse_instance("graph\nweights: 1 2\nedges: 0_1").unwrap_err();
-        assert!(e.message.contains("0_1"));
+        let (line, message) = parse_err("ring\nweights: 1 x 3");
+        assert_eq!(line, 2);
+        assert!(message.contains('x'));
+        let (_, message) = parse_err("graph\nweights: 1 2\nedges: 0_1");
+        assert!(message.contains("0_1"));
         assert!(parse_instance("torus\nweights: 1 2 3").is_err());
         // Graphs need edges.
         assert!(parse_instance("graph\nweights: 1 2").is_err());
         // Invalid topology bubbles up the GraphError text.
-        let e = parse_instance("graph\nweights: 1 2\nedges: 0-0").unwrap_err();
-        assert!(e.message.contains("self-loop"));
+        let (_, message) = parse_err("graph\nweights: 1 2\nedges: 0-0");
+        assert!(message.contains("self-loop"));
     }
 }

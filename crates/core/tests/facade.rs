@@ -35,11 +35,10 @@ fn prelude_covers_the_full_workflow() {
     // Sybil attack + case + audit.
     let attack: SybilOutcome = ring.sybil_attack(
         0,
-        &AttackConfig {
-            grid: 12,
-            zoom_levels: 2,
-            keep: 2,
-        },
+        &AttackConfig::new()
+            .with_grid(12)
+            .with_zoom_levels(2)
+            .with_keep(2),
     );
     assert!(attack.ratio <= Rational::from_integer(2));
     let case = classify_initial_path(ring.graph(), 0);
@@ -56,11 +55,10 @@ fn prelude_covers_the_full_workflow() {
     // Full audit.
     let audit: PaperAudit = audit_paper_claims(
         &ring,
-        &AttackConfig {
-            grid: 10,
-            zoom_levels: 2,
-            keep: 2,
-        },
+        &AttackConfig::new()
+            .with_grid(10)
+            .with_zoom_levels(2)
+            .with_keep(2),
         8,
     );
     assert!(audit.all_hold(), "{audit:?}");

@@ -259,13 +259,7 @@ mod tests {
     fn interval_models_verify_across_sweeps() {
         let g = builders::ring(ints(&[6, 2, 4, 3, 5])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 24,
-                refine_bits: 20,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(24).with_refine_bits(20));
         for iv in &res.intervals {
             verify_interval(&fam, iv).unwrap();
         }
@@ -277,13 +271,7 @@ mod tests {
         // x = 4 — where α₀(x) = (5+x)/9 crosses 1.
         let g = builders::ring(ints(&[6, 2, 4, 3, 5])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 24,
-                refine_bits: 22,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(24).with_refine_bits(22));
         assert_eq!(res.intervals.len(), 2);
         let bp = exact_breakpoint(&fam, &res.intervals[0], &res.intervals[1]);
         assert_eq!(bp, Some(int(4)));
@@ -295,13 +283,7 @@ mod tests {
         // α = 1/x ⇔ both meet 1).
         let g = builders::path(ints(&[1, 10])).unwrap();
         let fam = MisreportFamily::new(g, 1);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 24,
-                refine_bits: 22,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(24).with_refine_bits(22));
         let bps = exact_breakpoints(&fam, &res);
         assert!(bps.iter().flatten().any(|b| b == &int(1)), "{bps:?}");
     }

@@ -159,13 +159,7 @@ mod tests {
         let g = builders::ring(ints(&[1, 10, 1, 10])).unwrap();
         let fam = MisreportFamily::new(g, 1);
         let case = classify_prop11(&fam, 20);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 40,
-                refine_bits: 12,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(40).with_refine_bits(12));
         let series: Vec<_> = res
             .samples
             .iter()
@@ -196,13 +190,7 @@ mod tests {
             let g = random::random_ring(&mut rng, 6, 1, 10);
             for v in 0..3 {
                 let fam = MisreportFamily::new(g.clone(), v);
-                let res = sweep(
-                    &fam,
-                    &SweepConfig {
-                        grid: 24,
-                        refine_bits: 10,
-                    },
-                );
+                let res = sweep(&fam, &SweepConfig::new().with_grid(24).with_refine_bits(10));
                 let series: Vec<_> = res
                     .samples
                     .iter()

@@ -208,13 +208,7 @@ mod tests {
         // rest of the graph into the terminal α = 1 pair.
         let g = builders::ring(ints(&[6, 2, 4, 3, 5])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 32,
-                refine_bits: 24,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(32).with_refine_bits(24));
         let events = classify_events(&fam, &res);
         assert_eq!(events.len(), 1);
         let e = &events[0];
@@ -234,13 +228,7 @@ mod tests {
         // merge/split/other with class preservation.
         let g = builders::path(ints(&[1, 10])).unwrap();
         let fam = MisreportFamily::new(g, 1);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 24,
-                refine_bits: 22,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(24).with_refine_bits(22));
         let events = classify_events(&fam, &res);
         assert!(!events.is_empty());
         for e in &events {
@@ -257,13 +245,7 @@ mod tests {
             let g = random::random_ring(&mut rng, 6, 1, 10);
             for v in 0..2 {
                 let fam = MisreportFamily::new(g.clone(), v);
-                let res = sweep(
-                    &fam,
-                    &SweepConfig {
-                        grid: 24,
-                        refine_bits: 20,
-                    },
-                );
+                let res = sweep(&fam, &SweepConfig::new().with_grid(24).with_refine_bits(20));
                 for e in classify_events(&fam, &res) {
                     assert!(e.focus_class_preserved, "{e:?} on {:?}", g.weights());
                 }

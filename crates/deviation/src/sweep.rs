@@ -9,8 +9,8 @@
 //! combinatorics.
 
 use crate::family::GraphFamily;
-use prs_bd::par::{par_map_indexed, worker_threads};
-use prs_bd::{decompose, AgentClass, BottleneckDecomposition};
+use prs_bd::par::{worker_threads, SessionPool};
+use prs_bd::{AgentClass, BottleneckDecomposition, DecompositionSession, SessionConfig};
 use prs_graph::VertexId;
 use prs_numeric::Rational;
 
@@ -48,6 +48,11 @@ pub struct ShapeInterval {
 }
 
 /// Sweep parameters.
+///
+/// Construct via [`SweepConfig::new`] + `with_*` builders; the struct is
+/// `#[non_exhaustive]` so new knobs (like the session cache controls) land
+/// without breaking callers.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct SweepConfig {
     /// Number of uniform grid cells over the domain.
@@ -55,14 +60,59 @@ pub struct SweepConfig {
     /// Bisection steps used to localize each breakpoint
     /// (final width = cell width / 2^bits).
     pub refine_bits: u32,
+    /// Warm-start decompositions from per-worker session caches
+    /// (default `true`; results are bit-identical either way).
+    pub warm_start: bool,
+    /// Shape-cache capacity of each worker session (default `32`).
+    pub cache_capacity: usize,
+}
+
+impl SweepConfig {
+    /// The default sweep: 64 grid cells, 30-bit localization, warm sessions.
+    pub fn new() -> Self {
+        SweepConfig {
+            grid: 64,
+            refine_bits: 30,
+            warm_start: true,
+            cache_capacity: 32,
+        }
+    }
+
+    /// Set the number of uniform grid cells.
+    pub fn with_grid(mut self, grid: usize) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Set the per-breakpoint bisection depth.
+    pub fn with_refine_bits(mut self, bits: u32) -> Self {
+        self.refine_bits = bits;
+        self
+    }
+
+    /// Enable or disable session warm-starts.
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Set the per-session shape-cache capacity.
+    pub fn with_cache_capacity(mut self, cap: usize) -> Self {
+        self.cache_capacity = cap;
+        self
+    }
+
+    /// The session configuration implied by these sweep knobs.
+    pub fn session_config(&self) -> SessionConfig {
+        SessionConfig::new()
+            .with_warm_start(self.warm_start)
+            .with_cache_capacity(self.cache_capacity)
+    }
 }
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig {
-            grid: 64,
-            refine_bits: 30,
-        }
+        SweepConfig::new()
     }
 }
 
@@ -98,10 +148,14 @@ impl SweepResult {
 /// (possible only at domain boundaries, e.g. a 2-path whose partner reports
 /// 0 — then its neighborhood weight is 0 and Proposition 3's `α₁ > 0`
 /// premise fails).
-fn sample<F: GraphFamily>(fam: &F, x: &Rational) -> Option<AlphaSample> {
+fn sample<F: GraphFamily>(
+    fam: &F,
+    x: &Rational,
+    session: &mut DecompositionSession,
+) -> Option<AlphaSample> {
     let g = fam.graph_at(x);
     let v = fam.focus_vertex();
-    let bd = decompose(&g).ok()?;
+    let bd = session.decompose(&g).ok()?;
     Some(AlphaSample {
         x: x.clone(),
         alpha: bd.alpha_of(v).clone(),
@@ -118,10 +172,11 @@ fn refine_cell<F: GraphFamily>(
     mut a: AlphaSample,
     mut b: AlphaSample,
     refine_bits: u32,
+    session: &mut DecompositionSession,
 ) -> (AlphaSample, AlphaSample) {
     for _ in 0..refine_bits {
         let mid_x = a.x.midpoint(&b.x);
-        let Some(mid) = sample(fam, &mid_x) else {
+        let Some(mid) = sample(fam, &mid_x, session) else {
             break; // interior degeneracy: stop refining this cell
         };
         if mid.bd.shape() == a.bd.shape() {
@@ -141,23 +196,29 @@ fn refine_cell<F: GraphFamily>(
 ///
 /// Every evaluation is independent, so both passes fan out over scoped
 /// worker threads; results are reassembled in parameter order, making the
-/// output identical to a sequential sweep.
+/// output identical to a sequential sweep. The grid and bisection passes
+/// share one [`SessionPool`]: each worker warm-starts its decompositions
+/// from the shapes its session has already certified (piecewise-constant
+/// `𝓑(x)` makes nearly every re-evaluation a cache hit).
 pub fn sweep<F: GraphFamily + Sync>(fam: &F, cfg: &SweepConfig) -> SweepResult {
     let (lo, hi) = fam.domain();
     assert!(lo < hi, "degenerate domain");
     let grid = cfg.grid.max(1);
     let width = &(&hi - &lo) / &Rational::from_integer(grid as i64);
+    let pool = SessionPool::new(cfg.session_config());
 
     // Grid pass (boundary points where the decomposition is undefined are
     // skipped — see `sample`).
     let xs: Vec<Rational> = (0..=grid)
         .map(|i| &lo + &(&width * &Rational::from_integer(i as i64)))
         .collect();
-    let mut samples: Vec<AlphaSample> =
-        par_map_indexed(xs.len(), worker_threads(xs.len()), |i| sample(fam, &xs[i]))
-            .into_iter()
-            .flatten()
-            .collect();
+    let mut samples: Vec<AlphaSample> = pool
+        .map_indexed(xs.len(), worker_threads(xs.len()), |session, i| {
+            sample(fam, &xs[i], session)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     assert!(
         !samples.is_empty(),
         "family undecomposable on the whole sampled domain"
@@ -167,15 +228,16 @@ pub fn sweep<F: GraphFamily + Sync>(fam: &F, cfg: &SweepConfig) -> SweepResult {
     // different shapes. (A cell hiding ≥ 2 breakpoints with identical outer
     // shapes is resolved only if the grid is fine enough — documented
     // limitation; raise `grid` for adversarial families.) Cells refine
-    // independently, one worker each.
+    // independently, one worker each, with grid-pass sessions re-checked out
+    // of the pool — their caches already hold both shapes of each cell.
     let cells: Vec<(AlphaSample, AlphaSample)> = samples
         .windows(2)
         .filter(|w| w[0].bd.shape() != w[1].bd.shape())
         .map(|w| (w[0].clone(), w[1].clone()))
         .collect();
-    let refined = par_map_indexed(cells.len(), worker_threads(cells.len()), |i| {
+    let refined = pool.map_indexed(cells.len(), worker_threads(cells.len()), |session, i| {
         let (a, b) = cells[i].clone();
-        refine_cell(fam, a, b, cfg.refine_bits)
+        refine_cell(fam, a, b, cfg.refine_bits, session)
     });
     let mut extra: Vec<AlphaSample> = Vec::new();
     for (a, b) in refined {
@@ -229,13 +291,7 @@ mod tests {
         // α({0}) = 4/x ≥ 4 — B = {1} always, shape constant.
         let g = builders::path(ints(&[1, 4])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 8,
-                refine_bits: 10,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(8).with_refine_bits(10));
         assert_eq!(res.intervals.len(), 1);
         assert!(res.breakpoints().is_empty());
     }
@@ -249,13 +305,7 @@ mod tests {
         // localize it tightly.
         let g = builders::path(ints(&[1, 10])).unwrap();
         let fam = MisreportFamily::new(g, 1);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 24,
-                refine_bits: 25,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(24).with_refine_bits(25));
         assert!(res.intervals.len() >= 2, "expected a shape change");
         // The breakpoint estimate brackets x* = 1 within the refinement width.
         let bps = res.breakpoints();
@@ -275,13 +325,7 @@ mod tests {
     fn samples_are_sorted_and_unique() {
         let g = builders::ring(ints(&[3, 1, 4, 1, 5])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 16,
-                refine_bits: 12,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(16).with_refine_bits(12));
         for w in res.samples.windows(2) {
             assert!(w[0].x < w[1].x);
         }
@@ -291,13 +335,7 @@ mod tests {
     fn utilities_in_sweep_match_direct_decomposition() {
         let g = builders::ring(ints(&[2, 5, 3, 7])).unwrap();
         let fam = MisreportFamily::new(g.clone(), 1);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 10,
-                refine_bits: 4,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(10).with_refine_bits(4));
         for s in &res.samples {
             let g_x = g.with_weight(1, s.x.clone());
             let bd = prs_bd::decompose(&g_x).unwrap();

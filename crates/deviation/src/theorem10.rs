@@ -85,13 +85,7 @@ mod tests {
 
     fn check(g: prs_graph::Graph, v: usize) -> Theorem10Report {
         let fam = MisreportFamily::new(g, v);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 32,
-                refine_bits: 24,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(32).with_refine_bits(24));
         check_theorem10_monotonicity(&fam, &res)
     }
 
@@ -133,13 +127,7 @@ mod tests {
         // just require they are already tiny at 24 bits.
         let g = builders::ring(ints(&[6, 2, 4, 3, 5])).unwrap();
         let fam = MisreportFamily::new(g, 0);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 32,
-                refine_bits: 24,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(32).with_refine_bits(24));
         let rep = check_theorem10_monotonicity(&fam, &res);
         assert!(rep.monotone);
         assert!(

@@ -26,8 +26,10 @@
 
 pub mod network;
 pub mod network_f64;
+pub mod network_int;
 pub mod stats;
 
 pub use network::{Cap, EdgeId, FlowNetwork, NodeId};
 pub use network_f64::NetworkF64;
+pub use network_int::{CapInt, NetworkInt};
 pub use stats::FlowStats;

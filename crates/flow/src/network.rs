@@ -136,6 +136,30 @@ impl FlowNetwork {
         &self.arcs[id].flow
     }
 
+    /// The capacity of forward edge `id`.
+    pub fn capacity_of(&self, id: EdgeId) -> &Cap {
+        debug_assert_eq!(id % 2, 0, "capacities live on forward arcs");
+        &self.arcs[id].cap
+    }
+
+    /// Seed forward edge `id` with flow `f` before a [`max_flow`] run (warm
+    /// start). The caller must keep the overall assignment capacity-valid
+    /// and conserving; `max_flow` then augments from this state and returns
+    /// only the *additional* flow pushed — the total value is the preset
+    /// amount plus the return value.
+    ///
+    /// [`max_flow`]: Self::max_flow
+    pub fn preset_flow(&mut self, id: EdgeId, f: Rational) {
+        debug_assert_eq!(id % 2, 0, "presets go on forward arcs");
+        debug_assert!(!f.is_negative());
+        debug_assert!(match &self.arcs[id].cap {
+            Cap::Infinite => true,
+            Cap::Finite(c) => &f <= c,
+        });
+        self.arcs[id ^ 1].flow = -&f;
+        self.arcs[id].flow = f;
+    }
+
     /// True iff edge `id` is saturated (meaningless for infinite arcs: always
     /// false there).
     pub fn is_saturated(&self, id: EdgeId) -> bool {

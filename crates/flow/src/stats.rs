@@ -36,6 +36,14 @@ pub struct FlowStats {
     pub networks_built: u64,
     /// Network rebuilds that reused existing arc storage (arena hits).
     pub networks_reused: u64,
+    /// Session rounds settled by a cached shape certificate (one exact
+    /// certification max-flow, no descent).
+    pub session_hits: u64,
+    /// Session rounds that ran a full descent (no cached candidate, or the
+    /// warm candidate failed certification).
+    pub session_misses: u64,
+    /// Session rounds seeded from a cached shape (hits plus failed probes).
+    pub session_warm_starts: u64,
 }
 
 impl FlowStats {
@@ -47,6 +55,17 @@ impl FlowStats {
             f64::NAN
         } else {
             self.fast_path_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of session-served rounds settled straight from the shape
+    /// cache (`NaN` when no session round was instrumented).
+    pub fn session_hit_rate(&self) -> f64 {
+        let total = self.session_hits + self.session_misses;
+        if total == 0 {
+            f64::NAN
+        } else {
+            self.session_hits as f64 / total as f64
         }
     }
 
@@ -64,6 +83,9 @@ impl FlowStats {
             fast_path_fallbacks: self.fast_path_fallbacks - earlier.fast_path_fallbacks,
             networks_built: self.networks_built - earlier.networks_built,
             networks_reused: self.networks_reused - earlier.networks_reused,
+            session_hits: self.session_hits - earlier.session_hits,
+            session_misses: self.session_misses - earlier.session_misses,
+            session_warm_starts: self.session_warm_starts - earlier.session_warm_starts,
         }
     }
 
@@ -83,6 +105,9 @@ impl FlowStats {
             ("fast-path fallbacks", self.fast_path_fallbacks),
             ("networks built", self.networks_built),
             ("networks reused", self.networks_reused),
+            ("session hits", self.session_hits),
+            ("session misses", self.session_misses),
+            ("session warm-starts", self.session_warm_starts),
         ];
         for (k, v) in rows {
             out.push_str(&format!("  {k:<24} {v}\n"));
@@ -92,6 +117,14 @@ impl FlowStats {
                 "  {:<24} {:.1}%\n",
                 "fast-path rate",
                 rate * 100.0
+            ));
+        }
+        let session_rate = self.session_hit_rate();
+        if session_rate.is_finite() {
+            out.push_str(&format!(
+                "  {:<24} {:.1}%\n",
+                "session hit rate",
+                session_rate * 100.0
             ));
         }
         out
@@ -107,7 +140,8 @@ impl FlowStats {
                 "\"f64_bfs_phases\": {}, \"f64_augmenting_paths\": {}, ",
                 "\"dinkelbach_iterations\": {}, \"fast_path_hits\": {}, ",
                 "\"fast_path_fallbacks\": {}, \"networks_built\": {}, ",
-                "\"networks_reused\": {}}}"
+                "\"networks_reused\": {}, \"session_hits\": {}, ",
+                "\"session_misses\": {}, \"session_warm_starts\": {}}}"
             ),
             self.exact_max_flows,
             self.exact_bfs_phases,
@@ -120,6 +154,9 @@ impl FlowStats {
             self.fast_path_fallbacks,
             self.networks_built,
             self.networks_reused,
+            self.session_hits,
+            self.session_misses,
+            self.session_warm_starts,
         )
     }
 }
@@ -162,6 +199,9 @@ counters! {
     FAST_FALLBACKS => fast_path_fallbacks, record_fast_path_fallbacks;
     NETS_BUILT => networks_built, record_networks_built;
     NETS_REUSED => networks_reused, record_networks_reused;
+    SESSION_HITS => session_hits, record_session_hits;
+    SESSION_MISSES => session_misses, record_session_misses;
+    SESSION_WARM => session_warm_starts, record_session_warm_starts;
 }
 
 #[cfg(test)]
@@ -200,5 +240,27 @@ mod tests {
     #[test]
     fn rate_is_nan_when_uninstrumented() {
         assert!(FlowStats::default().fast_path_rate().is_nan());
+        assert!(FlowStats::default().session_hit_rate().is_nan());
+    }
+
+    #[test]
+    fn session_counters_round_trip() {
+        let before = snapshot();
+        record_session_hits(4);
+        record_session_misses(1);
+        record_session_warm_starts(5);
+        let delta = snapshot().since(&before);
+        assert!(delta.session_hits >= 4);
+        assert!(delta.session_misses >= 1);
+        assert!(delta.session_warm_starts >= 5);
+        let s = FlowStats {
+            session_hits: 3,
+            session_misses: 1,
+            session_warm_starts: 3,
+            ..FlowStats::default()
+        };
+        assert!(s.render().contains("session hits"));
+        assert!(s.render().contains("75.0%"), "{}", s.render());
+        assert!(s.to_json().contains("\"session_warm_starts\": 3"));
     }
 }

@@ -14,7 +14,8 @@
 //! hyperbolically), zooming keeps a few best cells per level, not just one.
 
 use crate::split::SybilSplitFamily;
-use prs_bd::par::{par_map_indexed, worker_threads};
+use prs_bd::par::{worker_threads, SessionPool};
+use prs_bd::{DecompositionSession, SessionConfig};
 use prs_graph::{Graph, VertexId};
 use prs_numeric::Rational;
 
@@ -37,6 +38,11 @@ impl SplitSample {
 }
 
 /// Optimizer configuration.
+///
+/// Construct via [`AttackConfig::new`] + `with_*` builders; the struct is
+/// `#[non_exhaustive]` so new knobs (like the session cache controls) land
+/// without breaking callers.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct AttackConfig {
     /// Grid cells per zoom level.
@@ -45,15 +51,66 @@ pub struct AttackConfig {
     pub zoom_levels: usize,
     /// Number of best cells carried to the next level.
     pub keep: usize,
+    /// Warm-start decompositions from per-worker session caches
+    /// (default `true`; results are bit-identical either way).
+    pub warm_start: bool,
+    /// Shape-cache capacity of each worker session (default `32`).
+    pub cache_capacity: usize,
 }
 
-impl Default for AttackConfig {
-    fn default() -> Self {
+impl AttackConfig {
+    /// The default optimizer: 48-cell grid, 6 zoom levels, keep 3 cells.
+    pub fn new() -> Self {
         AttackConfig {
             grid: 48,
             zoom_levels: 6,
             keep: 3,
+            warm_start: true,
+            cache_capacity: 32,
         }
+    }
+
+    /// Set the grid cells per zoom level.
+    pub fn with_grid(mut self, grid: usize) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Set the number of zoom levels.
+    pub fn with_zoom_levels(mut self, levels: usize) -> Self {
+        self.zoom_levels = levels;
+        self
+    }
+
+    /// Set the number of best cells carried to the next level.
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep;
+        self
+    }
+
+    /// Enable or disable session warm-starts.
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Set the per-session shape-cache capacity.
+    pub fn with_cache_capacity(mut self, cap: usize) -> Self {
+        self.cache_capacity = cap;
+        self
+    }
+
+    /// The session configuration implied by these optimizer knobs.
+    pub fn session_config(&self) -> SessionConfig {
+        SessionConfig::new()
+            .with_warm_start(self.warm_start)
+            .with_cache_capacity(self.cache_capacity)
+    }
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig::new()
     }
 }
 
@@ -79,8 +136,12 @@ impl SybilOutcome {
     }
 }
 
-fn eval(fam: &SybilSplitFamily, w1: &Rational) -> Option<SplitSample> {
-    fam.payoff(w1).map(|(u1, u2)| SplitSample {
+fn eval(
+    fam: &SybilSplitFamily,
+    w1: &Rational,
+    session: &mut DecompositionSession,
+) -> Option<SplitSample> {
+    fam.payoff_in(w1, session).map(|(u1, u2)| SplitSample {
         w1: w1.clone(),
         u1,
         u2,
@@ -88,12 +149,15 @@ fn eval(fam: &SybilSplitFamily, w1: &Rational) -> Option<SplitSample> {
 }
 
 /// Evaluate every split in `xs` (exact decompositions, fanned out over
-/// scoped workers), keeping successful samples in input order.
-fn eval_batch(fam: &SybilSplitFamily, xs: &[Rational]) -> Vec<SplitSample> {
-    par_map_indexed(xs.len(), worker_threads(xs.len()), |i| eval(fam, &xs[i]))
-        .into_iter()
-        .flatten()
-        .collect()
+/// scoped workers with pooled warm sessions), keeping successful samples in
+/// input order.
+fn eval_batch(fam: &SybilSplitFamily, xs: &[Rational], pool: &SessionPool) -> Vec<SplitSample> {
+    pool.map_indexed(xs.len(), worker_threads(xs.len()), |session, i| {
+        eval(fam, &xs[i], session)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Maximize the attacker payoff over `w₁ ∈ [0, w_v]` for agent `v` on a
@@ -117,6 +181,9 @@ pub fn best_sybil_split(ring: &Graph, v: VertexId, cfg: &AttackConfig) -> SybilO
     let total = fam.total().clone();
     assert!(total.is_positive(), "agent must own positive weight");
     let mut evals = 0usize;
+    // One pool for the whole optimization: zoom-level evaluations warm-start
+    // from the shapes the level-0 grid certified.
+    let pool = SessionPool::new(cfg.session_config());
 
     let grid_pts = |lo: &Rational, hi: &Rational, m: usize| -> Vec<Rational> {
         let width = &(hi - lo) / &Rational::from_integer(m as i64);
@@ -132,10 +199,13 @@ pub fn best_sybil_split(ring: &Graph, v: VertexId, cfg: &AttackConfig) -> SybilO
     // below is identical to a sequential scan.
     let level0 = grid_pts(&Rational::zero(), &total, cfg.grid);
     evals += level0.len();
-    let mut curve: Vec<SplitSample> = eval_batch(&fam, &level0);
+    let mut curve: Vec<SplitSample> = eval_batch(&fam, &level0, &pool);
     let (w1_honest, _) = crate::split::honest_split(ring, v);
     evals += 1;
-    if let Some(s) = eval(&fam, &w1_honest) {
+    let mut session = pool.checkout();
+    let honest_sample = eval(&fam, &w1_honest, &mut session);
+    pool.checkin(session);
+    if let Some(s) = honest_sample {
         curve.push(s);
         curve.sort_by(|a, b| a.w1.cmp(&b.w1));
         curve.dedup_by(|a, b| a.w1 == b.w1);
@@ -171,7 +241,7 @@ pub fn best_sybil_split(ring: &Graph, v: VertexId, cfg: &AttackConfig) -> SybilO
             }
             let pts = grid_pts(lo, hi, cfg.grid.min(16));
             evals += pts.len();
-            let local: Vec<SplitSample> = eval_batch(&fam, &pts);
+            let local: Vec<SplitSample> = eval_batch(&fam, &pts, &pool);
             let Some(loc_best) = local.iter().max_by(|a, b| a.total().cmp(&b.total())) else {
                 continue;
             };
@@ -220,11 +290,10 @@ mod tests {
     }
 
     fn small_cfg() -> AttackConfig {
-        AttackConfig {
-            grid: 24,
-            zoom_levels: 4,
-            keep: 2,
-        }
+        AttackConfig::new()
+            .with_grid(24)
+            .with_zoom_levels(4)
+            .with_keep(2)
     }
 
     #[test]

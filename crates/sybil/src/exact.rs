@@ -82,10 +82,7 @@ pub fn certified_best_split(ring: &Graph, v: VertexId, grid: usize, bits: u32) -
 
     let res = sweep(
         &fam,
-        &SweepConfig {
-            grid,
-            refine_bits: bits,
-        },
+        &SweepConfig::new().with_grid(grid).with_refine_bits(bits),
     );
 
     // Seed with the honest split (Lemma 9 floor).
@@ -158,13 +155,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let g = random::random_ring(&mut rng, 5, 1, 10);
         let fam = SybilSplitFamily::new(g.clone(), 0);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 16,
-                refine_bits: 16,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(16).with_refine_bits(16));
         for iv in &res.intervals {
             let Some(m1) = copy_utility_model(&fam, &iv.lo, fam.v1()) else {
                 continue;
@@ -193,11 +184,10 @@ mod tests {
                 let grid_out = best_sybil_split(
                     &g,
                     v,
-                    &AttackConfig {
-                        grid: 16,
-                        zoom_levels: 3,
-                        keep: 2,
-                    },
+                    &AttackConfig::new()
+                        .with_grid(16)
+                        .with_zoom_levels(3)
+                        .with_keep(2),
                 );
                 let cert = certified_best_split(&g, v, 24, 30);
                 assert!(

@@ -160,11 +160,10 @@ mod tests {
     use prs_numeric::{int, ratio};
 
     fn cfg() -> AttackConfig {
-        AttackConfig {
-            grid: 10,
-            zoom_levels: 2,
-            keep: 2,
-        }
+        AttackConfig::new()
+            .with_grid(10)
+            .with_zoom_levels(2)
+            .with_keep(2)
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! Experiment E14 runs this over trees, stars, complete and random graphs;
 //! no violation has been observed (see EXPERIMENTS.md).
 
-use prs_bd::{decompose, BdError};
+use prs_bd::{decompose, BdError, DecompositionSession, SessionConfig};
 use prs_graph::{Graph, VertexId};
 use prs_numeric::Rational;
 
@@ -104,8 +104,21 @@ pub fn attack_payoff(
     partition: &[usize],
     weights: &[Rational],
 ) -> Option<Rational> {
+    attack_payoff_in(g, v, partition, weights, &mut DecompositionSession::new())
+}
+
+/// [`attack_payoff`] through a caller-owned [`DecompositionSession`] — the
+/// simplex-grid search's hot path (weight placements on one partition share
+/// decomposition shapes).
+pub fn attack_payoff_in(
+    g: &Graph,
+    v: VertexId,
+    partition: &[usize],
+    weights: &[Rational],
+    session: &mut DecompositionSession,
+) -> Option<Rational> {
     let (split, copies) = split_graph(g, v, partition, weights);
-    match decompose(&split) {
+    match session.decompose(&split) {
         Ok(bd) => Some(copies.iter().map(|&c| bd.utility(&split, c)).sum()),
         Err(BdError::ZeroAlpha { .. }) | Err(BdError::ZeroWeightResidue { .. }) => None,
         Err(e) => panic!("unexpected decomposition failure: {e}"),
@@ -113,20 +126,70 @@ pub fn attack_payoff(
 }
 
 /// Configuration for the general-graph attack search.
+///
+/// Construct via [`GeneralAttackConfig::new`] + `with_*` builders; the
+/// struct is `#[non_exhaustive]` so new knobs (like the session cache
+/// controls) land without breaking callers.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct GeneralAttackConfig {
     /// Weight-simplex granularity: weights are multiples of `w_v / grid`.
     pub grid: usize,
     /// Cap on the number of copies `m` (≤ d_v is enforced separately).
     pub max_copies: usize,
+    /// Warm-start decompositions from a session cache (default `true`;
+    /// results are bit-identical either way).
+    pub warm_start: bool,
+    /// Shape-cache capacity of the search session (default `32`).
+    pub cache_capacity: usize,
+}
+
+impl GeneralAttackConfig {
+    /// The default search: 12-cell simplex grid, at most 3 copies.
+    pub fn new() -> Self {
+        GeneralAttackConfig {
+            grid: 12,
+            max_copies: 3,
+            warm_start: true,
+            cache_capacity: 32,
+        }
+    }
+
+    /// Set the weight-simplex granularity.
+    pub fn with_grid(mut self, grid: usize) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Set the cap on the number of copies.
+    pub fn with_max_copies(mut self, m: usize) -> Self {
+        self.max_copies = m;
+        self
+    }
+
+    /// Enable or disable session warm-starts.
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Set the session shape-cache capacity.
+    pub fn with_cache_capacity(mut self, cap: usize) -> Self {
+        self.cache_capacity = cap;
+        self
+    }
+
+    /// The session configuration implied by these search knobs.
+    pub fn session_config(&self) -> SessionConfig {
+        SessionConfig::new()
+            .with_warm_start(self.warm_start)
+            .with_cache_capacity(self.cache_capacity)
+    }
 }
 
 impl Default for GeneralAttackConfig {
     fn default() -> Self {
-        GeneralAttackConfig {
-            grid: 12,
-            max_copies: 3,
-        }
+        GeneralAttackConfig::new()
     }
 }
 
@@ -186,6 +249,9 @@ pub fn best_general_sybil(
     let mut best_partition: Vec<usize> = vec![0; d];
     let mut best_weights: Vec<Rational> = vec![w_v.clone()];
     let mut evals = 0usize;
+    // One session for the whole search: weight placements within (and often
+    // across) partitions revisit the same decomposition shapes.
+    let mut session = DecompositionSession::with_config(cfg.session_config());
 
     let max_m = d.min(cfg.max_copies).max(1);
     for partition in enumerate_partitions(d, max_m) {
@@ -199,7 +265,7 @@ pub fn best_general_sybil(
                 .map(|&k| &unit * &Rational::from_integer(k as i64))
                 .collect();
             evals += 1;
-            if let Some(payoff) = attack_payoff(g, v, &partition, &weights) {
+            if let Some(payoff) = attack_payoff_in(g, v, &partition, &weights, &mut session) {
                 if payoff > best_payoff {
                     best_payoff = payoff;
                     best_partition = partition.clone();
@@ -279,10 +345,7 @@ mod tests {
                 let out = best_general_sybil(
                     &g,
                     v,
-                    &GeneralAttackConfig {
-                        grid: 10,
-                        max_copies: 2,
-                    },
+                    &GeneralAttackConfig::new().with_grid(10).with_max_copies(2),
                 );
                 assert!(out.ratio >= Rational::one());
                 assert!(
@@ -303,10 +366,7 @@ mod tests {
         let out = best_general_sybil(
             &star,
             0,
-            &GeneralAttackConfig {
-                grid: 8,
-                max_copies: 3,
-            },
+            &GeneralAttackConfig::new().with_grid(8).with_max_copies(3),
         );
         assert!(out.ratio <= int(2), "star: ζ = {}", out.ratio);
 
@@ -315,10 +375,7 @@ mod tests {
             let out = best_general_sybil(
                 &k4,
                 v,
-                &GeneralAttackConfig {
-                    grid: 6,
-                    max_copies: 3,
-                },
+                &GeneralAttackConfig::new().with_grid(6).with_max_copies(3),
             );
             assert!(out.ratio <= int(2), "K4 v={v}: ζ = {}", out.ratio);
         }
@@ -333,10 +390,7 @@ mod tests {
             let out = best_general_sybil(
                 &kn,
                 v,
-                &GeneralAttackConfig {
-                    grid: 6,
-                    max_copies: 2,
-                },
+                &GeneralAttackConfig::new().with_grid(6).with_max_copies(2),
             );
             assert_eq!(out.ratio, Rational::one(), "symmetric K5 admits no gain");
         }

@@ -60,9 +60,20 @@ impl SybilSplitFamily {
     /// `None` if the path decomposition is undefined there (degenerate
     /// boundary).
     pub fn payoff(&self, w1: &Rational) -> Option<(Rational, Rational)> {
+        self.payoff_in(w1, &mut prs_bd::DecompositionSession::new())
+    }
+
+    /// [`payoff`](Self::payoff) through a caller-owned
+    /// [`DecompositionSession`](prs_bd::DecompositionSession) — the grid
+    /// optimizer's hot path (nearby splits share decomposition shapes).
+    pub fn payoff_in(
+        &self,
+        w1: &Rational,
+        session: &mut prs_bd::DecompositionSession,
+    ) -> Option<(Rational, Rational)> {
         let w2 = self.total() - w1;
         let (p, v1, v2) = self.path_at(w1, &w2);
-        match decompose(&p) {
+        match session.decompose(&p) {
             Ok(bd) => Some((bd.utility(&p, v1), bd.utility(&p, v2))),
             Err(BdError::ZeroAlpha { .. }) | Err(BdError::ZeroWeightResidue { .. }) => None,
             Err(e) => panic!("unexpected decomposition failure: {e}"),

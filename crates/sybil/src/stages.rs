@@ -285,11 +285,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg() -> AttackConfig {
-        AttackConfig {
-            grid: 16,
-            zoom_levels: 3,
-            keep: 2,
-        }
+        AttackConfig::new()
+            .with_grid(16)
+            .with_zoom_levels(3)
+            .with_keep(2)
     }
 
     #[test]

@@ -231,11 +231,10 @@ mod tests {
     use prs_numeric::int;
 
     fn cfg() -> AttackConfig {
-        AttackConfig {
-            grid: 16,
-            zoom_levels: 3,
-            keep: 2,
-        }
+        AttackConfig::new()
+            .with_grid(16)
+            .with_zoom_levels(3)
+            .with_keep(2)
     }
 
     #[test]
@@ -270,11 +269,10 @@ mod tests {
 
     #[test]
     fn lower_bound_family_ratio_grows_toward_two() {
-        let strong_cfg = AttackConfig {
-            grid: 48,
-            zoom_levels: 6,
-            keep: 3,
-        };
+        let strong_cfg = AttackConfig::new()
+            .with_grid(48)
+            .with_zoom_levels(6)
+            .with_keep(3);
         let mut prev = Rational::zero();
         for k in [2u32, 5, 8] {
             let g = lower_bound_ring(k);

@@ -22,11 +22,10 @@ fn ring_of(weights: &[i64]) -> prs_graph::Graph {
 }
 
 fn quick() -> AttackConfig {
-    AttackConfig {
-        grid: 10,
-        zoom_levels: 2,
-        keep: 2,
-    }
+    AttackConfig::new()
+        .with_grid(10)
+        .with_zoom_levels(2)
+        .with_keep(2)
 }
 
 proptest! {
@@ -84,8 +83,8 @@ proptest! {
     fn more_effort_never_hurts(weights in arb_ring_weights(), v_raw in 0usize..8) {
         let g = ring_of(&weights);
         let v = v_raw % g.n();
-        let coarse = best_sybil_split(&g, v, &AttackConfig { grid: 8, zoom_levels: 1, keep: 1 });
-        let fine = best_sybil_split(&g, v, &AttackConfig { grid: 24, zoom_levels: 3, keep: 2 });
+        let coarse = best_sybil_split(&g, v, &AttackConfig::new().with_grid(8).with_zoom_levels(1).with_keep(1));
+        let fine = best_sybil_split(&g, v, &AttackConfig::new().with_grid(24).with_zoom_levels(3).with_keep(2));
         prop_assert!(
             fine.best.total() >= coarse.best.total(),
             "finer search lost ground on {:?} v={}", weights, v
@@ -180,11 +179,10 @@ fn lower_bound_family_is_monotone_in_k() {
         let out = best_sybil_split(
             &g,
             prs_sybil::theorem8::LOWER_BOUND_AGENT,
-            &AttackConfig {
-                grid: 32,
-                zoom_levels: 4,
-                keep: 2,
-            },
+            &AttackConfig::new()
+                .with_grid(32)
+                .with_zoom_levels(4)
+                .with_keep(2),
         );
         assert!(out.ratio > prev, "k={k}: {} ≤ {}", out.ratio, prev);
         prev = out.ratio;

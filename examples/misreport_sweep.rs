@@ -28,13 +28,7 @@ fn main() {
     );
 
     let fam = MisreportFamily::new(g.clone(), v);
-    let res = sweep(
-        &fam,
-        &SweepConfig {
-            grid: 32,
-            refine_bits: 24,
-        },
-    );
+    let res = sweep(&fam, &SweepConfig::new().with_grid(32).with_refine_bits(24));
 
     println!("\n x\tα_v(x)\tU_v(x)\tclass");
     for s in res.samples.iter().step_by(2) {

@@ -16,11 +16,10 @@ use prs::sybil::certified_best_split;
 use prs::sybil::theorem8::{lower_bound_ring, LOWER_BOUND_AGENT};
 
 fn main() {
-    let cfg = AttackConfig {
-        grid: 32,
-        zoom_levels: 5,
-        keep: 3,
-    };
+    let cfg = AttackConfig::new()
+        .with_grid(32)
+        .with_zoom_levels(5)
+        .with_keep(3);
 
     // Stage 1: blind search.
     println!("stage 1 — randomized worst-case search (n = 5, 16 restarts):");

@@ -1,0 +1,135 @@
+//! Snapshot of the public API surface.
+//!
+//! Every name the umbrella crate promises — at the root and in
+//! `prs::prelude` — is imported here explicitly. Removing or renaming a
+//! re-export breaks this file at compile time, turning silent surface
+//! drift into a reviewable test failure. Additions are fine (add them
+//! here when they are meant to be public).
+
+// --- prs::prelude: the session-first working set ----------------------
+#[rustfmt::skip]
+use prs::prelude::{
+    // High-level entry points.
+    audit_paper_claims, PaperAudit, RingInstance, parse_instance, Error,
+    // Decomposition engine, session-first.
+    allocate, decompose, decompose_exact,
+    AgentClass, Allocation, BdError, BottleneckDecomposition,
+    DecompositionSession, SessionConfig, SessionPool, SessionStats,
+    // Misreport sweeps.
+    classify_prop11, sweep,
+    AlphaSample, GraphFamily, MisreportFamily, Prop11Case, ShapeInterval,
+    SweepConfig, SweepResult,
+    // Dynamics engines.
+    ExactEngine, F64Engine,
+    // Graph foundations.
+    builders, Graph, GraphError, VertexId, VertexSet,
+    // Numerics.
+    int, ratio, BigInt, BigUint, Rational,
+    // P2P simulation.
+    Strategy, Swarm, SwarmConfig,
+    // Sybil attacks.
+    best_sybil_split, check_ring_theorem8, classify_initial_path,
+    honest_split, worst_case_search,
+    AttackConfig, GeneralAttackConfig, InitialPathCase, SybilOutcome,
+};
+
+// --- prs:: root re-exports beyond the prelude -------------------------
+#[rustfmt::skip]
+use prs::{
+    best_general_sybil, BottleneckPair,
+    // Component-crate aliases (the long tail lives here).
+    bd, deviation, dynamics, eg, flow, graph, numeric, p2psim, sybil,
+};
+
+// Silence unused-import lints for the pure-type imports while keeping the
+// compile-time check: mention everything once.
+#[test]
+fn surface_is_importable_and_coherent() {
+    // Fn-item names must be function-typed.
+    let _: fn(&str) -> Result<Graph, Error> = parse_instance;
+    let _ = (
+        audit_paper_claims,
+        allocate,
+        decompose,
+        decompose_exact,
+        classify_prop11,
+        int,
+        ratio,
+        best_sybil_split,
+        best_general_sybil,
+        check_ring_theorem8,
+        classify_initial_path,
+        honest_split,
+        worst_case_search,
+    );
+    let _ = sweep::<MisreportFamily>;
+
+    // Type names must be type-typed (turbofish/`size_of` forces this).
+    fn has_default<T: Default>() {}
+    has_default::<SessionConfig>();
+    has_default::<SessionStats>();
+    has_default::<DecompositionSession>();
+    has_default::<SweepConfig>();
+    has_default::<AttackConfig>();
+    has_default::<GeneralAttackConfig>();
+    let _ = std::mem::size_of::<(
+        PaperAudit,
+        RingInstance,
+        Error,
+        AgentClass,
+        Allocation,
+        BdError,
+        BottleneckDecomposition,
+        BottleneckPair,
+        SessionPool,
+        AlphaSample,
+        Prop11Case,
+        ShapeInterval,
+        SweepResult,
+        ExactEngine,
+        F64Engine,
+        Graph,
+        GraphError,
+        VertexId,
+        VertexSet,
+        BigInt,
+        BigUint,
+        Rational,
+        Strategy,
+        SwarmConfig,
+        InitialPathCase,
+        SybilOutcome,
+    )>();
+    let _ = std::mem::size_of::<Swarm>();
+
+    // GraphFamily stays a public trait.
+    fn takes_family<F: GraphFamily>(_: &F) {}
+    let _ = takes_family::<MisreportFamily>;
+
+    // Module aliases resolve.
+    let _: fn(&graph::Graph) -> Result<bd::BottleneckDecomposition, bd::BdError> = bd::decompose;
+    let _ = flow::stats::snapshot;
+    let _ = builders::ring;
+    let _ = numeric::int;
+    let _ = deviation::exact_breakpoints::<MisreportFamily>;
+    let _ = sybil::certified_best_split;
+    let _ = dynamics::F64Engine::new;
+    let _ = std::mem::size_of::<eg::EgSolution>();
+    let _ = std::mem::size_of::<p2psim::Swarm>();
+}
+
+// The session-first prelude must be enough to run the quickstart without
+// touching component crates.
+#[test]
+fn prelude_alone_supports_the_session_workflow() {
+    let mut session = DecompositionSession::with_config(
+        SessionConfig::new()
+            .with_warm_start(true)
+            .with_cache_capacity(8),
+    );
+    let g = builders::ring(vec![int(5), int(1), int(4), int(2)]).unwrap();
+    let bd = session.decompose(&g).unwrap();
+    assert_eq!(bd.utilities(&g).iter().sum::<Rational>(), g.total_weight());
+    let s = session.stats();
+    assert_eq!(s.hits + s.misses, bd.k() as u64);
+}

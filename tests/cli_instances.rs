@@ -1,8 +1,8 @@
 //! The shipped sample instance files stay valid and analyzable.
 //!
-//! (The CLI parser itself is unit-tested inside `prs-cli`; this test keeps
-//! the `instances/` directory honest at the library level, mirroring what
-//! `prs <cmd> instances/<file>` does.)
+//! Uses the real library parser (`prs::parse_instance`, the same function
+//! the CLI calls), so this test keeps the `instances/` directory honest at
+//! the library level, mirroring what `prs <cmd> instances/<file>` does.
 
 use prs::prelude::*;
 
@@ -11,43 +11,8 @@ fn load(name: &str) -> String {
     std::fs::read_to_string(path).expect("instance file readable")
 }
 
-/// Minimal re-implementation of the CLI's `ring`/`graph` instance format
-/// for library-level validation (kept in sync with `prs-cli::parse`).
 fn parse(text: &str) -> Graph {
-    let mut kind = "";
-    let mut weights: Vec<Rational> = Vec::new();
-    let mut edges: Vec<(usize, usize)> = Vec::new();
-    for raw in text.lines() {
-        let line = raw.split('#').next().unwrap().trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("weights:") {
-            weights = rest
-                .split_whitespace()
-                .map(|t| t.parse().expect("weight"))
-                .collect();
-        } else if let Some(rest) = line.strip_prefix("edges:") {
-            edges = rest
-                .split_whitespace()
-                .map(|t| {
-                    let (a, b) = t.split_once('-').expect("edge");
-                    (a.parse().unwrap(), b.parse().unwrap())
-                })
-                .collect();
-        } else {
-            kind = match line {
-                "ring" => "ring",
-                "path" => "path",
-                _ => "graph",
-            };
-        }
-    }
-    match kind {
-        "ring" => builders::ring(weights).unwrap(),
-        "path" => builders::path(weights).unwrap(),
-        _ => Graph::new(weights, &edges).unwrap(),
-    }
+    parse_instance(text).expect("shipped instance parses")
 }
 
 #[test]
@@ -81,10 +46,9 @@ fn star_instance_supports_general_attack() {
     let out = prs::sybil::best_general_sybil(
         &g,
         0,
-        &prs::sybil::GeneralAttackConfig {
-            grid: 8,
-            max_copies: 3,
-        },
+        &prs::sybil::GeneralAttackConfig::new()
+            .with_grid(8)
+            .with_max_copies(3),
     );
     assert!(out.ratio <= Rational::from_integer(2));
 }

@@ -57,11 +57,10 @@ fn certified_and_grid_optimizers_agree_on_the_ratio() {
             let grid = best_sybil_split(
                 &g,
                 v,
-                &AttackConfig {
-                    grid: 32,
-                    zoom_levels: 5,
-                    keep: 3,
-                },
+                &AttackConfig::new()
+                    .with_grid(32)
+                    .with_zoom_levels(5)
+                    .with_keep(3),
             );
             let cert = prs::sybil::certified_best_split(&g, v, 24, 30);
             // Certified dominates and both respect Theorem 8.
@@ -122,13 +121,7 @@ fn exact_dynamics_certifies_float_dynamics_on_paths() {
 fn moebius_breakpoints_match_bisection_brackets() {
     let g = prs::graph::builders::ring(vec![int(6), int(2), int(4), int(3), int(5)]).unwrap();
     let fam = MisreportFamily::new(g, 0);
-    let res = sweep(
-        &fam,
-        &SweepConfig {
-            grid: 32,
-            refine_bits: 24,
-        },
-    );
+    let res = sweep(&fam, &SweepConfig::new().with_grid(32).with_refine_bits(24));
     let exact = prs::deviation::exact_breakpoints(&fam, &res);
     for (w, bp) in res.intervals.windows(2).zip(&exact) {
         if let Some(x) = bp {

@@ -97,11 +97,10 @@ fn attack_on_tiny_triangle() {
     let ring = prs::RingInstance::from_integers(&[1, 1, 1]).unwrap();
     let out = ring.sybil_attack(
         0,
-        &AttackConfig {
-            grid: 8,
-            zoom_levels: 2,
-            keep: 2,
-        },
+        &AttackConfig::new()
+            .with_grid(8)
+            .with_zoom_levels(2)
+            .with_keep(2),
     );
     assert_eq!(out.ratio, Rational::one());
 }

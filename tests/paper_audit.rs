@@ -11,11 +11,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn quick_cfg() -> AttackConfig {
-    AttackConfig {
-        grid: 12,
-        zoom_levels: 2,
-        keep: 2,
-    }
+    AttackConfig::new()
+        .with_grid(12)
+        .with_zoom_levels(2)
+        .with_keep(2)
 }
 
 #[test]

@@ -46,7 +46,7 @@ proptest! {
     #[test]
     fn theorem8_ratio_at_most_two(ring in arb_ring(), v_raw in 0usize..7) {
         let v = v_raw % ring.n();
-        let out = ring.sybil_attack(v, &AttackConfig { grid: 10, zoom_levels: 2, keep: 2 });
+        let out = ring.sybil_attack(v, &AttackConfig::new().with_grid(10).with_zoom_levels(2).with_keep(2));
         prop_assert!(out.ratio >= Rational::one());
         prop_assert!(out.ratio <= Rational::from_integer(2),
             "ζ_{} = {} on {:?}", v, out.ratio, ring.graph().weights());

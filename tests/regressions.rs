@@ -51,11 +51,10 @@ fn ring_11_6_5_satisfies_all_claims() {
         // theorem8_ratio_at_most_two
         let out = ring.sybil_attack(
             v,
-            &AttackConfig {
-                grid: 10,
-                zoom_levels: 2,
-                keep: 2,
-            },
+            &AttackConfig::new()
+                .with_grid(10)
+                .with_zoom_levels(2)
+                .with_keep(2),
         );
         assert!(out.ratio >= Rational::one(), "ζ_{v} = {} < 1", out.ratio);
         assert!(

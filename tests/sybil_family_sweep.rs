@@ -14,13 +14,7 @@ fn split_family_sweep_intervals_cover_the_domain() {
     let mut rng = StdRng::seed_from_u64(7001);
     let g = prs::graph::random::random_ring(&mut rng, 6, 1, 10);
     let fam = SybilSplitFamily::new(g.clone(), 2);
-    let res = sweep(
-        &fam,
-        &SweepConfig {
-            grid: 32,
-            refine_bits: 20,
-        },
-    );
+    let res = sweep(&fam, &SweepConfig::new().with_grid(32).with_refine_bits(20));
     // Interval chain is ordered and spans (0, w_v) up to boundary skips.
     assert!(!res.intervals.is_empty());
     for w in res.intervals.windows(2) {
@@ -38,13 +32,7 @@ fn split_family_moebius_models_verify() {
     for _ in 0..3 {
         let g = prs::graph::random::random_ring(&mut rng, 5, 1, 9);
         let fam = SybilSplitFamily::new(g.clone(), 0);
-        let res = sweep(
-            &fam,
-            &SweepConfig {
-                grid: 24,
-                refine_bits: 18,
-            },
-        );
+        let res = sweep(&fam, &SweepConfig::new().with_grid(24).with_refine_bits(18));
         for iv in &res.intervals {
             prs::deviation::moebius::verify_interval(&fam, iv)
                 .unwrap_or_else(|e| panic!("{e} on {:?}", g.weights()));
@@ -56,13 +44,7 @@ fn split_family_moebius_models_verify() {
 fn split_family_breakpoints_bracket_exact_solutions() {
     let g = prs::sybil::theorem8::lower_bound_ring(3);
     let fam = SybilSplitFamily::new(g, prs::sybil::theorem8::LOWER_BOUND_AGENT);
-    let res = sweep(
-        &fam,
-        &SweepConfig {
-            grid: 48,
-            refine_bits: 24,
-        },
-    );
+    let res = sweep(&fam, &SweepConfig::new().with_grid(48).with_refine_bits(24));
     let exact = prs::deviation::exact_breakpoints(&fam, &res);
     for (w, bp) in res.intervals.windows(2).zip(&exact) {
         if let Some(x) = bp {
@@ -82,13 +64,7 @@ fn split_family_classes_follow_prop12_discipline() {
     let mut rng = StdRng::seed_from_u64(7003);
     let g = prs::graph::random::random_ring(&mut rng, 6, 1, 12);
     let fam = SybilSplitFamily::new(g.clone(), 1);
-    let res = sweep(
-        &fam,
-        &SweepConfig {
-            grid: 32,
-            refine_bits: 20,
-        },
-    );
+    let res = sweep(&fam, &SweepConfig::new().with_grid(32).with_refine_bits(20));
     for e in prs::deviation::classify_events(&fam, &res) {
         assert!(
             e.focus_class_preserved,
@@ -106,13 +82,7 @@ fn certified_optimizer_consistent_with_family_sweep() {
     let g = prs::graph::random::random_ring(&mut rng, 5, 1, 10);
     let cert = prs::sybil::certified_best_split(&g, 0, 24, 25);
     let fam = SybilSplitFamily::new(g, 0);
-    let res = sweep(
-        &fam,
-        &SweepConfig {
-            grid: 24,
-            refine_bits: 25,
-        },
-    );
+    let res = sweep(&fam, &SweepConfig::new().with_grid(24).with_refine_bits(25));
     assert_eq!(cert.intervals, res.intervals.len());
     assert!(cert.ratio >= Rational::one());
 }
