@@ -60,6 +60,7 @@ impl Allocation {
     }
 
     fn add_sent(&mut self, u: VertexId, v: VertexId, amount: &Rational) {
+        // prs-lint: allow(panic, reason = "private helper; callers iterate graph edges, so (u,v) is an edge by construction")
         let (e, fwd) = self.edge_index(u, v).expect("allocation on a non-edge");
         if fwd {
             self.forward[e] += amount;
@@ -157,7 +158,7 @@ fn allocate_regular_pair(
     net.clear(2 + b.len() + c.len());
     let b_node = |i: usize| 2 + i;
     let c_node = |j: usize| 2 + b.len() + j;
-    let c_pos: std::collections::HashMap<VertexId, usize> =
+    let c_pos: std::collections::BTreeMap<VertexId, usize> =
         c.iter().enumerate().map(|(j, &v)| (v, j)).collect();
 
     let mut expected = Rational::zero();
@@ -199,7 +200,7 @@ fn allocate_terminal_pair(
     alloc: &mut Allocation,
 ) {
     let b: Vec<VertexId> = pair.b.to_vec();
-    let pos: std::collections::HashMap<VertexId, usize> =
+    let pos: std::collections::BTreeMap<VertexId, usize> =
         b.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     net.clear(2 + 2 * b.len());
     let l_node = |i: usize| 2 + i;

@@ -268,6 +268,7 @@ fn maximal_bottleneck_exact(
     debug_assert!(!w_alive.is_zero());
 
     // α₀ = α(V_alive) = w(Γ(V_alive) ∩ alive) / w(alive) ≤ 1.
+    // prs-lint: allow(panic, reason = "decompose() rejects zero-weight alive sets before every round, so the ratio is defined")
     let mut alpha = g
         .alpha_ratio_in(alive, alive)
         .expect("w(alive) > 0 checked by caller");
@@ -299,6 +300,7 @@ fn maximal_bottleneck_exact(
                 s_set.insert(v);
             }
         }
+        // prs-lint: allow(panic, reason = "the s-side of an infeasible cut contains a source arc, hence positive weight; failure is a solver bug")
         let new_alpha = g
             .alpha_ratio_in(&s_set, alive)
             .expect("violating sets have positive weight");
@@ -378,6 +380,7 @@ impl RoundNets {
         }
     }
 
+    // prs-lint: allow(float, reason = "two-tier proposer: the approx network is built from to_f64 images and only ever proposes; certification is exact")
     /// Rebuild both networks for the induced subgraph on `alive` at `alpha`.
     pub(crate) fn rebuild(&mut self, g: &Graph, alive: &VertexSet, alpha: &Rational) {
         let layout = Layout { n: g.n() };
@@ -506,6 +509,7 @@ impl RoundNets {
         self.int_source_total = total;
     }
 
+    // prs-lint: allow(float, reason = "two-tier proposer: re-parameterizes the approx network only; certification is exact")
     /// Re-parameterize the float network to `alpha_f`.
     fn set_alpha_f64(&mut self, g: &Graph, alpha_f: f64) {
         debug_assert!(self.approx_valid, "float network is stale");
@@ -516,6 +520,7 @@ impl RoundNets {
     }
 }
 
+// prs-lint: allow(float, reason = "tier-1 proposer: every candidate it returns is re-certified by an exact max-flow before adoption (see maximal_bottleneck)")
 /// Tier 1: run the Dinkelbach descent on the float network and return a
 /// candidate bottleneck set, or `None` when the float loop stalls or
 /// produces nothing usable (the exact tier then starts from α₀ unchanged).
@@ -613,6 +618,7 @@ pub(crate) fn maximal_bottleneck(
     let w_alive = g.set_weight_of(alive);
     debug_assert!(!w_alive.is_zero());
 
+    // prs-lint: allow(panic, reason = "decompose() rejects zero-weight alive sets before every round, so the ratio is defined")
     let alpha0 = g
         .alpha_ratio_in(alive, alive)
         .expect("w(alive) > 0 checked by caller");
@@ -665,6 +671,7 @@ pub(crate) fn maximal_bottleneck(
                 s_set.insert(v);
             }
         }
+        // prs-lint: allow(panic, reason = "the s-side of an infeasible cut contains a source arc, hence positive weight; failure is a solver bug")
         let new_alpha = g
             .alpha_ratio_in(&s_set, alive)
             .expect("violating sets have positive weight");

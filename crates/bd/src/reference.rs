@@ -62,6 +62,7 @@ pub fn brute_force_decompose(g: &Graph) -> Result<BottleneckDecomposition, BdErr
         if g.set_weight_of(&alive).is_zero() {
             return Err(BdError::ZeroWeightResidue { round });
         }
+        // prs-lint: allow(panic, reason = "alive set weight checked nonzero two lines up, so the brute-force minimum exists")
         let (b, alpha) = brute_force_maximal_bottleneck(g, &alive)
             .expect("positive-weight alive set has a defined minimum");
         if alpha.is_zero() {

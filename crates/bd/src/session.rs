@@ -394,6 +394,7 @@ fn solve_round_warm(
                 s_set.insert(v);
             }
         }
+        // prs-lint: allow(panic, reason = "the s-side of an infeasible cut contains a source arc, hence positive weight; failure is a solver bug")
         let new_alpha = g
             .alpha_ratio_in(&s_set, alive)
             .expect("violating sets have positive weight");

@@ -94,6 +94,13 @@ pub fn cmd_attack(g: &Graph, v: usize, out: &mut dyn Write) -> std::io::Result<(
         writeln!(out, "error: vertex {v} out of range")?;
         return Ok(());
     }
+    if let Some(z) = g.weights().iter().position(|w| !w.is_positive()) {
+        writeln!(
+            out,
+            "error: agent {z} has non-positive weight; the attack model requires w > 0"
+        )?;
+        return Ok(());
+    }
     let outcome = best_sybil_split(g, v, &AttackConfig::default());
     let w2 = g.weight(v) - &outcome.best.w1;
     writeln!(out, "agent {v} (w = {}):", g.weight(v))?;
@@ -236,6 +243,13 @@ pub fn cmd_certified_attack(g: &Graph, v: usize, out: &mut dyn Write) -> std::io
     }
     if v >= g.n() {
         writeln!(out, "error: vertex {v} out of range")?;
+        return Ok(());
+    }
+    if let Some(z) = g.weights().iter().position(|w| !w.is_positive()) {
+        writeln!(
+            out,
+            "error: agent {z} has non-positive weight; the attack model requires w > 0"
+        )?;
         return Ok(());
     }
     let cert = prs_core::sybil::certified_best_split(g, v, 32, 35);
@@ -409,5 +423,17 @@ mod tests {
         let degenerate = Graph::new(vec![int(1), int(1), int(1)], &[(0, 1)]).unwrap();
         let out = capture(|w| cmd_decompose(&degenerate, w));
         assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn attack_rejects_zero_weight_agent() {
+        // A zero-weight ring decomposes (the agent is just inert), but the
+        // attack model divides by honest utility; both attack commands must
+        // refuse with a message, not panic in the sweep.
+        let g = prs_core::graph::builders::ring(vec![int(0), int(2), int(3)]).unwrap();
+        let out = capture(|w| cmd_attack(&g, 1, w));
+        assert!(out.contains("non-positive weight"), "{out}");
+        let out = capture(|w| cmd_certified_attack(&g, 1, w));
+        assert!(out.contains("non-positive weight"), "{out}");
     }
 }

@@ -32,8 +32,13 @@ impl std::fmt::Debug for RingInstance {
 
 impl RingInstance {
     /// Build from explicit rational weights (`n ≥ 3`). Weights must be
-    /// positive for the decomposition to exist on a ring.
+    /// strictly positive for the decomposition to exist on a ring; a zero
+    /// or negative weight is rejected here rather than panicking deep in
+    /// the attack sweep.
     pub fn new(weights: Vec<Rational>) -> Result<Self, Error> {
+        if let Some(vertex) = weights.iter().position(|w| !w.is_positive()) {
+            return Err(prs_graph::GraphError::NonPositiveWeight { vertex }.into());
+        }
         let graph = builders::ring(weights)?;
         let bd = decompose(&graph)?;
         Ok(RingInstance { graph, bd })

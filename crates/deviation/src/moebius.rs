@@ -163,8 +163,8 @@ pub fn exact_breakpoint<F: GraphFamily>(
     }
     candidates.sort();
     candidates.dedup();
-    match candidates.len() {
-        1 => Some(candidates.pop().expect("len checked")),
+    match (candidates.pop(), candidates.pop()) {
+        (Some(root), None) => Some(root),
         _ => None, // ambiguous bracket: refine the sweep further
     }
 }

@@ -28,6 +28,7 @@ pub enum Prop11Case {
 /// the crossover case has `α_v = 1` exactly at `x*`.)
 fn is_b_class(fam: &MisreportFamily, x: &Rational) -> bool {
     let g = fam.graph_at(x);
+    // prs-lint: allow(panic, reason = "the family samples x inside its positive-weight domain, where the decomposition always exists")
     let bd = decompose(&g).expect("decomposable at sampled x");
     matches!(
         bd.class_of(fam.focus_vertex()),

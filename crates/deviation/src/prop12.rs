@@ -148,6 +148,7 @@ pub fn classify_event<F: GraphFamily>(
             if junction_alpha_is_one {
                 true
             } else {
+                // prs-lint: allow(panic, reason = "refutation contract: a junction α ≠ 1 falsifies Proposition 12 and must abort with the witness, not be reported as an ordinary error")
                 panic!("Terminal event whose junction α ≠ 1");
             }
         }
@@ -164,6 +165,7 @@ pub fn classify_event<F: GraphFamily>(
             match check {
                 Some(true) => true,
                 Some(false) => {
+                    // prs-lint: allow(panic, reason = "refutation contract: a junction identity violation falsifies Proposition 12 and must abort with the witness")
                     panic!("Proposition 12 junction identity violated at breakpoint {bp}")
                 }
                 None => false,

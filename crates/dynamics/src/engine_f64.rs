@@ -224,6 +224,7 @@ pub(crate) fn build_rev(adj: &[Vec<VertexId>]) -> Vec<Vec<usize>> {
                 .map(|&u| {
                     adj[u]
                         .binary_search(&v)
+                        // prs-lint: allow(panic, reason = "Graph guarantees symmetric sorted adjacency; asymmetry is a graph-construction bug")
                         .expect("undirected adjacency is symmetric")
                 })
                 .collect()

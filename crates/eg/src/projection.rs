@@ -21,7 +21,7 @@ pub fn project_to_simplex(v: &[f64], budget: f64) -> Vec<f64> {
         return vec![0.0; v.len()];
     }
     let mut sorted: Vec<f64> = v.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite entries"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let mut cumsum = 0.0;
     let mut theta = 0.0;
     let mut found = false;

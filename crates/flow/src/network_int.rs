@@ -191,6 +191,7 @@ impl NetworkInt {
                         });
                     }
                 }
+                // prs-lint: allow(panic, reason = "s has only finite-capacity out-arcs, so every s→t path bounds the minimum; a violation is a solver bug, not an input error")
                 let pushed = limit.expect("an s→t path must pass a finite-capacity arc");
                 for &aid in &path {
                     self.arcs[aid].flow += &pushed;

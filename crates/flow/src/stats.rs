@@ -54,6 +54,7 @@ impl FlowStats {
         if total == 0 {
             f64::NAN
         } else {
+            // prs-lint: allow(cast, reason = "display-only ratio of event counters; f64 precision loss above 2^53 events is irrelevant")
             self.fast_path_hits as f64 / total as f64
         }
     }
@@ -65,6 +66,7 @@ impl FlowStats {
         if total == 0 {
             f64::NAN
         } else {
+            // prs-lint: allow(cast, reason = "display-only ratio of event counters; f64 precision loss above 2^53 events is irrelevant")
             self.session_hits as f64 / total as f64
         }
     }

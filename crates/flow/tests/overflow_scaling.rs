@@ -1,0 +1,134 @@
+//! Overflow-safety properties of the scaled-integer engine.
+//!
+//! The session's warm certification path multiplies every Hall-network
+//! capacity by `p · D` (parameter numerator times the weight-denominator
+//! clearing factor). With adversarial weights — denominators like `2⁻ᵏ`
+//! against magnitudes like `2ᵏ` — those products leave `u64`/`u128` range
+//! almost immediately, so the engine's correctness rests on `BigInt`
+//! capacities never truncating. These tests drive `NetworkInt` with
+//! capacities hundreds of bits wide and check the two invariants the
+//! decomposition relies on:
+//!
+//! 1. **Scaling invariance**: `maxflow(p·D·caps) = p·D · maxflow(caps)`,
+//!    exactly, for arbitrarily large `p·D` — and the min-cut partition is
+//!    unchanged, so tight-set extraction is scale-blind.
+//! 2. **Agreement with the rational engine**: the scaled-integer flow
+//!    equals the exact rational flow times the scale, i.e. the two
+//!    representations of the same network never drift.
+
+use proptest::prelude::*;
+use prs_flow::{Cap, CapInt, FlowNetwork, NetworkInt};
+use prs_numeric::{BigInt, Rational};
+
+/// `2^k`, exact.
+fn pow2(k: u32) -> BigInt {
+    BigInt::from(2).pow(k)
+}
+
+fn int_net(n: usize, edges: &[(usize, usize, BigInt)]) -> NetworkInt {
+    let mut net = NetworkInt::new(n);
+    for (u, v, c) in edges {
+        net.add_edge(*u, *v, CapInt::Finite(c.clone()));
+    }
+    net
+}
+
+/// Random sparse network with capacities `base · 2^exp` — the exponents
+/// make magnitudes span hundreds of bits within one instance.
+fn arb_adversarial() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64, u32)>)> {
+    (4usize..8).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 1i64..16, 0u32..256);
+        proptest::collection::vec(edge, 1..16).prop_map(move |edges| {
+            (
+                n,
+                edges
+                    .into_iter()
+                    .filter(|&(u, v, _, _)| u != v)
+                    .collect::<Vec<_>>(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scaling_by_huge_pd_is_exact((n, raw) in arb_adversarial(), p_exp in 64u32..512) {
+        prop_assume!(!raw.is_empty());
+        let (s, t) = (0, n - 1);
+        let edges: Vec<(usize, usize, BigInt)> = raw
+            .iter()
+            .map(|&(u, v, b, e)| (u, v, &BigInt::from(b) * &pow2(e)))
+            .collect();
+        // p·D as a single huge odd-ish multiplier: 2^p_exp + 1 has no
+        // common structure with the power-of-two capacities, so any
+        // truncation in the scaled engine would break exact divisibility.
+        let pd = &pow2(p_exp) + &BigInt::one();
+
+        let base_flow = int_net(n, &edges).max_flow(s, t);
+        let scaled_edges: Vec<(usize, usize, BigInt)> = edges
+            .iter()
+            .map(|(u, v, c)| (*u, *v, c * &pd))
+            .collect();
+        let mut scaled_net = int_net(n, &scaled_edges);
+        let scaled_flow = scaled_net.max_flow(s, t);
+
+        prop_assert_eq!(&scaled_flow, &(&base_flow * &pd),
+            "maxflow(p·D·caps) must equal p·D·maxflow(caps) exactly");
+        prop_assert!(scaled_net.check_conservation(s, t));
+        prop_assert!(scaled_net.check_capacities());
+
+        // The min-cut partition — what tight-set extraction reads — is
+        // invariant under uniform scaling.
+        let mut base_net = int_net(n, &edges);
+        base_net.max_flow(s, t);
+        prop_assert_eq!(base_net.min_cut_source_side(s), scaled_net.min_cut_source_side(s));
+    }
+
+    #[test]
+    fn scaled_integer_agrees_with_rational_engine((n, raw) in arb_adversarial()) {
+        prop_assume!(!raw.is_empty());
+        let (s, t) = (0, n - 1);
+        // Rational capacities b·2^e / 2^128: denominators force the
+        // rational engine through gcd-normalized big arithmetic while the
+        // integer twin runs the D-cleared numerators.
+        let d_exp = 128u32;
+        let denom = Rational::from_integer(2).pow(d_exp as i32);
+        let mut rat_net = FlowNetwork::new(n);
+        let mut edges = Vec::new();
+        for &(u, v, b, e) in &raw {
+            let num = &BigInt::from(b) * &pow2(e);
+            let cap = &Rational::from(num.clone()) / &denom;
+            rat_net.add_edge(u, v, Cap::Finite(cap));
+            edges.push((u, v, num));
+        }
+        let rational_flow = rat_net.max_flow(s, t);
+        let scaled_flow = int_net(n, &edges).max_flow(s, t);
+        // flow(D·caps) = D·flow(caps), with D = 2^128 clearing every
+        // denominator: the scaled-integer value must be exactly the
+        // rational value times D.
+        let expected = &rational_flow * &Rational::from(pow2(d_exp));
+        prop_assert_eq!(Rational::from(scaled_flow), expected);
+    }
+}
+
+#[test]
+fn kilobit_capacities_round_trip() {
+    // Deterministic spot check far beyond primitive range: a two-path
+    // network whose min cut is `2^1024 + 2^900`.
+    let big_a = pow2(1024);
+    let big_b = pow2(900);
+    let huge = &pow2(2000) + &BigInt::one();
+    let mut net = NetworkInt::new(4);
+    net.add_edge(0, 1, CapInt::Finite(big_a.clone()));
+    net.add_edge(1, 3, CapInt::Finite(huge.clone()));
+    net.add_edge(0, 2, CapInt::Finite(huge));
+    net.add_edge(2, 3, CapInt::Finite(big_b.clone()));
+    let flow = net.max_flow(0, 3);
+    assert_eq!(flow, &big_a + &big_b);
+    assert!(net.check_conservation(0, 3));
+    assert!(net.check_capacities());
+    let side = net.min_cut_source_side(0);
+    assert!(side[0] && !side[3]);
+}

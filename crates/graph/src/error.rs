@@ -29,6 +29,12 @@ pub enum GraphError {
         /// The offending vertex.
         vertex: usize,
     },
+    /// A construction that requires strictly positive weights (`w_v > 0`,
+    /// e.g. ring agents in the paper model) got zero.
+    NonPositiveWeight {
+        /// The offending vertex.
+        vertex: usize,
+    },
     /// The number of weights does not match the number of vertices.
     WeightCountMismatch {
         /// Weights supplied.
@@ -58,6 +64,12 @@ impl fmt::Display for GraphError {
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
             GraphError::NegativeWeight { vertex } => {
                 write!(f, "negative weight at vertex {vertex}")
+            }
+            GraphError::NonPositiveWeight { vertex } => {
+                write!(
+                    f,
+                    "non-positive weight at vertex {vertex}: ring agents must own w > 0"
+                )
             }
             GraphError::WeightCountMismatch { weights, n } => {
                 write!(f, "{weights} weights supplied for {n} vertices")

@@ -5,6 +5,8 @@
 //! `u32` limbs keep all intermediate products inside `u64`, which makes the
 //! schoolbook kernels branch-light and easy to audit.
 
+// prs-lint: allow-file(cast, reason = "u32-limb kernels: every cast is a deliberate limb split/join with intermediates held in u64/i64, per the representation invariant above")
+
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Shl, Shr, Sub, SubAssign};
@@ -283,7 +285,7 @@ impl BigUint {
         }
 
         // Normalize: shift so the divisor's top limb has its high bit set.
-        let shift = divisor.limbs.last().unwrap().leading_zeros();
+        let shift = divisor.limbs.last().unwrap().leading_zeros(); // prs-lint: allow(panic, reason = "divisor is nonzero (checked above), so it has a top limb")
         let u = self << shift; // dividend
         let v = divisor << shift; // divisor
         let n = v.limbs.len();
@@ -388,6 +390,7 @@ impl BigUint {
         Some(v)
     }
 
+    // prs-lint: allow(float, panic, reason = "the one sanctioned exact→float bridge: feeds display and the f64 proposer only; to_u64 cannot fail after the bit_len checks")
     /// Best-effort conversion to `f64` (rounds; may overflow to infinity).
     pub fn to_f64(&self) -> f64 {
         let bits = self.bit_len();
@@ -624,7 +627,7 @@ impl fmt::Display for BigUint {
         while !v.is_zero() {
             chunks.push(v.div_rem_limb(1_000_000_000));
         }
-        let mut s = chunks.pop().unwrap().to_string();
+        let mut s = chunks.pop().unwrap().to_string(); // prs-lint: allow(panic, reason = "v was nonzero, so the peel loop pushed at least one chunk")
         for c in chunks.iter().rev() {
             s.push_str(&format!("{c:09}"));
         }

@@ -6,6 +6,7 @@
 
 use crate::biguint::BigUint;
 
+// prs-lint: allow(panic, cast, reason = "a, b proven nonzero before every trailing_zeros call; a trailing-zero count of any materializable value fits u32")
 /// `gcd(a, b)`; `gcd(0, 0) == 0` by convention.
 pub fn gcd(a: &BigUint, b: &BigUint) -> BigUint {
     if a.is_zero() {

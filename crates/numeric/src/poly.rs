@@ -77,7 +77,7 @@ impl Poly {
                 .iter()
                 .enumerate()
                 .skip(1)
-                .map(|(i, c)| c * &Rational::from_integer(i as i64))
+                .map(|(i, c)| c * &Rational::from_integer(i as i64)) // prs-lint: allow(cast, reason = "i is a coefficient index; a degree beyond i64 cannot be materialized")
                 .collect(),
         )
     }
@@ -278,7 +278,7 @@ impl RationalFunction {
             let val = self.eval(&root);
             consider(root, val);
         }
-        let best = best.expect("interval has at least one pole-free point");
+        let best = best.expect("interval has at least one pole-free point"); // prs-lint: allow(panic, reason = "consider(hi, ..) ran unconditionally above, so best is Some")
         (best_x, best)
     }
 }

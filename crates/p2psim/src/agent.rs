@@ -121,6 +121,7 @@ impl AgentState {
         }
     }
 
+    // prs-lint: allow(panic, reason = "Swarm only routes messages along existing edges; an unknown peer is a simulator wiring bug")
     /// Slot of peer `u` in this agent's peer list.
     pub fn slot_of(&self, u: AgentId) -> usize {
         self.peers

@@ -13,6 +13,8 @@
 //! Since `U` may have interior maxima (both copies C-class trading off
 //! hyperbolically), zooming keeps a few best cells per level, not just one.
 
+// prs-lint: allow-file(panic, reason = "attack entry requires a validated positive-weight ring (asserted below); with that precondition the decomposition and the nonempty-curve invariant cannot fail without a solver bug")
+
 use crate::split::SybilSplitFamily;
 use prs_bd::par::{worker_threads, SessionPool};
 use prs_bd::{DecompositionSession, SessionConfig};

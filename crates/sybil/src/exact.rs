@@ -77,6 +77,7 @@ fn copy_utility_model(
 /// the ratio) is exact even when `best_w1` is a localized critical point.
 pub fn certified_best_split(ring: &Graph, v: VertexId, grid: usize, bits: u32) -> CertifiedOutcome {
     let fam = SybilSplitFamily::new(ring.clone(), v);
+    // prs-lint: allow(panic, reason = "validated positive-weight ring precondition: the decomposition always exists")
     let bd = decompose(ring).expect("ring decomposes");
     let honest = bd.utility(ring, v);
 

@@ -6,6 +6,8 @@
 //! ring, the grid over-counts — but over-counting only strengthens the
 //! audit. Used by experiment E15.
 
+// prs-lint: allow-file(panic, reason = "poison/join propagation in the audit fan-out, plus ring construction from enumerated strictly-positive integer weights")
+
 use crate::attack::{best_sybil_split, AttackConfig};
 use prs_graph::builders;
 use prs_numeric::Rational;

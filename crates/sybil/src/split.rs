@@ -1,5 +1,7 @@
 //! The Sybil split-path family and the honest split (Lemma 9).
 
+// prs-lint: allow-file(panic, reason = "split-family surface requires a validated positive-weight ring (asserted at every entry); under that precondition path construction and the ring decomposition cannot fail")
+
 use prs_bd::{allocate, decompose, BdError};
 use prs_deviation::GraphFamily;
 use prs_graph::{builders, Graph, VertexId};

@@ -149,6 +149,7 @@ pub fn audit_stages(
     w1_star: &Rational,
     w2_star: &Rational,
 ) -> Option<StageReport> {
+    // prs-lint: allow(panic, reason = "validated positive-weight ring precondition: the decomposition always exists")
     let ring_bd = decompose(ring).expect("ring decomposes");
     let honest_u = ring_bd.utility(ring, v);
     let ring_class = match ring_bd.class_of(v) {

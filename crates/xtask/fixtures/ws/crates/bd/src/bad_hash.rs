@@ -1,0 +1,11 @@
+//! Fixture: hash collections in a deterministic sweep path.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[usize]) -> HashMap<usize, usize> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,4 @@
+//! Fixture: a proptest suite with no checked-in regressions sibling.
+
+#[test]
+fn placeholder() {}

@@ -1,0 +1,4 @@
+//! Fixture: duplicate seeds in the sibling regressions file.
+
+#[test]
+fn placeholder() {}

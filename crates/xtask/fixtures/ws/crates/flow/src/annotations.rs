@@ -1,0 +1,25 @@
+//! Fixture: the allow grammar — exercised, stale, malformed, and trailing.
+
+// prs-lint: allow(cast, reason = "fixture: sanctioned narrowing")
+pub fn sanctioned(x: u64) -> u32 {
+    x as u32
+}
+
+// prs-lint: allow(cast, reason = "fixture: covers nothing")
+pub fn stale_target() -> u32 {
+    7
+}
+
+// prs-lint: allow(cast)
+pub fn missing_reason(x: u64) -> u32 {
+    x as u32
+}
+
+// prs-lint: allow(warp-drive, reason = "fixture: unknown rule")
+pub fn unknown_rule() -> u32 {
+    3
+}
+
+pub fn trailing(x: u64) -> u32 {
+    x as u32 // prs-lint: allow(cast, reason = "fixture: trailing form")
+}

@@ -1,0 +1,32 @@
+//! Fixture: floats, casts, and panics inside an exact kernel
+//! (`crates/numeric/src` is an exact-kernel path, so `float`, `cast`,
+//! and `panic` all apply).
+
+pub fn leaky(x: u64) -> f64 {
+    let y = 0.5;
+    let z = x as f64;
+    y + z
+}
+
+pub fn truncating(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn aborting(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn graceful(v: &[u64]) -> u64 {
+    v.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_in_tests_are_exempt() {
+        let x: f64 = 1.5;
+        let y = (3u64) as f64;
+        let z: Option<u32> = None;
+        assert!(x + y > z.unwrap_or(0).into());
+    }
+}

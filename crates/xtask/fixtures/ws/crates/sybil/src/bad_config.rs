@@ -1,0 +1,9 @@
+//! Fixture: a `#[non_exhaustive]` config struct that grew a public knob.
+
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub struct AttackConfig {
+    pub grid: usize,
+    pub sneaky_knob: usize,
+    keep: usize,
+}

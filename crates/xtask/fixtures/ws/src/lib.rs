@@ -1,0 +1,11 @@
+//! Fixture umbrella crate surface (`src/lib.rs` is an `api-doc` file).
+
+pub use std::vec::Vec as ReexportedVec;
+
+/// Documented — satisfies the api-doc rule.
+pub fn documented() {}
+
+pub fn undocumented() {}
+
+#[derive(Clone, Copy)]
+pub struct Sneaky;

@@ -1,0 +1,264 @@
+//! The `prs-lint` allow-annotation grammar.
+//!
+//! Every rule has one escape hatch, and the hatch is itself counted and
+//! reported (see `Report::allowed`). Grammar, in a plain `//` comment:
+//!
+//! ```text
+//! // prs-lint: allow(RULE[, RULE...], reason = "WHY")
+//! // prs-lint: allow-file(RULE[, RULE...], reason = "WHY")
+//! ```
+//!
+//! * `allow` on its own line covers the item or statement that starts on
+//!   the next code line, through its closing brace or terminating `;`
+//!   (so one annotation above `fn to_f64` covers the whole function).
+//! * `allow` trailing a code line covers that line only.
+//! * `allow-file` covers the whole file for the listed rules.
+//! * `reason` is mandatory and must be non-empty: an allow without an
+//!   argument is itself a lint violation (`annotation`), so the escape
+//!   hatch can never silently rot.
+
+use crate::lexer::{Lexed, TokKind};
+
+/// Rule names an annotation may reference.
+pub const RULE_NAMES: &[&str] = &[
+    "float",
+    "cast",
+    "panic",
+    "hash-iter",
+    "api-doc",
+    "non-exhaustive",
+    "proptest-regressions",
+];
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rules this annotation silences.
+    pub rules: Vec<String>,
+    /// The mandatory human rationale.
+    pub reason: String,
+    /// First covered line (1-based, inclusive).
+    pub start_line: u32,
+    /// Last covered line (inclusive). `u32::MAX` for `allow-file`.
+    pub end_line: u32,
+    /// Line the annotation comment itself sits on (for reporting).
+    pub comment_line: u32,
+    /// True for `allow-file`.
+    pub file_level: bool,
+    /// Set when a rule pass actually uses this annotation; an allow that
+    /// silences nothing is reported as stale.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A malformed annotation: where and why.
+#[derive(Debug, Clone)]
+pub struct BadAnnotation {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// What was wrong.
+    pub message: String,
+}
+
+/// Extract all `prs-lint:` annotations from a lexed file.
+pub fn collect_allows(lexed: &Lexed) -> (Vec<Allow>, Vec<BadAnnotation>) {
+    let depths = lexed.depths();
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        // Doc comments (`///`, `//!`) are documentation, not directives.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let body = c.text.trim();
+        let Some(rest) = body.strip_prefix("prs-lint:") else {
+            // Catch near-miss spellings so a typo'd directive fails loudly
+            // instead of silently not applying.
+            if body.contains("prs-lint") {
+                bad.push(BadAnnotation {
+                    line: c.line,
+                    message: "malformed directive: expected `prs-lint: allow(...)`".into(),
+                });
+            }
+            continue;
+        };
+        match parse_directive(rest.trim()) {
+            Ok((rules, reason, file_level)) => {
+                let (start, end) = if file_level {
+                    (0, u32::MAX)
+                } else if lexed.line_has_code(c.line) {
+                    (c.line, c.line) // trailing: this line only
+                } else {
+                    scope_after(lexed, &depths, c.end_line)
+                };
+                allows.push(Allow {
+                    rules,
+                    reason,
+                    start_line: start,
+                    end_line: end,
+                    comment_line: c.line,
+                    file_level,
+                    used: std::cell::Cell::new(false),
+                });
+            }
+            Err(msg) => bad.push(BadAnnotation {
+                line: c.line,
+                message: msg,
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parse `allow(...)` / `allow-file(...)`; returns (rules, reason, is_file).
+fn parse_directive(s: &str) -> Result<(Vec<String>, String, bool), String> {
+    let (file_level, args) = if let Some(rest) = s.strip_prefix("allow-file") {
+        (true, rest)
+    } else if let Some(rest) = s.strip_prefix("allow") {
+        (false, rest)
+    } else {
+        return Err(format!(
+            "unknown directive `{s}`: expected `allow(...)` or `allow-file(...)`"
+        ));
+    };
+    let args = args.trim();
+    let inner = args
+        .strip_prefix('(')
+        .and_then(|a| a.strip_suffix(')'))
+        .ok_or_else(|| "expected `(` rules..., reason = \"...\" `)`".to_string())?;
+    let (rules_part, reason_part) = inner
+        .split_once("reason")
+        .ok_or_else(|| "missing mandatory `reason = \"...\"`".to_string())?;
+    let reason_part = reason_part.trim_start();
+    let reason_part = reason_part
+        .strip_prefix('=')
+        .ok_or_else(|| "expected `=` after `reason`".to_string())?
+        .trim();
+    let reason = reason_part
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a quoted string".to_string())?
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    let mut rules = Vec::new();
+    for raw in rules_part.split(',') {
+        let name = raw.trim();
+        if name.is_empty() {
+            continue;
+        }
+        if !RULE_NAMES.contains(&name) {
+            return Err(format!(
+                "unknown rule `{name}` (known: {})",
+                RULE_NAMES.join(", ")
+            ));
+        }
+        rules.push(name.to_string());
+    }
+    if rules.is_empty() {
+        return Err("at least one rule name is required".into());
+    }
+    Ok((rules, reason, file_level))
+}
+
+/// The line span of the item or statement that starts after `after_line`:
+/// from its first token through the matching `}` of the first brace it opens
+/// at its own depth, or through the `;` that terminates it — whichever
+/// comes first.
+fn scope_after(lexed: &Lexed, depths: &[u32], after_line: u32) -> (u32, u32) {
+    let Some(first) = lexed.tokens.iter().position(|t| t.line > after_line) else {
+        return (after_line + 1, after_line + 1);
+    };
+    let start_line = lexed.tokens[first].line;
+    let d0 = depths[first];
+    let mut cur = d0;
+    let mut opened = false;
+    for (i, t) in lexed.tokens.iter().enumerate().skip(first) {
+        match t.kind {
+            TokKind::Punct('{') => {
+                if cur == d0 {
+                    opened = true;
+                }
+                cur += 1;
+            }
+            TokKind::Punct('}') => {
+                cur = cur.saturating_sub(1);
+                if cur < d0 || (opened && cur == d0) {
+                    return (start_line, lexed.tokens[i].line);
+                }
+            }
+            TokKind::Punct(';') if cur == d0 && !opened => {
+                return (start_line, t.line);
+            }
+            _ => {}
+        }
+    }
+    let end = lexed.tokens.last().map(|t| t.line).unwrap_or(start_line);
+    (start_line, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fn_scope_allow_covers_whole_body() {
+        let src = "\
+// prs-lint: allow(float, reason = \"demo\")
+pub fn to_f64(x: u32) -> f64 {
+    let y = 1.0;
+    y
+}
+let after = 1.0;
+";
+        let (allows, bad) = collect_allows(&lex(src));
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!((allows[0].start_line, allows[0].end_line), (2, 5));
+    }
+
+    #[test]
+    fn statement_scope_ends_at_semicolon() {
+        let src = "\
+// prs-lint: allow(panic, reason = \"poison propagation\")
+let g = m.lock().expect(\"poisoned\");
+let h = other();
+";
+        let (allows, _) = collect_allows(&lex(src));
+        assert_eq!((allows[0].start_line, allows[0].end_line), (2, 2));
+    }
+
+    #[test]
+    fn trailing_allow_covers_one_line() {
+        let src = "let x = v[0].unwrap(); // prs-lint: allow(panic, reason = \"len checked above\")\nlet y = 1;\n";
+        let (allows, _) = collect_allows(&lex(src));
+        assert_eq!((allows[0].start_line, allows[0].end_line), (1, 1));
+    }
+
+    #[test]
+    fn file_level_and_multi_rule() {
+        let src = "// prs-lint: allow-file(cast, float, reason = \"limb arithmetic\")\nfn f() {}\n";
+        let (allows, bad) = collect_allows(&lex(src));
+        assert!(bad.is_empty());
+        assert!(allows[0].file_level);
+        assert_eq!(allows[0].rules, vec!["cast", "float"]);
+    }
+
+    #[test]
+    fn malformed_directives_are_reported() {
+        for bad_src in [
+            "// prs-lint: allow(float)\n",                    // missing reason
+            "// prs-lint: allow(float, reason = \"\")\n",     // empty reason
+            "// prs-lint: allow(nonsense, reason = \"x\")\n", // unknown rule
+            "// prs-lint allow(float, reason = \"x\")\n",     // missing colon
+            "// prs-lint: permit(float, reason = \"x\")\n",   // unknown verb
+            "// prs-lint: allow(reason = \"x\")\n",           // no rules
+        ] {
+            let (allows, bad) = collect_allows(&lex(bad_src));
+            assert!(allows.is_empty(), "{bad_src}");
+            assert_eq!(bad.len(), 1, "{bad_src}");
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! A small, self-contained Rust lexer for `prs-lint`.
+//!
+//! The build environment is offline (no `syn`), so the lint rules run over a
+//! token stream produced here instead of a full AST. The lexer understands
+//! everything the rules need to be *sound at the token level*: line and
+//! block comments (nested), doc comments, string/char literals (including
+//! raw and byte strings), lifetimes vs. char literals, and float vs. integer
+//! numeric literals. Rules that need structure (test-module regions, item
+//! scopes for allow annotations, struct field lists) recover it from brace
+//! depth, which the token stream makes exact because no brace inside a
+//! comment, string, or char literal survives lexing.
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokKind,
+}
+
+/// Token classification — only as fine-grained as the rules require.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`f64`, `as`, `unwrap`, `pub`, …).
+    Ident(String),
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `1e-9`, `2f64`, `1.`).
+    Float,
+    /// A string literal of any flavor (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// A char literal (`'a'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Any single punctuation character (`{`, `}`, `;`, `.`, `!`, …).
+    Punct(char),
+}
+
+/// One comment, with the `//` / `/*` marker stripped.
+///
+/// Doc comments keep their distinguishing first character: `/// x` lexes to
+/// text `"/ x"` and `//! x` to `"! x"`, so `text.starts_with('/')` detects
+/// outer doc comments.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//` comments).
+    pub end_line: u32,
+    /// Comment body without the leading `//` or surrounding `/* */`.
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (not interleaved with `tokens`).
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Brace depth immediately *before* each token (`depth[i]` is the number
+    /// of unclosed `{` when token `i` starts).
+    pub fn depths(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.tokens.len());
+        let mut d: u32 = 0;
+        for t in &self.tokens {
+            out.push(d);
+            match t.kind {
+                TokKind::Punct('{') => d += 1,
+                TokKind::Punct('}') => d = d.saturating_sub(1),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// True if any code token sits on `line`.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+}
+
+/// Lex `src` into tokens + comments. Never fails: unknown bytes become
+/// `Punct` tokens, and an unterminated literal consumes to end of file —
+/// for a linter, graceful degradation beats aborting the whole run.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: chars[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut j = start;
+                let mut depth = 1u32;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: chars[start..end.min(chars.len())].iter().collect(),
+                });
+                i = j;
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a` (lifetime) vs `'a'` (char).
+                let next = chars.get(i + 1).copied();
+                let after = chars.get(i + 2).copied();
+                if next == Some('\\') {
+                    // Escaped char literal: consume to the closing quote.
+                    let mut j = i + 2;
+                    if j < chars.len() {
+                        j += 1; // the escaped character itself
+                    }
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Char,
+                    });
+                    i = (j + 1).min(chars.len());
+                } else if after == Some('\'') && next != Some('\'') {
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Char,
+                    });
+                    i += 3;
+                } else if next.map(is_ident_start).unwrap_or(false) {
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_cont(chars[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Lifetime,
+                    });
+                    i = j;
+                } else {
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Punct('\''),
+                    });
+                    i += 1;
+                }
+            }
+            '"' => {
+                i = consume_string(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Str,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let (j, float) = consume_number(&chars, i);
+                out.tokens.push(Token {
+                    line,
+                    kind: if float { TokKind::Float } else { TokKind::Int },
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_cont(chars[j]) {
+                    j += 1;
+                }
+                let ident: String = chars[i..j].iter().collect();
+                // String prefixes: r"", b"", br"", c"", cr"" and their `#`
+                // raw forms. The prefix ident is immediately followed by the
+                // quote (or `#`s for raw strings).
+                let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "c" | "cr");
+                if is_str_prefix
+                    && (chars.get(j) == Some(&'"')
+                        || (ident.contains('r') && chars.get(j) == Some(&'#')))
+                {
+                    let raw = ident.contains('r');
+                    let end = if raw {
+                        consume_raw_string(&chars, j, &mut line)
+                    } else {
+                        consume_string(&chars, j, &mut line)
+                    };
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Str,
+                    });
+                    i = end;
+                } else {
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Ident(ident),
+                    });
+                    i = j;
+                }
+            }
+            other => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Punct(other),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consume a non-raw string starting at the opening `"`; returns the index
+/// just past the closing quote.
+fn consume_string(chars: &[char], open: usize, line: &mut u32) -> usize {
+    let mut j = open + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consume a raw string starting at the first `#` or `"` after the prefix;
+/// returns the index just past the closing delimiter.
+fn consume_raw_string(chars: &[char], mut j: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return j; // not actually a raw string; bail without consuming
+    }
+    j += 1;
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Consume a numeric literal starting at a digit; returns (end index,
+/// is_float). Handles hex/octal/binary prefixes, `_` separators, `1.5`,
+/// `1.` (a float unless followed by an identifier or `.`), exponents, and
+/// `f32`/`f64` suffixes. Tuple indices (`t.0`) and ranges (`0..n`) stay
+/// integers.
+fn consume_number(chars: &[char], start: usize) -> (usize, bool) {
+    let mut j = start;
+    let radix_prefixed = chars[start] == '0'
+        && matches!(
+            chars.get(start + 1),
+            Some('x') | Some('X') | Some('o') | Some('O') | Some('b') | Some('B')
+        );
+    if radix_prefixed {
+        j += 2;
+        while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        return (j, false);
+    }
+    let mut float = false;
+    while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'.') {
+        let after = chars.get(j + 1).copied();
+        let is_range = after == Some('.');
+        let is_field = after
+            .map(|c| c.is_alphabetic() || c == '_')
+            .unwrap_or(false);
+        if !is_range && !is_field {
+            float = true;
+            j += 1;
+            while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    if matches!(chars.get(j), Some('e') | Some('E')) {
+        let mut k = j + 1;
+        if matches!(chars.get(k), Some('+') | Some('-')) {
+            k += 1;
+        }
+        if chars.get(k).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            float = true;
+            j = k;
+            while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix: `2f64` / `1.5f32` are floats; `7u32` stays an integer.
+    if chars.get(j).map(|c| c.is_alphabetic()).unwrap_or(false) {
+        let mut k = j;
+        while k < chars.len() && (chars[k].is_ascii_alphanumeric() || chars[k] == '_') {
+            k += 1;
+        }
+        let suffix: String = chars[j..k].iter().collect();
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+        j = k;
+    }
+    (j, float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let l = lex("let x = \"f64 { } unwrap()\"; // f64 here\n/* as u32 */ y");
+        assert_eq!(idents("let x = \"f64\";"), vec!["let", "x"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("f64 here"));
+        assert!(l.comments[1].text.contains("as u32"));
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident("unwrap".into())));
+    }
+
+    #[test]
+    fn doc_comments_keep_marker() {
+        let l = lex("/// outer\n//! inner\n// plain\nfn f() {}");
+        assert!(l.comments[0].text.starts_with('/'));
+        assert!(l.comments[1].text.starts_with('!'));
+        assert!(!l.comments[2].text.starts_with('/'));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let l = lex(r##"let s = r#"f64 "quoted" unwrap"#; let b = b"as"; let r = r"x";"##);
+        let n_str = l.tokens.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(n_str, 3);
+        assert!(!idents(r##"r#"f64"#"##).contains(&"f64".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s = ' '; }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let charlits = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(charlits, 3);
+    }
+
+    #[test]
+    fn float_vs_integer_literals() {
+        let kinds = |src: &str| {
+            lex(src)
+                .tokens
+                .into_iter()
+                .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+                .map(|t| t.kind)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(kinds("1.0 1e-9 2f64 1."), vec![TokKind::Float; 4]);
+        assert_eq!(kinds("42 0xff 1_000u64 7u32"), vec![TokKind::Int; 4]);
+        // Ranges and tuple/field access stay integers.
+        assert_eq!(kinds("0..n"), vec![TokKind::Int]);
+        assert_eq!(kinds("t.0"), vec![TokKind::Int]);
+        assert_eq!(kinds("1.max(2)"), vec![TokKind::Int, TokKind::Int]);
+    }
+
+    #[test]
+    fn lines_and_depths() {
+        let l = lex("fn f() {\n    g();\n}\n");
+        assert_eq!(l.tokens.first().unwrap().line, 1);
+        assert_eq!(l.tokens.last().unwrap().line, 3);
+        let d = l.depths();
+        assert_eq!(*d.last().unwrap(), 1); // depth before the closing brace
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].kind, TokKind::Ident("code".into()));
+    }
+}

@@ -1,0 +1,28 @@
+//! `prs-lint`: the workspace static-analysis suite behind `cargo xtask lint`.
+//!
+//! The paper's exact decomposition only proves anything if the code keeps
+//! its promises: floats propose but never decide, library code fails with
+//! typed errors, sweeps are deterministic, and the public surface stays
+//! documented and builder-extensible. This crate checks those promises on
+//! every file, token by token, with a counted escape hatch per rule.
+//!
+//! Layers:
+//! * [`lexer`] — a small Rust tokenizer (comments, strings, lifetimes,
+//!   float vs. integer literals) that never fails;
+//! * [`allow`] — the `// prs-lint: allow(RULE, reason = "...")` grammar;
+//! * [`rules`] — the rule passes and the file walker.
+//!
+//! The rules and their paper rationale are documented in `docs/ANALYSIS.md`.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{run, AllowedSite, Finding, LintConfig, Report};
+
+use std::path::PathBuf;
+
+/// Lint the workspace rooted at `root` with the standard rule map.
+pub fn run_lint(root: PathBuf) -> std::io::Result<Report> {
+    rules::run(&LintConfig::workspace(root))
+}

@@ -1,0 +1,78 @@
+//! `cargo xtask <command>` — workspace automation driver.
+//!
+//! Commands:
+//! * `lint [-v|--verbose]` — run the `prs-lint` rule suite over the
+//!   workspace. Exit code 1 if any rule fires. `-v` additionally lists
+//!   every allow-annotated site with its reason.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
+            lint(verbose)
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}` (available: lint)");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [-v]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(verbose: bool) -> ExitCode {
+    let root = workspace_root();
+    let report = match prs_lint::run_lint(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: i/o error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+
+    if verbose {
+        for a in &report.allowed {
+            println!("{}:{}: allowed [{}] — {}", a.file, a.line, a.rule, a.reason);
+        }
+    }
+
+    let by_rule = report.allowed_by_rule();
+    if !by_rule.is_empty() {
+        let summary: Vec<String> = by_rule
+            .iter()
+            .map(|(rule, n)| format!("{rule}: {n}"))
+            .collect();
+        println!("allowed sites — {}", summary.join(", "));
+    }
+
+    if report.findings.is_empty() {
+        println!(
+            "prs-lint: clean ({} allow-annotated sites)",
+            report.allowed.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("prs-lint: {} violation(s)", report.findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/xtask`, two up.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}

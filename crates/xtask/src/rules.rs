@@ -1,0 +1,684 @@
+//! The `prs-lint` rule suite.
+//!
+//! Each rule is a pass over the token stream of the files in its configured
+//! path set, reported with file and line. The paper-specific rationale for
+//! every rule lives in `docs/ANALYSIS.md`; in one line each:
+//!
+//! * `float` — the incentive-ratio proofs need the decomposition to be
+//!   *exact*; no `f64`/`f32` types or float literals may appear in the
+//!   exact kernels (the f64 Dinic may only *propose*, never decide).
+//! * `cast` — `as` numeric casts truncate silently; exact kernels must use
+//!   `From`/`TryFrom` or carry a range argument in an allow annotation.
+//! * `panic` — library code must push failures into typed errors
+//!   (`prs_core::Error`), not abort: no `unwrap`/`expect`/`panic!`-family
+//!   macros outside tests.
+//! * `hash-iter` — sweep and bench paths promise deterministic, in-order
+//!   output; `HashMap`/`HashSet` iteration order is arbitrary, so those
+//!   paths must use `BTreeMap`/`BTreeSet` or sort explicitly.
+//! * `api-doc` — items declared on the umbrella surface must be documented
+//!   (`pub use` re-exports inherit docs and are exempt).
+//! * `non-exhaustive` — `#[non_exhaustive]` config structs must not *gain*
+//!   public fields; new knobs go behind `with_*` builders. The known field
+//!   sets are snapshotted in the lint config.
+//! * `proptest-regressions` — every proptest suite must have a checked-in
+//!   sibling `.proptest-regressions` file with no duplicate seeds, and the
+//!   files must not be gitignored (seeds stay stable across CI jobs).
+//! * `annotation` — a malformed or stale `prs-lint:` directive is itself a
+//!   violation, so the escape hatch cannot rot.
+
+use crate::allow::collect_allows;
+use crate::lexer::{lex, Lexed, TokKind};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// File, relative to the lint root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One violation that an allow annotation silenced (counted, not hidden).
+#[derive(Debug, Clone)]
+pub struct AllowedSite {
+    /// Rule that would have fired.
+    pub rule: String,
+    /// File, relative to the lint root.
+    pub file: String,
+    /// 1-based line of the silenced site.
+    pub line: u32,
+    /// The annotation's reason.
+    pub reason: String,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Escape hatches exercised, sorted by (file, line).
+    pub allowed: Vec<AllowedSite>,
+}
+
+impl Report {
+    /// Allowed-site count per rule (for the summary line).
+    pub fn allowed_by_rule(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for a in &self.allowed {
+            *out.entry(a.rule.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// Where each rule applies. Paths are `/`-separated and relative to `root`;
+/// an entry matches itself and everything beneath it.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root all paths are relative to.
+    pub root: PathBuf,
+    /// Directories to walk for `.rs` files and proptest suites.
+    pub scan_roots: Vec<String>,
+    /// Path prefixes never linted (vendored shims, fixtures, build output).
+    pub skip: Vec<String>,
+    /// Exact kernels: no floats.
+    pub float_paths: Vec<String>,
+    /// No `as` numeric casts (superset of the exact kernels).
+    pub cast_paths: Vec<String>,
+    /// Library code: no panicking calls outside tests.
+    pub panic_paths: Vec<String>,
+    /// Deterministic sweep/bench paths: no hash collections.
+    pub hash_paths: Vec<String>,
+    /// Files whose declared `pub` items must carry doc comments.
+    pub api_doc_files: Vec<String>,
+    /// Snapshot of permitted public fields per `#[non_exhaustive]` struct.
+    pub non_exhaustive_fields: BTreeMap<String, Vec<String>>,
+}
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl LintConfig {
+    /// The real workspace rule map (see `docs/ANALYSIS.md` for rationale).
+    pub fn workspace(root: PathBuf) -> Self {
+        let exact_kernels = vec![
+            // All big-integer / rational arithmetic.
+            "crates/numeric/src".to_string(),
+            // The exact flow engines (rational and scaled-integer Dinic).
+            "crates/flow/src/network.rs".to_string(),
+            "crates/flow/src/network_int.rs".to_string(),
+            // The decomposition driver and the session replay/certify paths.
+            "crates/bd/src/decomposition.rs".to_string(),
+            "crates/bd/src/session.rs".to_string(),
+        ];
+        let mut cast_paths = exact_kernels.clone();
+        // The cast rule additionally covers the f64 proposer and its glue:
+        // a truncating cast there can bias proposals systematically, and
+        // satellite instrumentation must state its ranges.
+        cast_paths.push("crates/flow/src".to_string());
+        cast_paths.push("crates/bd/src".to_string());
+        LintConfig {
+            root,
+            scan_roots: vec!["crates".into(), "src".into(), "tests".into()],
+            skip: vec![
+                "crates/xtask".into(), // the linter itself (dev tool, not library surface)
+                "crates/bench".into(), // harness binaries; prints and unwraps are its job
+            ],
+            float_paths: exact_kernels,
+            cast_paths,
+            panic_paths: vec![
+                "crates/numeric/src".into(),
+                "crates/graph/src".into(),
+                "crates/flow/src".into(),
+                "crates/bd/src".into(),
+                "crates/core/src".into(),
+                "crates/cli/src".into(),
+                "crates/deviation/src".into(),
+                "crates/sybil/src".into(),
+                "crates/dynamics/src".into(),
+                "crates/p2psim/src".into(),
+                "crates/eg/src".into(),
+            ],
+            hash_paths: vec![
+                "crates/deviation/src".into(),
+                "crates/bd/src".into(),
+                "crates/sybil/src".into(),
+                "crates/dynamics/src/parallel.rs".into(),
+                "crates/p2psim/src/parallel.rs".into(),
+                "crates/bench".into(),
+            ],
+            api_doc_files: vec!["src/lib.rs".into()],
+            non_exhaustive_fields: BTreeMap::from([
+                (
+                    "AttackConfig".to_string(),
+                    [
+                        "grid",
+                        "zoom_levels",
+                        "keep",
+                        "warm_start",
+                        "cache_capacity",
+                    ]
+                    .map(String::from)
+                    .to_vec(),
+                ),
+                (
+                    "GeneralAttackConfig".to_string(),
+                    ["grid", "max_copies", "warm_start", "cache_capacity"]
+                        .map(String::from)
+                        .to_vec(),
+                ),
+                (
+                    "SweepConfig".to_string(),
+                    ["grid", "refine_bits", "warm_start", "cache_capacity"]
+                        .map(String::from)
+                        .to_vec(),
+                ),
+                (
+                    "SessionConfig".to_string(),
+                    ["warm_start", "cache_capacity"].map(String::from).to_vec(),
+                ),
+            ]),
+        }
+    }
+
+    fn matches(&self, set: &[String], rel: &str) -> bool {
+        set.iter()
+            .any(|p| rel == p || rel.starts_with(&format!("{p}/")))
+    }
+
+    fn skipped(&self, rel: &str) -> bool {
+        self.matches(&self.skip, rel)
+    }
+}
+
+/// Run every rule over the configured tree.
+pub fn run(cfg: &LintConfig) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut rs_files = Vec::new();
+    for scan in &cfg.scan_roots {
+        walk(&cfg.root.join(scan), &mut rs_files)?;
+    }
+    rs_files.sort();
+
+    for path in &rs_files {
+        let rel = relative(&cfg.root, path);
+        if cfg.skipped(&rel) {
+            continue;
+        }
+        let src = std::fs::read_to_string(path)?;
+        lint_file(cfg, &rel, &src, &mut report);
+    }
+
+    proptest_regressions_rule(cfg, &rs_files, &mut report);
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .allowed
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Lint one file's source (exposed for the fixture self-tests).
+pub fn lint_file(cfg: &LintConfig, rel: &str, src: &str, report: &mut Report) {
+    // Test-only code is exempt from the code rules; the regressions rule
+    // handles tests/ directories separately.
+    let in_test_dir = rel.split('/').any(|c| c == "tests" || c == "benches");
+
+    let lexed = lex(src);
+    let depths = lexed.depths();
+    let (allows, bad) = collect_allows(&lexed);
+    for b in bad {
+        report.findings.push(Finding {
+            rule: "annotation",
+            file: rel.to_string(),
+            line: b.line,
+            message: b.message,
+        });
+    }
+    let test_spans = test_regions(&lexed, &depths);
+    let in_tests = |line: u32| test_spans.iter().any(|&(s, e)| line >= s && line <= e);
+
+    let mut emit = |rule: &'static str, line: u32, message: String| {
+        if in_test_dir || in_tests(line) {
+            return;
+        }
+        if let Some(a) = allows.iter().find(|a| {
+            a.rules.iter().any(|r| r == rule) && line >= a.start_line && line <= a.end_line
+        }) {
+            a.used.set(true);
+            report.allowed.push(AllowedSite {
+                rule: rule.to_string(),
+                file: rel.to_string(),
+                line,
+                reason: a.reason.clone(),
+            });
+            return;
+        }
+        report.findings.push(Finding {
+            rule,
+            file: rel.to_string(),
+            line,
+            message,
+        });
+    };
+
+    if cfg.matches(&cfg.float_paths, rel) {
+        float_rule(&lexed, &mut emit);
+    }
+    if cfg.matches(&cfg.cast_paths, rel) {
+        cast_rule(&lexed, &mut emit);
+    }
+    if cfg.matches(&cfg.panic_paths, rel) {
+        panic_rule(&lexed, &mut emit);
+    }
+    if cfg.matches(&cfg.hash_paths, rel) {
+        hash_rule(&lexed, &mut emit);
+    }
+    if cfg.api_doc_files.iter().any(|f| f == rel) {
+        api_doc_rule(&lexed, &depths, &mut emit);
+    }
+    non_exhaustive_rule(cfg, &lexed, &depths, &mut emit);
+
+    // Stale escape hatches are violations too.
+    for a in allows.iter().filter(|a| !a.used.get()) {
+        report.findings.push(Finding {
+            rule: "annotation",
+            file: rel.to_string(),
+            line: a.comment_line,
+            message: format!(
+                "stale allow({}) — it silences nothing; remove it",
+                a.rules.join(", ")
+            ),
+        });
+    }
+}
+
+/// `f64`/`f32` tokens and float literals.
+fn float_rule(lexed: &Lexed, emit: &mut impl FnMut(&'static str, u32, String)) {
+    for t in &lexed.tokens {
+        match &t.kind {
+            TokKind::Ident(s) if s == "f64" || s == "f32" => emit(
+                "float",
+                t.line,
+                format!("`{s}` in an exact kernel — floats may propose, never decide"),
+            ),
+            TokKind::Float => emit(
+                "float",
+                t.line,
+                "float literal in an exact kernel".to_string(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// `as <numeric type>` casts.
+fn cast_rule(lexed: &Lexed, emit: &mut impl FnMut(&'static str, u32, String)) {
+    for w in lexed.tokens.windows(2) {
+        if let (TokKind::Ident(a), TokKind::Ident(ty)) = (&w[0].kind, &w[1].kind) {
+            if a == "as" && NUMERIC_TYPES.contains(&ty.as_str()) {
+                emit(
+                    "cast",
+                    w[0].line,
+                    format!("`as {ty}` cast — use From/TryFrom or state the range in an allow"),
+                );
+            }
+        }
+    }
+}
+
+/// `.unwrap()` / `.expect(` and panic-family macros.
+fn panic_rule(lexed: &Lexed, emit: &mut impl FnMut(&'static str, u32, String)) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if let TokKind::Ident(name) = &toks[i].kind {
+            if PANIC_METHODS.contains(&name.as_str())
+                && i > 0
+                && toks[i - 1].kind == TokKind::Punct('.')
+                && toks.get(i + 1).map(|t| t.kind == TokKind::Punct('(')) == Some(true)
+            {
+                emit(
+                    "panic",
+                    toks[i].line,
+                    format!("`.{name}()` in library code — return a typed error instead"),
+                );
+            }
+            if PANIC_MACROS.contains(&name.as_str())
+                && toks.get(i + 1).map(|t| t.kind == TokKind::Punct('!')) == Some(true)
+            {
+                emit(
+                    "panic",
+                    toks[i].line,
+                    format!("`{name}!` in library code — return a typed error instead"),
+                );
+            }
+        }
+    }
+}
+
+/// `HashMap` / `HashSet` in deterministic paths.
+fn hash_rule(lexed: &Lexed, emit: &mut impl FnMut(&'static str, u32, String)) {
+    for t in &lexed.tokens {
+        if let TokKind::Ident(s) = &t.kind {
+            if s == "HashMap" || s == "HashSet" {
+                emit(
+                    "hash-iter",
+                    t.line,
+                    format!("`{s}` in a deterministic path — use BTree collections or sort"),
+                );
+            }
+        }
+    }
+}
+
+/// Declared `pub` items at file depth 0 need a doc comment (`pub use` and
+/// `pub(crate)` are exempt).
+fn api_doc_rule(lexed: &Lexed, depths: &[u32], emit: &mut impl FnMut(&'static str, u32, String)) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if depths[i] != 0 || toks[i].kind != TokKind::Ident("pub".to_string()) {
+            continue;
+        }
+        match toks.get(i + 1).map(|t| &t.kind) {
+            Some(TokKind::Ident(k)) if k == "use" => continue,
+            Some(TokKind::Punct('(')) => continue, // pub(crate): not public API
+            _ => {}
+        }
+        // Walk back over the item's attributes to the start of the chain.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].kind == TokKind::Punct(']') {
+            let mut k = j - 1;
+            let mut depth = 0i32;
+            while k > 0 {
+                match toks[k].kind {
+                    TokKind::Punct(']') => depth += 1,
+                    TokKind::Punct('[') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].kind == TokKind::Punct('#') {
+                j = k - 1;
+            } else {
+                break;
+            }
+        }
+        let item_start = toks[j].line;
+        // Nearest comment above the item with no code in between must be an
+        // outer doc comment.
+        let documented = lexed
+            .comments
+            .iter()
+            .rev()
+            .find(|c| {
+                c.end_line < item_start
+                    && (c.end_line + 1..item_start).all(|l| !lexed.line_has_code(l))
+            })
+            .map(|c| c.text.starts_with('/'))
+            .unwrap_or(false);
+        if !documented {
+            let name = toks
+                .iter()
+                .skip(i + 1)
+                .find_map(|t| match &t.kind {
+                    TokKind::Ident(s)
+                        if ![
+                            "fn", "struct", "enum", "trait", "mod", "type", "const", "static",
+                            "unsafe", "async", "extern", "union", "impl",
+                        ]
+                        .contains(&s.as_str()) =>
+                    {
+                        Some(s.clone())
+                    }
+                    _ => None,
+                })
+                .unwrap_or_else(|| "<item>".into());
+            emit(
+                "api-doc",
+                toks[i].line,
+                format!("public item `{name}` on the umbrella surface has no doc comment"),
+            );
+        }
+    }
+}
+
+/// `#[non_exhaustive]` structs must not declare public fields beyond the
+/// snapshot in the config.
+fn non_exhaustive_rule(
+    cfg: &LintConfig,
+    lexed: &Lexed,
+    depths: &[u32],
+    emit: &mut impl FnMut(&'static str, u32, String),
+) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        // Match `# [ non_exhaustive ]`.
+        if toks[i].kind != TokKind::Punct('#')
+            || toks.get(i + 1).map(|t| &t.kind) != Some(&TokKind::Punct('['))
+            || toks.get(i + 2).map(|t| &t.kind) != Some(&TokKind::Ident("non_exhaustive".into()))
+            || toks.get(i + 3).map(|t| &t.kind) != Some(&TokKind::Punct(']'))
+        {
+            continue;
+        }
+        // Find the `struct Name {` this attribute decorates (skipping other
+        // attributes such as `#[derive(...)]`).
+        let mut k = i + 4;
+        let mut name = None;
+        while k + 1 < toks.len() {
+            match &toks[k].kind {
+                TokKind::Ident(s) if s == "struct" => {
+                    if let TokKind::Ident(n) = &toks[k + 1].kind {
+                        name = Some((n.clone(), k + 2));
+                    }
+                    break;
+                }
+                TokKind::Ident(s) if s == "enum" => break, // enums have no fields
+                TokKind::Punct(';') => break,
+                _ => k += 1,
+            }
+        }
+        let Some((name, mut body)) = name else {
+            continue;
+        };
+        // Skip generics to the `{` (tuple structs `(` have no named fields).
+        while body < toks.len()
+            && toks[body].kind != TokKind::Punct('{')
+            && toks[body].kind != TokKind::Punct('(')
+            && toks[body].kind != TokKind::Punct(';')
+        {
+            body += 1;
+        }
+        if body >= toks.len() || toks[body].kind != TokKind::Punct('{') {
+            continue;
+        }
+        let field_depth = depths[body] + 1;
+        let empty = Vec::new();
+        let known = cfg.non_exhaustive_fields.get(&name).unwrap_or(&empty);
+        let mut f = body + 1;
+        while f < toks.len() && depths[f] >= field_depth {
+            if depths[f] == field_depth
+                && toks[f].kind == TokKind::Ident("pub".into())
+                && toks.get(f + 1).map(|t| t.kind != TokKind::Punct('(')) == Some(true)
+            {
+                if let Some(TokKind::Ident(field)) = toks.get(f + 1).map(|t| &t.kind) {
+                    if toks.get(f + 2).map(|t| &t.kind) == Some(&TokKind::Punct(':'))
+                        && !known.iter().any(|x| x == field)
+                    {
+                        emit(
+                            "non-exhaustive",
+                            toks[f].line,
+                            format!(
+                                "`#[non_exhaustive]` config `{name}` gained public field \
+                                 `{field}` — add a `with_{field}` builder and keep the field \
+                                 private (or deliberately extend the snapshot in xtask)"
+                            ),
+                        );
+                    }
+                }
+            }
+            f += 1;
+        }
+    }
+}
+
+/// Line spans covered by `#[cfg(test)]` or `#[test]` items.
+fn test_regions(lexed: &Lexed, depths: &[u32]) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Punct('#')
+            || toks.get(i + 1).map(|t| &t.kind) != Some(&TokKind::Punct('['))
+        {
+            continue;
+        }
+        let is_cfg_test = toks.get(i + 2).map(|t| &t.kind) == Some(&TokKind::Ident("cfg".into()))
+            && toks.get(i + 3).map(|t| &t.kind) == Some(&TokKind::Punct('('))
+            && toks.get(i + 4).map(|t| &t.kind) == Some(&TokKind::Ident("test".into()));
+        let is_test_attr = toks.get(i + 2).map(|t| &t.kind) == Some(&TokKind::Ident("test".into()))
+            && toks.get(i + 3).map(|t| &t.kind) == Some(&TokKind::Punct(']'));
+        if !is_cfg_test && !is_test_attr {
+            continue;
+        }
+        // Scope: from the attribute through the decorated item's last brace.
+        let close = toks[i..]
+            .iter()
+            .position(|t| t.kind == TokKind::Punct(']'))
+            .map(|p| i + p);
+        let Some(close) = close else { continue };
+        let d0 = depths[i];
+        let mut cur = d0;
+        let mut opened = false;
+        let mut end = toks.last().map(|t| t.line).unwrap_or(toks[i].line);
+        for t in toks.iter().skip(close + 1) {
+            match t.kind {
+                TokKind::Punct('{') => {
+                    if cur == d0 {
+                        opened = true;
+                    }
+                    cur += 1;
+                }
+                TokKind::Punct('}') => {
+                    cur = cur.saturating_sub(1);
+                    if cur < d0 || (opened && cur == d0) {
+                        end = t.line;
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if cur == d0 && !opened => {
+                    end = t.line;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        spans.push((toks[i].line, end));
+    }
+    spans
+}
+
+/// Every `tests/proptest_*.rs` needs a sibling `.proptest-regressions` file
+/// (checked in, duplicate-free), and `.gitignore` must not hide them.
+fn proptest_regressions_rule(cfg: &LintConfig, rs_files: &[PathBuf], report: &mut Report) {
+    for path in rs_files {
+        let rel = relative(&cfg.root, path);
+        if cfg.skipped(&rel) {
+            continue;
+        }
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let in_tests = rel.split('/').any(|c| c == "tests");
+        if !in_tests || !name.starts_with("proptest_") {
+            continue;
+        }
+        let sibling = path.with_extension("proptest-regressions");
+        if !sibling.exists() {
+            report.findings.push(Finding {
+                rule: "proptest-regressions",
+                file: rel.clone(),
+                line: 1,
+                message: format!(
+                    "proptest suite has no checked-in `{}` — create it (header-only is fine) \
+                     so regression seeds are stable across CI jobs",
+                    relative(&cfg.root, &sibling)
+                ),
+            });
+            continue;
+        }
+        if let Ok(content) = std::fs::read_to_string(&sibling) {
+            let mut seen = std::collections::BTreeSet::new();
+            for (idx, l) in content.lines().enumerate() {
+                let l = l.trim();
+                if l.starts_with("cc ") && !seen.insert(l.to_string()) {
+                    report.findings.push(Finding {
+                        rule: "proptest-regressions",
+                        file: relative(&cfg.root, &sibling),
+                        line: (idx + 1) as u32,
+                        message: "duplicate regression seed — dedupe the file".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    let gitignore = cfg.root.join(".gitignore");
+    if let Ok(content) = std::fs::read_to_string(&gitignore) {
+        for (idx, l) in content.lines().enumerate() {
+            if l.contains("proptest-regressions") && !l.trim_start().starts_with('#') {
+                report.findings.push(Finding {
+                    rule: "proptest-regressions",
+                    file: ".gitignore".to_string(),
+                    line: (idx + 1) as u32,
+                    message: "regression seed files must be checked in, not ignored".to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    if dir.is_file() {
+        out.push(dir.to_path_buf());
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name == "target" || name == ".git" || name == "fixtures" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,224 @@
+//! prs-lint self-test.
+//!
+//! Two halves, matching the two promises the lint suite makes:
+//!
+//! 1. **Every rule fires** — `fixtures/ws/` is a miniature workspace with
+//!    one seeded violation per rule at a known `file:line`; running the
+//!    real workspace config over it must reproduce exactly those findings.
+//! 2. **The real workspace is clean** — running the suite over this
+//!    repository must produce zero findings (violations are either fixed
+//!    or carry a counted, reasoned allow annotation).
+
+use prs_lint::rules::{run, LintConfig, Report};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn fixture_report() -> Report {
+    run(&LintConfig::workspace(fixture_root())).expect("fixture tree lints")
+}
+
+fn assert_finding(report: &Report, rule: &str, file: &str, line: u32) {
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == rule && f.file == file && f.line == line),
+        "expected [{rule}] at {file}:{line}; got:\n{}",
+        render(report)
+    );
+}
+
+fn assert_no_finding_at(report: &Report, rule: &str, file: &str, line: u32) {
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == rule && f.file == file && f.line == line),
+        "unexpected [{rule}] at {file}:{line}"
+    );
+}
+
+fn render(report: &Report) -> String {
+    report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule, f.message))
+        .collect()
+}
+
+#[test]
+fn float_rule_fires_on_types_and_literals() {
+    let r = fixture_report();
+    let file = "crates/numeric/src/bad_float.rs";
+    assert_finding(&r, "float", file, 5); // `-> f64`
+    assert_finding(&r, "float", file, 6); // `0.5` literal
+    assert_finding(&r, "float", file, 7); // `as f64` target type
+}
+
+#[test]
+fn cast_rule_fires_on_as_numeric() {
+    let r = fixture_report();
+    let file = "crates/numeric/src/bad_float.rs";
+    assert_finding(&r, "cast", file, 7); // `x as f64`
+    assert_finding(&r, "cast", file, 12); // `x as u32`
+}
+
+#[test]
+fn panic_rule_fires_on_unwrap_but_not_unwrap_or() {
+    let r = fixture_report();
+    let file = "crates/numeric/src/bad_float.rs";
+    assert_finding(&r, "panic", file, 16); // `.unwrap()`
+    assert_no_finding_at(&r, "panic", file, 20); // `.unwrap_or(0)` is fine
+}
+
+#[test]
+fn test_regions_are_exempt_from_code_rules() {
+    let r = fixture_report();
+    let file = "crates/numeric/src/bad_float.rs";
+    // Lines 23..=31 sit inside `#[cfg(test)] mod tests` and hold floats,
+    // casts, and an unwrap_or — none may fire.
+    for f in &r.findings {
+        assert!(
+            !(f.file == file && f.line >= 23),
+            "rule [{}] fired inside a test region at {}:{}",
+            f.rule,
+            f.file,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn hash_rule_fires_in_deterministic_paths() {
+    let r = fixture_report();
+    let file = "crates/bd/src/bad_hash.rs";
+    assert_finding(&r, "hash-iter", file, 3); // the `use`
+    assert_finding(&r, "hash-iter", file, 5); // return type
+    assert_finding(&r, "hash-iter", file, 6); // constructor
+}
+
+#[test]
+fn api_doc_rule_fires_on_undocumented_surface() {
+    let r = fixture_report();
+    let file = "src/lib.rs";
+    assert_finding(&r, "api-doc", file, 8); // bare undocumented fn
+    assert_finding(&r, "api-doc", file, 11); // attr-decorated undocumented struct
+    assert_no_finding_at(&r, "api-doc", file, 3); // `pub use` is exempt
+    assert_no_finding_at(&r, "api-doc", file, 6); // documented fn
+}
+
+#[test]
+fn non_exhaustive_rule_fires_on_new_public_field() {
+    let r = fixture_report();
+    let file = "crates/sybil/src/bad_config.rs";
+    assert_finding(&r, "non-exhaustive", file, 7); // `pub sneaky_knob`
+    assert_no_finding_at(&r, "non-exhaustive", file, 6); // `grid` is in the snapshot
+    assert_no_finding_at(&r, "non-exhaustive", file, 8); // private fields are fine
+    let msg = r
+        .findings
+        .iter()
+        .find(|f| f.rule == "non-exhaustive")
+        .map(|f| f.message.clone())
+        .unwrap_or_default();
+    assert!(
+        msg.contains("with_sneaky_knob"),
+        "message should suggest the builder: {msg}"
+    );
+}
+
+#[test]
+fn annotation_rule_fires_on_malformed_and_stale_allows() {
+    let r = fixture_report();
+    let file = "crates/flow/src/annotations.rs";
+    assert_finding(&r, "annotation", file, 8); // stale allow
+    assert_finding(&r, "annotation", file, 13); // missing reason
+    assert_finding(&r, "annotation", file, 18); // unknown rule name
+                                                // A malformed allow silences nothing: the cast under it still fires.
+    assert_finding(&r, "cast", file, 15);
+}
+
+#[test]
+fn allow_annotations_are_counted_not_hidden() {
+    let r = fixture_report();
+    let file = "crates/flow/src/annotations.rs";
+    // The two well-formed allows (own-line fn scope, trailing) register
+    // allowed sites at the silenced lines, carrying their reasons.
+    let sanctioned = r
+        .allowed
+        .iter()
+        .find(|a| a.file == file && a.line == 5)
+        .expect("own-line allow registers an allowed site");
+    assert_eq!(sanctioned.rule, "cast");
+    assert!(sanctioned.reason.contains("sanctioned narrowing"));
+    let trailing = r
+        .allowed
+        .iter()
+        .find(|a| a.file == file && a.line == 24)
+        .expect("trailing allow registers an allowed site");
+    assert_eq!(trailing.rule, "cast");
+    assert_no_finding_at(&r, "cast", file, 5);
+    assert_no_finding_at(&r, "cast", file, 24);
+    assert_eq!(r.allowed_by_rule().get("cast"), Some(&2));
+}
+
+#[test]
+fn proptest_regressions_rule_fires() {
+    let r = fixture_report();
+    // Missing sibling file.
+    assert_finding(
+        &r,
+        "proptest-regressions",
+        "crates/bd/tests/proptest_missing.rs",
+        1,
+    );
+    // Duplicate seed in an existing sibling.
+    assert_finding(
+        &r,
+        "proptest-regressions",
+        "crates/eg/tests/proptest_dup.proptest-regressions",
+        8,
+    );
+    // Uncommented gitignore entry hiding seed files.
+    assert_finding(&r, "proptest-regressions", ".gitignore", 3);
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture_tree() {
+    let r = fixture_report();
+    let fired: std::collections::BTreeSet<&str> = r.findings.iter().map(|f| f.rule).collect();
+    for rule in [
+        "float",
+        "cast",
+        "panic",
+        "hash-iter",
+        "api-doc",
+        "non-exhaustive",
+        "annotation",
+        "proptest-regressions",
+    ] {
+        assert!(
+            fired.contains(rule),
+            "rule [{rule}] never fired:\n{}",
+            render(&r)
+        );
+    }
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let r = prs_lint::run_lint(root).expect("workspace lints");
+    assert!(
+        r.findings.is_empty(),
+        "prs-lint found violations in the workspace:\n{}",
+        render(&r)
+    );
+    // The escape hatch is exercised (and counted) in the real tree.
+    assert!(!r.allowed.is_empty(), "expected counted allow sites");
+}

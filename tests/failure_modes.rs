@@ -91,6 +91,57 @@ fn swarm_with_zero_capacity_agent() {
 }
 
 #[test]
+fn ring_instance_rejects_non_positive_weights() {
+    // The attack surface requires w > 0; `RingInstance` must reject bad
+    // weights at construction with a typed error naming the vertex, not
+    // panic deep inside the sweep.
+    let zero = prs::RingInstance::from_integers(&[3, 0, 2]);
+    let err = zero.expect_err("zero weight must be rejected");
+    assert!(
+        err.to_string().contains("non-positive weight at vertex 1"),
+        "unhelpful error: {err}"
+    );
+    let negative = prs::RingInstance::new(vec![int(1), int(2), ratio(-1, 3)]);
+    let err = negative.expect_err("negative weight must be rejected");
+    assert!(err.to_string().contains("vertex 2"), "{err}");
+    // Strictly positive rationals are still fine.
+    assert!(prs::RingInstance::new(vec![ratio(1, 7), int(2), int(3)]).is_ok());
+}
+
+#[test]
+fn malformed_instance_text_is_rejected() {
+    use prs::Error;
+    // Truncated and garbage inputs must come back as typed parse errors
+    // (never a panic), carrying a usable line number.
+    let cases: &[&str] = &[
+        "",                                                  // empty file
+        "ring",                                              // truncated: no weights line
+        "ring\nweights:",                                    // empty weight list → builder error
+        "ring\nweights: 1 2 1/0",                            // zero denominator
+        "ring\nweights: 1 2 NaN",                            // float junk
+        "graph\nweights: 1 2\nedges: 0-9",                   // endpoint out of range
+        "graph\nweights: 1 2\nedges: 0-",                    // truncated edge token
+        "\u{0}\u{1}binary\u{2}garbage",                      // binary noise
+        "ring\nweights: 1 2 3\nweights: 1 2 3\nextra: nope", // trailing junk
+    ];
+    for text in cases {
+        match prs::parse_instance(text) {
+            Err(Error::Parse { .. }) => {}
+            Err(other) => panic!("expected Parse error for {text:?}, got {other:?}"),
+            Ok(_) => panic!("malformed input parsed: {text:?}"),
+        }
+    }
+    // Line numbers point at the offending line.
+    match prs::parse_instance("ring\nweights: 1 oops 3") {
+        Err(Error::Parse { line, message }) => {
+            assert_eq!(line, 2);
+            assert!(message.contains("oops"), "{message}");
+        }
+        other => panic!("expected a located parse error, got {other:?}"),
+    }
+}
+
+#[test]
 fn attack_on_tiny_triangle() {
     // Smallest possible ring; boundary splits hit degenerate paths and must
     // be skipped, not crashed on.
