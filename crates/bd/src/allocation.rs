@@ -131,12 +131,21 @@ impl Allocation {
 /// Panics if `bd` was not produced from `g` (the per-pair flows would then
 /// fail to saturate, which is asserted).
 pub fn allocate(g: &Graph, bd: &BottleneckDecomposition) -> Allocation {
+    let mut sp = prs_trace::span("bd", "allocate");
+    sp.attr("pairs", || bd.pairs().len().to_string());
     let mut alloc = Allocation::zeros(g);
     let one = Rational::one();
     // One arena network rebuilt in place per pair (`clear` keeps storage).
     let mut net = FlowNetwork::new(0);
-    for pair in bd.pairs() {
-        if pair.alpha == one {
+    for (k, pair) in bd.pairs().iter().enumerate() {
+        let double_cover = pair.alpha == one;
+        let mut sp_pair = prs_trace::span("bd", "allocate_pair");
+        sp_pair.attr("pair", || k.to_string());
+        sp_pair.attr("members", || (pair.b.len() + pair.c.len()).to_string());
+        // The α_k = 1 terminal pair routes flow on the bipartite double
+        // cover of G[B_k] instead of the B→C bipartite network.
+        sp_pair.attr("double_cover", || double_cover.to_string());
+        if double_cover {
             allocate_terminal_pair(g, pair, &mut net, &mut alloc);
         } else {
             allocate_regular_pair(g, pair, &mut net, &mut alloc);

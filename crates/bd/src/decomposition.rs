@@ -278,6 +278,8 @@ fn maximal_bottleneck_exact(
 
     loop {
         stats::record_dinkelbach_iterations(1);
+        let mut sp = prs_trace::span("bd", "dinkelbach_iter");
+        sp.attr("engine", || "exact".to_string());
         let mut net = feasibility_network(g, alive, &alpha);
         let flow = net.max_flow(Layout::S, Layout::T);
         if flow == w_alive {
@@ -534,6 +536,7 @@ fn propose_f64(
     alpha0: &Rational,
     nets: &mut RoundNets,
 ) -> Option<VertexSet> {
+    let _sp = prs_trace::span("bd", "f64_propose");
     let layout = Layout { n: g.n() };
     let w_alive_f: f64 = alive.iter().map(|v| g.weight(v).to_f64()).sum();
     let tol = 1e-9 * (1.0 + w_alive_f);
@@ -644,6 +647,8 @@ pub(crate) fn maximal_bottleneck(
     let mut first = true;
     loop {
         stats::record_dinkelbach_iterations(1);
+        let mut sp = prs_trace::span("bd", "dinkelbach_iter");
+        sp.attr("engine", || "two_tier".to_string());
         nets.set_alpha_exact(g, &alpha);
         let flow = nets.exact.max_flow(Layout::S, Layout::T);
         if flow == w_alive {
@@ -733,6 +738,8 @@ where
         return Err(BdError::EmptyGraph);
     }
     let n = g.n();
+    let mut sp = prs_trace::span("bd", "decompose");
+    sp.attr("n", || n.to_string());
     let mut alive = VertexSet::full(n);
     let mut pairs = Vec::new();
     let mut pair_of = vec![usize::MAX; n];
@@ -743,7 +750,12 @@ where
         if g.set_weight_of(&alive).is_zero() {
             return Err(BdError::ZeroWeightResidue { round });
         }
-        let (b, alpha) = solve_round(g, &alive, round)?;
+        let (b, alpha) = {
+            let mut sp_round = prs_trace::span("bd", "round");
+            sp_round.attr("round", || round.to_string());
+            sp_round.attr("alive", || alive.len().to_string());
+            solve_round(g, &alive, round)?
+        };
         let c = g.neighborhood_in(&b, &alive);
         let one = Rational::one();
         debug_assert!(alpha <= one, "α(S) ≤ α(V) ≤ 1 on every subgraph");
@@ -772,6 +784,7 @@ where
         round += 1;
     }
 
+    sp.attr("rounds", || round.to_string());
     let bd = BottleneckDecomposition {
         pairs,
         pair_of,

@@ -36,20 +36,40 @@ where
 {
     let threads = threads.clamp(1, count.max(1));
     if threads == 1 {
-        return (0..count).map(f).collect();
+        // Same span shape as the threaded path, so traces always carry a
+        // worker-tagged section (single-core machines included).
+        let mut sp = prs_trace::span("bd", "par_worker");
+        sp.attr("worker", || "0".to_string());
+        let out = (0..count).map(f).collect();
+        sp.attr("jobs", || count.to_string());
+        return out;
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
+        let (cursor, slots, f) = (&cursor, &slots, &f);
+        for w in 0..threads {
+            scope.spawn(move |_| {
+                {
+                    let mut sp = prs_trace::span("bd", "par_worker");
+                    sp.attr("worker", || w.to_string());
+                    let mut jobs: u64 = 0;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        jobs += 1;
+                        // One uncontended lock per job, not per step: each
+                        // index is handed to exactly one worker by the
+                        // cursor.
+                        *slots[i].lock().expect("slot poisoned") = Some(f(i));
+                    }
+                    sp.attr("jobs", || jobs.to_string());
                 }
-                // One uncontended lock per job, not per step: each index is
-                // handed to exactly one worker by the cursor.
-                *slots[i].lock().expect("slot poisoned") = Some(f(i));
+                // Must be the closure's last act: the scope join can race
+                // this thread's TLS destructors (see prs_trace::flush_thread).
+                prs_trace::flush_thread();
             });
         }
     })
@@ -121,25 +141,37 @@ impl SessionPool {
     {
         let threads = threads.clamp(1, count.max(1));
         if threads == 1 {
+            let mut sp = prs_trace::span("bd", "pool_worker");
+            sp.attr("worker", || "0".to_string());
             let mut session = self.checkout();
             let out = (0..count).map(|i| f(&mut session, i)).collect();
             self.checkin(session);
+            sp.attr("jobs", || count.to_string());
             return out;
         }
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
         crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| {
-                    let mut session = self.checkout();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
+            let (cursor, slots, f) = (&cursor, &slots, &f);
+            for w in 0..threads {
+                scope.spawn(move |_| {
+                    {
+                        let mut sp = prs_trace::span("bd", "pool_worker");
+                        sp.attr("worker", || w.to_string());
+                        let mut jobs: u64 = 0;
+                        let mut session = self.checkout();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= count {
+                                break;
+                            }
+                            jobs += 1;
+                            *slots[i].lock().expect("slot poisoned") = Some(f(&mut session, i));
                         }
-                        *slots[i].lock().expect("slot poisoned") = Some(f(&mut session, i));
+                        self.checkin(session);
+                        sp.attr("jobs", || jobs.to_string());
                     }
-                    self.checkin(session);
+                    prs_trace::flush_thread();
                 });
             }
         })

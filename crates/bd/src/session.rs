@@ -298,8 +298,13 @@ fn solve_round_warm(
     local: &mut SessionStats,
     certified: &mut Vec<RoundCert>,
 ) -> Result<(VertexSet, Rational), BdError> {
+    // The `path` attribute names which of the session's tiers settled the
+    // round: `replay`, `warm_hit`, `warm_descent`, or `cold`.
+    let mut sp = prs_trace::span("bd", "session_round");
+    sp.attr("round", || round.to_string());
     if cfg.warm_start {
         if let Some(rc) = replay_candidate(g, alive, round, cache) {
+            sp.attr("path", || "replay".to_string());
             local.hits += 1;
             local.warm_starts += 1;
             stats::record_session_hits(1);
@@ -320,6 +325,7 @@ fn solve_round_warm(
     let Some((alpha_hat, entry_idx)) = warm else {
         // Cold round: the plain two-tier engine (float proposal + exact
         // certification), reusing this session's arenas.
+        sp.attr("path", || "cold".to_string());
         local.misses += 1;
         stats::record_session_misses(1);
         let (b, alpha) = maximal_bottleneck(g, alive, round, nets)?;
@@ -351,6 +357,8 @@ fn solve_round_warm(
     let mut first = true;
     loop {
         stats::record_dinkelbach_iterations(1);
+        let mut sp_iter = prs_trace::span("bd", "dinkelbach_iter");
+        sp_iter.attr("engine", || "session".to_string());
         if !first {
             nets.set_alpha_int(&alpha);
         }
@@ -362,6 +370,7 @@ fn solve_round_warm(
         // Feasible iff the sources saturate: max flow = Σ (w_v·D)·p.
         if flow == nets.int_source_total {
             if first {
+                sp.attr("path", || "warm_hit".to_string());
                 local.hits += 1;
                 stats::record_session_hits(1);
             }
@@ -383,6 +392,7 @@ fn solve_round_warm(
             // minimum. Continue the unchanged exact descent from the min
             // cut — no float-tier re-entry; misses are rare and the pure
             // descent from α̂ is already close.
+            sp.attr("path", || "warm_descent".to_string());
             local.misses += 1;
             stats::record_session_misses(1);
             first = false;

@@ -1063,6 +1063,46 @@ fn bench_two_tier(quick: bool) {
     }
     ts.print();
 
+    // --- per-span-kind timings: one traced misreport sweep, aggregated ---
+    //
+    // Everything above ran with tracing disabled (the default), so those
+    // numbers stay comparable to untraced baselines. This section flips the
+    // recorder on for a single representative workload and reports where
+    // the time goes, per (layer, name) span kind.
+    let trace_n = sweep_ns[0];
+    let trace_ring = ring_family(9100 + trace_n as u64, 1, trace_n, 1, 50)
+        .pop()
+        .unwrap();
+    let trace_fam = MisreportFamily::new(trace_ring, 0);
+    let trace_cfg = SweepConfig::new()
+        .with_grid(sweep_grid)
+        .with_refine_bits(20);
+    prs_core::trace::install(&prs_core::trace::TraceConfig::new().with_enabled(true));
+    let _ = sweep(&trace_fam, &trace_cfg);
+    prs_core::trace::disable();
+    let traced = prs_core::trace::take();
+    let mut tt = Table::new(&["span", "count", "total ms", "p50 µs", "p90 µs", "p99 µs"]);
+    let mut span_rows: Vec<String> = Vec::new();
+    for s in traced.span_stats() {
+        tt.row(vec![
+            format!("{}.{}", s.layer, s.name),
+            s.count.to_string(),
+            format!("{:.3}", s.total_ns as f64 / 1e6),
+            format!("{:.1}", s.p50_ns as f64 / 1e3),
+            format!("{:.1}", s.p90_ns as f64 / 1e3),
+            format!("{:.1}", s.p99_ns as f64 / 1e3),
+        ]);
+        span_rows.push(format!(
+            concat!(
+                "    {{\"layer\": \"{}\", \"name\": \"{}\", \"count\": {}, ",
+                "\"total_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}"
+            ),
+            s.layer, s.name, s.count, s.total_ns, s.p50_ns, s.p90_ns, s.p99_ns,
+        ));
+    }
+    println!("  traced workload: misreport-sweep/n={trace_n} (grid {sweep_grid})");
+    tt.print();
+
     let json = format!(
         concat!(
             "{{\n",
@@ -1071,6 +1111,7 @@ fn bench_two_tier(quick: bool) {
             "  \"reps_per_measurement\": {},\n",
             "  \"engines\": [\n{}\n  ],\n",
             "  \"session_workloads\": [\n{}\n  ],\n",
+            "  \"trace_spans\": {{\"workload\": \"misreport-sweep/n={}\", \"spans\": [\n{}\n  ]}},\n",
             "  \"sybil_attack_n{}\": {{\"two_tier_ms\": {:.4}, \"stats\": {}}}\n",
             "}}\n"
         ),
@@ -1078,6 +1119,8 @@ fn bench_two_tier(quick: bool) {
         reps,
         rows.join(",\n"),
         session_rows.join(",\n"),
+        trace_n,
+        span_rows.join(",\n"),
         attack_n,
         attack_ms,
         attack_stats.to_json(),

@@ -231,6 +231,46 @@ pub fn cmd_audit(g: &Graph, stats: bool, out: &mut dyn Write) -> std::io::Result
         for line in delta.render().lines() {
             writeln!(out, "  {line}")?;
         }
+        // Machine-readable mirror of the same delta (rate keys omitted when
+        // no rounds ran — NaN has no JSON representation).
+        writeln!(out, "  json {}", delta.to_json())?;
+    }
+    Ok(())
+}
+
+/// `prs sweep`: exact misreport sweep of one agent's reported weight —
+/// the Proposition 11 experiment as a command. Prints the constant-shape
+/// intervals and localized breakpoints of `x ↦ 𝓑(G_{v→x})`.
+pub fn cmd_sweep(g: &Graph, v: usize, out: &mut dyn Write) -> std::io::Result<()> {
+    if v >= g.n() {
+        writeln!(out, "error: vertex {v} out of range")?;
+        return Ok(());
+    }
+    let fam = MisreportFamily::new(g.clone(), v);
+    let result = sweep(&fam, &SweepConfig::default());
+    writeln!(
+        out,
+        "misreport sweep for agent {v} (true weight {}):",
+        fam.true_weight()
+    )?;
+    writeln!(
+        out,
+        "  {} exact samples, {} constant-shape intervals",
+        result.samples.len(),
+        result.intervals.len()
+    )?;
+    for (i, iv) in result.intervals.iter().enumerate() {
+        writeln!(
+            out,
+            "  interval {i}: x ∈ [{}, {}]  class {:?}  ({} pairs)",
+            iv.lo,
+            iv.hi,
+            iv.focus_class,
+            iv.shape.len()
+        )?;
+    }
+    for bp in result.breakpoints() {
+        writeln!(out, "  breakpoint ≈ {bp}")?;
     }
     Ok(())
 }
@@ -318,8 +358,14 @@ COMMANDS:
     general-attack <file> <vertex>   Definition 7 attack on any graph
     certified-attack <file> <vertex> symbolic (certified) attack optimum
     eg <file>                     Eisenberg–Gale solve vs Proposition 6
+    sweep <file> <vertex>         exact misreport sweep (Prop. 11 intervals)
     audit <file> [--stats]        run every paper-claim check on a ring
                                   (--stats: print flow-engine counters)
+
+TRACING (any command):
+    --trace                       print a span/counter summary after the run
+    --trace=FILE                  write Chrome trace-event JSON (Perfetto)
+    --trace-jsonl=FILE            write the raw event log, one JSON per line
 
 INSTANCE FILES:
     ring                          # or `path` / `graph`
@@ -403,6 +449,36 @@ mod tests {
         assert!(out.contains("exact max-flows"), "{out}");
         assert!(out.contains("fast-path"), "{out}");
         assert!(out.contains("session"), "{out}");
+    }
+
+    #[test]
+    fn audit_stats_json_line_is_valid_json() {
+        // Regression: the machine-readable stats line must never carry a
+        // bare `NaN` (no JSON representation) — the rate keys are omitted
+        // when no rounds of their kind ran.
+        let out = capture(|w| cmd_audit(&ring(), true, w));
+        let json_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("json "))
+            .expect("stats json line present");
+        assert!(!json_line.contains("NaN"), "{json_line}");
+        let body = json_line.trim_start().trim_start_matches("json ");
+        assert!(body.starts_with('{') && body.ends_with('}'), "{body}");
+        assert!(body.contains("\"exact_max_flows\""), "{body}");
+    }
+
+    #[test]
+    fn sweep_reports_intervals_and_breakpoints() {
+        let out = capture(|w| cmd_sweep(&ring(), 0, w));
+        assert!(out.contains("misreport sweep for agent 0"), "{out}");
+        assert!(out.contains("constant-shape intervals"), "{out}");
+        assert!(out.contains("interval 0"), "{out}");
+    }
+
+    #[test]
+    fn sweep_rejects_out_of_range_vertex() {
+        let out = capture(|w| cmd_sweep(&ring(), 99, w));
+        assert!(out.contains("out of range"), "{out}");
     }
 
     #[test]

@@ -17,9 +17,33 @@ fn main() -> ExitCode {
     }
 }
 
+/// Where the recorded trace goes after the command finishes.
+enum TraceOut {
+    /// Bare `--trace`: human-readable span/counter summary on stdout.
+    Summary,
+    /// `--trace=FILE`: Chrome trace-event JSON (Perfetto/`chrome://tracing`).
+    Chrome(String),
+    /// `--trace-jsonl=FILE`: one JSON object per event.
+    Jsonl(String),
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let stats = args.iter().any(|a| a == "--stats");
-    let args: Vec<String> = args.iter().filter(|a| *a != "--stats").cloned().collect();
+    let mut trace_out: Option<TraceOut> = None;
+    for a in args {
+        if a == "--trace" {
+            trace_out = Some(TraceOut::Summary);
+        } else if let Some(path) = a.strip_prefix("--trace=") {
+            trace_out = Some(TraceOut::Chrome(path.to_string()));
+        } else if let Some(path) = a.strip_prefix("--trace-jsonl=") {
+            trace_out = Some(TraceOut::Jsonl(path.to_string()));
+        }
+    }
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--stats" && !a.starts_with("--trace"))
+        .cloned()
+        .collect();
     let Some(cmd) = args.first() else {
         return Err(commands::USAGE.to_string());
     };
@@ -37,6 +61,10 @@ fn run(args: &[String]) -> Result<(), String> {
             .map_err(|_| "vertex must be a non-negative integer".to_string())
     };
 
+    if trace_out.is_some() {
+        prs_core::trace::install(&prs_core::trace::TraceConfig::new().with_enabled(true));
+    }
+
     let result = match cmd.as_str() {
         "decompose" => commands::cmd_decompose(&graph, &mut stdout),
         "allocate" => commands::cmd_allocate(&graph, &mut stdout),
@@ -52,8 +80,37 @@ fn run(args: &[String]) -> Result<(), String> {
         "certified-attack" => commands::cmd_certified_attack(&graph, vertex_arg(2)?, &mut stdout),
         "eg" => commands::cmd_eg(&graph, &mut stdout),
         "general-attack" => commands::cmd_general_attack(&graph, vertex_arg(2)?, &mut stdout),
+        "sweep" => commands::cmd_sweep(&graph, vertex_arg(2)?, &mut stdout),
         "audit" => commands::cmd_audit(&graph, stats, &mut stdout),
         other => return Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
     };
+
+    if let Some(out) = trace_out {
+        let trace = prs_core::trace::take();
+        prs_core::trace::disable();
+        let emit: std::io::Result<()> = match out {
+            TraceOut::Summary => {
+                use std::io::Write;
+                write!(stdout, "{}", trace.summary())
+            }
+            TraceOut::Chrome(path) => std::fs::write(&path, trace.to_chrome_json()).map(|()| {
+                use std::io::Write;
+                let _ = writeln!(
+                    stdout,
+                    "trace: wrote {} events to {path} (open in Perfetto or chrome://tracing)",
+                    trace.events.len()
+                );
+            }),
+            TraceOut::Jsonl(path) => std::fs::write(&path, trace.to_jsonl()).map(|()| {
+                use std::io::Write;
+                let _ = writeln!(
+                    stdout,
+                    "trace: wrote {} events to {path}",
+                    trace.events.len()
+                );
+            }),
+        };
+        emit.map_err(|e| format!("cannot write trace: {e}"))?;
+    }
     result.map_err(|e| format!("io error: {e}"))
 }

@@ -79,3 +79,4 @@ pub use prs_graph as graph;
 pub use prs_numeric as numeric;
 pub use prs_p2psim as p2psim;
 pub use prs_sybil as sybil;
+pub use prs_trace as trace;

@@ -153,6 +153,8 @@ fn sample<F: GraphFamily>(
     x: &Rational,
     session: &mut DecompositionSession,
 ) -> Option<AlphaSample> {
+    let mut sp = prs_trace::span("deviation", "sample");
+    sp.attr("x", || x.to_string());
     let g = fam.graph_at(x);
     let v = fam.focus_vertex();
     let bd = session.decompose(&g).ok()?;
@@ -174,6 +176,9 @@ fn refine_cell<F: GraphFamily>(
     refine_bits: u32,
     session: &mut DecompositionSession,
 ) -> (AlphaSample, AlphaSample) {
+    let mut sp = prs_trace::span("deviation", "refine_cell");
+    sp.attr("lo", || a.x.to_string());
+    sp.attr("hi", || b.x.to_string());
     for _ in 0..refine_bits {
         let mid_x = a.x.midpoint(&b.x);
         let Some(mid) = sample(fam, &mid_x, session) else {
@@ -201,6 +206,9 @@ fn refine_cell<F: GraphFamily>(
 /// from the shapes its session has already certified (piecewise-constant
 /// `𝓑(x)` makes nearly every re-evaluation a cache hit).
 pub fn sweep<F: GraphFamily + Sync>(fam: &F, cfg: &SweepConfig) -> SweepResult {
+    let mut sp = prs_trace::span("deviation", "sweep");
+    sp.attr("grid", || cfg.grid.to_string());
+    sp.attr("refine_bits", || cfg.refine_bits.to_string());
     let (lo, hi) = fam.domain();
     assert!(lo < hi, "degenerate domain");
     let grid = cfg.grid.max(1);
@@ -269,7 +277,17 @@ pub fn sweep<F: GraphFamily + Sync>(fam: &F, cfg: &SweepConfig) -> SweepResult {
         }
     }
 
-    SweepResult { samples, intervals }
+    sp.attr("samples", || samples.len().to_string());
+    sp.attr("intervals", || intervals.len().to_string());
+    let result = SweepResult { samples, intervals };
+    if prs_trace::is_enabled() {
+        // Each localized breakpoint is a point event carrying its exact
+        // parameter value, so shape changes are visible on the timeline.
+        for bp in result.breakpoints() {
+            prs_trace::instant("deviation", "breakpoint", || vec![("x", bp.to_string())]);
+        }
+    }
+    result
 }
 
 #[cfg(test)]

@@ -176,6 +176,10 @@ impl F64Engine {
         max_rounds: usize,
     ) -> ConvergenceReport {
         assert_eq!(target.len(), self.received.len());
+        // One span per run with doubling-checkpoint instants; per-round
+        // spans would swamp the recorder (runs reach millions of rounds).
+        let mut sp = prs_trace::span("dynamics", "run_until_close");
+        sp.attr("n", || self.received.len().to_string());
         let mut err = error_vs(&self.averaged_utilities(), target);
         let mut raw = error_vs(&self.received, target);
         let mut rounds = 0;
@@ -196,8 +200,16 @@ impl F64Engine {
                 }
                 snapshot = Some(avg);
                 next_check = next_check.saturating_mul(2);
+                if prs_trace::is_enabled() {
+                    prs_trace::instant("dynamics", "convergence_checkpoint", || {
+                        vec![("round", rounds.to_string()), ("error", format!("{err:e}"))]
+                    });
+                }
             }
         }
+        sp.attr("rounds", || rounds.to_string());
+        sp.attr("converged", || (err <= eps).to_string());
+        sp.attr("final_error", || format!("{err:e}"));
         ConvergenceReport {
             converged: err <= eps,
             rounds,

@@ -41,20 +41,32 @@ pub fn convergence_sweep(
         .collect();
 
     crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= instances.len() {
-                    break;
+        let (cursor, cells) = (&cursor, &cells);
+        for w in 0..threads {
+            scope.spawn(move |_| {
+                {
+                    let mut sp = prs_trace::span("dynamics", "par_worker");
+                    sp.attr("worker", || w.to_string());
+                    let mut jobs: u64 = 0;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= instances.len() {
+                            break;
+                        }
+                        jobs += 1;
+                        let (g, target) = &instances[i];
+                        let mut eng = F64Engine::new(g);
+                        let report = eng.run_until_close(target, eps, max_rounds);
+                        cells[i].set(SweepResult {
+                            instance: i,
+                            n: g.n(),
+                            report,
+                        });
+                    }
+                    sp.attr("jobs", || jobs.to_string());
                 }
-                let (g, target) = &instances[i];
-                let mut eng = F64Engine::new(g);
-                let report = eng.run_until_close(target, eps, max_rounds);
-                cells[i].set(SweepResult {
-                    instance: i,
-                    n: g.n(),
-                    report,
-                });
+                // Last act: the scope join can race TLS destructors.
+                prs_trace::flush_thread();
             });
         }
     })

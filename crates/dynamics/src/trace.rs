@@ -21,6 +21,9 @@ impl ConvergenceTrace {
     /// Run the dynamics for `rounds` rounds against `target`, recording the
     /// error after every round.
     pub fn record(g: &Graph, target: &[f64], rounds: usize) -> ConvergenceTrace {
+        let mut sp = prs_trace::span("dynamics", "convergence_trace");
+        sp.attr("n", || g.n().to_string());
+        sp.attr("rounds", || rounds.to_string());
         let mut eng = F64Engine::new(g);
         let mut errors = Vec::with_capacity(rounds + 1);
         let err = |eng: &F64Engine| {
@@ -31,11 +34,29 @@ impl ConvergenceTrace {
                 .fold(0.0f64, f64::max)
         };
         errors.push(err(&eng));
-        for _ in 0..rounds {
+        // Per-round spans would swamp the buffer on long runs (E4 uses
+        // hundreds of thousands of rounds), so the unified trace stream
+        // carries log-spaced checkpoint instants instead.
+        let mut checkpoint = 1usize;
+        for t in 0..rounds {
             eng.step();
             errors.push(err(&eng));
+            if t + 1 == checkpoint {
+                checkpoint *= 2;
+                if prs_trace::is_enabled() {
+                    let e = errors.last().copied().unwrap_or(0.0);
+                    prs_trace::instant("dynamics", "convergence_checkpoint", || {
+                        vec![("round", (t + 1).to_string()), ("error", format!("{e:e}"))]
+                    });
+                }
+            }
         }
-        ConvergenceTrace { errors }
+        let trace = ConvergenceTrace { errors };
+        sp.attr("final_error", || format!("{:e}", trace.final_error()));
+        if let Some(rate) = trace.geometric_rate() {
+            sp.attr("geometric_rate", || format!("{rate:.6}"));
+        }
+        trace
     }
 
     /// Estimate the geometric decay rate from the tail of the trace:

@@ -175,6 +175,7 @@ impl FlowNetwork {
 
     fn bfs_levels(&mut self, s: NodeId) {
         stats::record_exact_bfs_phases(1);
+        let _sp = prs_trace::span("flow", "exact_bfs_phase");
         self.level.iter_mut().for_each(|l| *l = UNREACHED);
         self.level[s] = 0;
         let mut q = VecDeque::new();
@@ -254,10 +255,14 @@ impl FlowNetwork {
     pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> Rational {
         assert_ne!(s, t, "source equals sink");
         stats::record_exact_max_flows(1);
+        let mut sp = prs_trace::span("flow", "exact_max_flow");
+        let mut phases: u64 = 0;
         let mut total = Rational::zero();
         loop {
             self.bfs_levels(s);
+            phases += 1;
             if self.level[t] == UNREACHED {
+                sp.attr("phases", || phases.to_string());
                 return total;
             }
             self.iter.iter_mut().for_each(|i| *i = 0);

@@ -130,6 +130,7 @@ impl NetworkF64 {
 
     fn bfs_levels(&mut self, s: NodeId) {
         stats::record_f64_bfs_phases(1);
+        let _sp = prs_trace::span("flow", "f64_bfs_phase");
         let eps = self.eps();
         self.level.iter_mut().for_each(|l| *l = UNREACHED);
         self.level[s] = 0;
@@ -199,10 +200,14 @@ impl NetworkF64 {
     pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> f64 {
         debug_assert_ne!(s, t, "source equals sink");
         stats::record_f64_max_flows(1);
+        let mut sp = prs_trace::span("flow", "f64_max_flow");
+        let mut phases: u64 = 0;
         let mut total = 0.0;
         loop {
             self.bfs_levels(s);
+            phases += 1;
             if self.level[t] == UNREACHED {
+                sp.attr("phases", || phases.to_string());
                 return total;
             }
             self.iter.iter_mut().for_each(|i| *i = 0);

@@ -8,8 +8,13 @@
 //! taken at a quiescent point — e.g. after a sweep joins its workers — is
 //! exact). `prs audit --stats` and the experiment harness call [`reset`]
 //! before a measured region and [`snapshot`] after it.
+//!
+//! The counters are [`prs_trace::Counter`]s, so the same values surface in
+//! `prs-trace` summaries (`prs audit --trace`) alongside the span timings —
+//! one recorder, two views. Counters are always live; span recording being
+//! off changes nothing here.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use prs_trace::Counter;
 
 /// A point-in-time copy of every engine counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,23 +76,40 @@ impl FlowStats {
         }
     }
 
-    /// Field-wise difference `self − earlier` (counters are monotone).
+    /// Field-wise difference `self − earlier`, saturating at zero.
+    ///
+    /// Counters are monotone between resets, but a [`reset`] between the
+    /// two snapshots makes `earlier` exceed `self`; saturating keeps that
+    /// case a zero delta instead of a debug-build panic (or a release-mode
+    /// wraparound masquerading as ~2^64 BFS phases).
     pub fn since(&self, earlier: &FlowStats) -> FlowStats {
         FlowStats {
-            exact_bfs_phases: self.exact_bfs_phases - earlier.exact_bfs_phases,
-            exact_augmenting_paths: self.exact_augmenting_paths - earlier.exact_augmenting_paths,
-            exact_max_flows: self.exact_max_flows - earlier.exact_max_flows,
-            f64_bfs_phases: self.f64_bfs_phases - earlier.f64_bfs_phases,
-            f64_augmenting_paths: self.f64_augmenting_paths - earlier.f64_augmenting_paths,
-            f64_max_flows: self.f64_max_flows - earlier.f64_max_flows,
-            dinkelbach_iterations: self.dinkelbach_iterations - earlier.dinkelbach_iterations,
-            fast_path_hits: self.fast_path_hits - earlier.fast_path_hits,
-            fast_path_fallbacks: self.fast_path_fallbacks - earlier.fast_path_fallbacks,
-            networks_built: self.networks_built - earlier.networks_built,
-            networks_reused: self.networks_reused - earlier.networks_reused,
-            session_hits: self.session_hits - earlier.session_hits,
-            session_misses: self.session_misses - earlier.session_misses,
-            session_warm_starts: self.session_warm_starts - earlier.session_warm_starts,
+            exact_bfs_phases: self
+                .exact_bfs_phases
+                .saturating_sub(earlier.exact_bfs_phases),
+            exact_augmenting_paths: self
+                .exact_augmenting_paths
+                .saturating_sub(earlier.exact_augmenting_paths),
+            exact_max_flows: self.exact_max_flows.saturating_sub(earlier.exact_max_flows),
+            f64_bfs_phases: self.f64_bfs_phases.saturating_sub(earlier.f64_bfs_phases),
+            f64_augmenting_paths: self
+                .f64_augmenting_paths
+                .saturating_sub(earlier.f64_augmenting_paths),
+            f64_max_flows: self.f64_max_flows.saturating_sub(earlier.f64_max_flows),
+            dinkelbach_iterations: self
+                .dinkelbach_iterations
+                .saturating_sub(earlier.dinkelbach_iterations),
+            fast_path_hits: self.fast_path_hits.saturating_sub(earlier.fast_path_hits),
+            fast_path_fallbacks: self
+                .fast_path_fallbacks
+                .saturating_sub(earlier.fast_path_fallbacks),
+            networks_built: self.networks_built.saturating_sub(earlier.networks_built),
+            networks_reused: self.networks_reused.saturating_sub(earlier.networks_reused),
+            session_hits: self.session_hits.saturating_sub(earlier.session_hits),
+            session_misses: self.session_misses.saturating_sub(earlier.session_misses),
+            session_warm_starts: self
+                .session_warm_starts
+                .saturating_sub(earlier.session_warm_starts),
         }
     }
 
@@ -134,8 +156,13 @@ impl FlowStats {
 
     /// Serialize as a JSON object (no external serializer in the build
     /// environment).
+    ///
+    /// The derived `fast_path_rate`/`session_hit_rate` keys are appended
+    /// only when finite: with zero instrumented rounds the rates are
+    /// `NaN`, which has no JSON representation, so the keys are omitted
+    /// rather than emitting an unparseable `NaN` literal.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\"exact_max_flows\": {}, \"exact_bfs_phases\": {}, ",
                 "\"exact_augmenting_paths\": {}, \"f64_max_flows\": {}, ",
@@ -143,7 +170,7 @@ impl FlowStats {
                 "\"dinkelbach_iterations\": {}, \"fast_path_hits\": {}, ",
                 "\"fast_path_fallbacks\": {}, \"networks_built\": {}, ",
                 "\"networks_reused\": {}, \"session_hits\": {}, ",
-                "\"session_misses\": {}, \"session_warm_starts\": {}}}"
+                "\"session_misses\": {}, \"session_warm_starts\": {}"
             ),
             self.exact_max_flows,
             self.exact_bfs_phases,
@@ -159,51 +186,64 @@ impl FlowStats {
             self.session_hits,
             self.session_misses,
             self.session_warm_starts,
-        )
+        );
+        let fast = self.fast_path_rate();
+        if fast.is_finite() {
+            out.push_str(&format!(", \"fast_path_rate\": {fast:.6}"));
+        }
+        let session = self.session_hit_rate();
+        if session.is_finite() {
+            out.push_str(&format!(", \"session_hit_rate\": {session:.6}"));
+        }
+        out.push('}');
+        out
     }
 }
 
 macro_rules! counters {
-    ($($static_name:ident => $field:ident, $record:ident;)+) => {
-        $(static $static_name: AtomicU64 = AtomicU64::new(0);)+
+    ($($static_name:ident($trace_name:literal) => $field:ident, $record:ident;)+) => {
+        // Each engine counter is a `prs_trace::Counter`, so the same value
+        // the `FlowStats` API reports also shows up (under its dotted
+        // trace name) in `prs-trace` summaries.
+        $(static $static_name: Counter = Counter::new($trace_name);)+
 
         $(
             /// Bump the corresponding engine counter by `n`.
             #[inline]
             pub fn $record(n: u64) {
-                $static_name.fetch_add(n, Ordering::Relaxed);
+                $static_name.add(n);
             }
         )+
 
         /// Read every counter.
         pub fn snapshot() -> FlowStats {
             FlowStats {
-                $($field: $static_name.load(Ordering::Relaxed),)+
+                $($field: $static_name.get(),)+
             }
         }
 
         /// Zero every counter (start of a measured region).
         pub fn reset() {
-            $($static_name.store(0, Ordering::Relaxed);)+
+            $($static_name.set(0);)+
         }
     };
 }
 
 counters! {
-    EXACT_BFS => exact_bfs_phases, record_exact_bfs_phases;
-    EXACT_AUG => exact_augmenting_paths, record_exact_augmenting_paths;
-    EXACT_FLOWS => exact_max_flows, record_exact_max_flows;
-    F64_BFS => f64_bfs_phases, record_f64_bfs_phases;
-    F64_AUG => f64_augmenting_paths, record_f64_augmenting_paths;
-    F64_FLOWS => f64_max_flows, record_f64_max_flows;
-    DINKELBACH => dinkelbach_iterations, record_dinkelbach_iterations;
-    FAST_HITS => fast_path_hits, record_fast_path_hits;
-    FAST_FALLBACKS => fast_path_fallbacks, record_fast_path_fallbacks;
-    NETS_BUILT => networks_built, record_networks_built;
-    NETS_REUSED => networks_reused, record_networks_reused;
-    SESSION_HITS => session_hits, record_session_hits;
-    SESSION_MISSES => session_misses, record_session_misses;
-    SESSION_WARM => session_warm_starts, record_session_warm_starts;
+    EXACT_BFS("flow.exact_bfs_phases") => exact_bfs_phases, record_exact_bfs_phases;
+    EXACT_AUG("flow.exact_augmenting_paths") => exact_augmenting_paths, record_exact_augmenting_paths;
+    EXACT_FLOWS("flow.exact_max_flows") => exact_max_flows, record_exact_max_flows;
+    F64_BFS("flow.f64_bfs_phases") => f64_bfs_phases, record_f64_bfs_phases;
+    F64_AUG("flow.f64_augmenting_paths") => f64_augmenting_paths, record_f64_augmenting_paths;
+    F64_FLOWS("flow.f64_max_flows") => f64_max_flows, record_f64_max_flows;
+    DINKELBACH("bd.dinkelbach_iterations") => dinkelbach_iterations, record_dinkelbach_iterations;
+    FAST_HITS("bd.fast_path_hits") => fast_path_hits, record_fast_path_hits;
+    FAST_FALLBACKS("bd.fast_path_fallbacks") => fast_path_fallbacks, record_fast_path_fallbacks;
+    NETS_BUILT("flow.networks_built") => networks_built, record_networks_built;
+    NETS_REUSED("flow.networks_reused") => networks_reused, record_networks_reused;
+    SESSION_HITS("bd.session_hits") => session_hits, record_session_hits;
+    SESSION_MISSES("bd.session_misses") => session_misses, record_session_misses;
+    SESSION_WARM("bd.session_warm_starts") => session_warm_starts, record_session_warm_starts;
 }
 
 #[cfg(test)]
@@ -243,6 +283,65 @@ mod tests {
     fn rate_is_nan_when_uninstrumented() {
         assert!(FlowStats::default().fast_path_rate().is_nan());
         assert!(FlowStats::default().session_hit_rate().is_nan());
+    }
+
+    #[test]
+    fn since_saturates_after_reset_between_snapshots() {
+        // Regression: `reset()` between two snapshots makes `earlier`
+        // exceed the later snapshot; the delta must clamp to zero instead
+        // of panicking (debug) or wrapping (release).
+        let earlier = FlowStats {
+            exact_max_flows: 10,
+            session_hits: 4,
+            dinkelbach_iterations: 100,
+            ..FlowStats::default()
+        };
+        let later = FlowStats {
+            exact_max_flows: 2,
+            session_hits: 7,
+            ..FlowStats::default()
+        };
+        let delta = later.since(&earlier);
+        assert_eq!(delta.exact_max_flows, 0);
+        assert_eq!(delta.dinkelbach_iterations, 0);
+        assert_eq!(delta.session_hits, 3);
+    }
+
+    #[test]
+    fn json_omits_rates_when_no_rounds_ran() {
+        // Regression: `NaN` has no JSON representation; uninstrumented
+        // snapshots must omit the rate keys entirely.
+        let empty = FlowStats::default().to_json();
+        assert!(!empty.contains("NaN"), "{empty}");
+        assert!(!empty.contains("fast_path_rate"), "{empty}");
+        assert!(!empty.contains("session_hit_rate"), "{empty}");
+        assert!(empty.ends_with('}'), "{empty}");
+
+        let active = FlowStats {
+            fast_path_hits: 3,
+            fast_path_fallbacks: 1,
+            session_hits: 1,
+            session_misses: 1,
+            ..FlowStats::default()
+        }
+        .to_json();
+        assert!(active.contains("\"fast_path_rate\": 0.750000"), "{active}");
+        assert!(
+            active.contains("\"session_hit_rate\": 0.500000"),
+            "{active}"
+        );
+    }
+
+    #[test]
+    fn counters_surface_in_trace_registry() {
+        record_exact_max_flows(1);
+        record_session_hits(1);
+        let names: Vec<&str> = prs_trace::counter_values()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert!(names.contains(&"flow.exact_max_flows"), "{names:?}");
+        assert!(names.contains(&"bd.session_hits"), "{names:?}");
     }
 
     #[test]

@@ -29,25 +29,37 @@ pub fn run_swarms(jobs: &[SwarmJob], cfg: &SwarmConfig, threads: usize) -> Vec<S
     let slots: Vec<Mutex<Option<SwarmMetrics>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
     crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let job = &jobs[i];
-                let mut swarm = match job.attacker {
-                    Some((v, w1, w2)) => Swarm::with_strategies(&job.graph, |a| {
-                        if a == v {
-                            Strategy::Sybil { w1, w2 }
-                        } else {
-                            Strategy::Honest
+        let (cursor, slots) = (&cursor, &slots);
+        for w in 0..threads {
+            scope.spawn(move |_| {
+                {
+                    let mut sp = prs_trace::span("p2psim", "par_worker");
+                    sp.attr("worker", || w.to_string());
+                    let mut done: u64 = 0;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
                         }
-                    }),
-                    None => Swarm::new(&job.graph),
-                };
-                let metrics = swarm.run(cfg);
-                *slots[i].lock().expect("poisoned") = Some(metrics);
+                        done += 1;
+                        let job = &jobs[i];
+                        let mut swarm = match job.attacker {
+                            Some((v, w1, w2)) => Swarm::with_strategies(&job.graph, |a| {
+                                if a == v {
+                                    Strategy::Sybil { w1, w2 }
+                                } else {
+                                    Strategy::Honest
+                                }
+                            }),
+                            None => Swarm::new(&job.graph),
+                        };
+                        let metrics = swarm.run(cfg);
+                        *slots[i].lock().expect("poisoned") = Some(metrics);
+                    }
+                    sp.attr("jobs", || done.to_string());
+                }
+                // Last act: the scope join can race TLS destructors.
+                prs_trace::flush_thread();
             });
         }
     })

@@ -133,6 +133,11 @@ impl Swarm {
 
     /// Run until the cycle-averaged utilities stop moving (or `max_rounds`).
     pub fn run(&mut self, cfg: &SwarmConfig) -> SwarmMetrics {
+        // One span per simulation with doubling-round checkpoint instants
+        // (per-round spans would swamp the recorder on long runs).
+        let mut sp = prs_trace::span("p2psim", "swarm_run");
+        sp.attr("agents", || self.agents.len().to_string());
+        let mut checkpoint = 16usize;
         let mut trace = Vec::new();
         let mut converged = false;
         let mut rounds = 0;
@@ -152,11 +157,24 @@ impl Swarm {
                 .zip(&after_avg)
                 .map(|(a, b)| (a - b).abs() / (1.0 + b.abs()))
                 .fold(0.0, f64::max);
+            if rounds == checkpoint {
+                checkpoint = checkpoint.saturating_mul(2);
+                if prs_trace::is_enabled() {
+                    prs_trace::instant("p2psim", "round_checkpoint", || {
+                        vec![
+                            ("round", rounds.to_string()),
+                            ("delta", format!("{delta:e}")),
+                        ]
+                    });
+                }
+            }
             if delta <= cfg.tol {
                 converged = true;
                 break;
             }
         }
+        sp.attr("rounds", || rounds.to_string());
+        sp.attr("converged", || converged.to_string());
         SwarmMetrics {
             rounds,
             converged,

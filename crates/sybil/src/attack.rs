@@ -143,6 +143,8 @@ fn eval(
     w1: &Rational,
     session: &mut DecompositionSession,
 ) -> Option<SplitSample> {
+    let mut sp = prs_trace::span("sybil", "split_eval");
+    sp.attr("w1", || w1.to_string());
     fam.payoff_in(w1, session).map(|(u1, u2)| SplitSample {
         w1: w1.clone(),
         u1,
@@ -176,6 +178,9 @@ fn eval_batch(fam: &SybilSplitFamily, xs: &[Rational], pool: &SessionPool) -> Ve
 /// assert!(out.ratio <= Rational::from_integer(2));     // Theorem 8
 /// ```
 pub fn best_sybil_split(ring: &Graph, v: VertexId, cfg: &AttackConfig) -> SybilOutcome {
+    let mut sp = prs_trace::span("sybil", "attack");
+    sp.attr("v", || v.to_string());
+    sp.attr("grid", || cfg.grid.to_string());
     let fam = SybilSplitFamily::new(ring.clone(), v);
     let bd = prs_bd::decompose(ring).expect("ring decomposes");
     let honest = bd.utility(ring, v);
@@ -261,6 +266,7 @@ pub fn best_sybil_split(ring: &Graph, v: VertexId, cfg: &AttackConfig) -> SybilO
         }
     }
 
+    sp.attr("evaluations", || evals.to_string());
     // The honest split is always feasible: never report a ratio below 1
     // (Lemma 9 guarantees the attacker can do at least U_v).
     let ratio = if honest.is_positive() {

@@ -1,0 +1,24 @@
+//! Fixture: violations inside the trace recorder's rule paths
+//! (`crates/trace/src` sits in the float, cast, panic, and hash-iter
+//! sets), plus a `TraceConfig` field-snapshot breach.
+
+use std::collections::HashMap;
+
+pub fn leaky_rate(n: u64, d: u64) -> f64 {
+    n as f64 / d as f64
+}
+
+pub fn unordered_groups() -> HashMap<String, u64> {
+    HashMap::new()
+}
+
+pub fn aborting_flush(buf: Option<Vec<u64>>) -> Vec<u64> {
+    buf.unwrap()
+}
+
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    pub enabled: bool,
+    pub rogue_knob: usize,
+}

@@ -121,6 +121,10 @@ impl LintConfig {
             // The decomposition driver and the session replay/certify paths.
             "crates/bd/src/decomposition.rs".to_string(),
             "crates/bd/src/session.rs".to_string(),
+            // The trace recorder: instrumented from inside the exact kernels,
+            // so its own arithmetic (timing, percentiles, JSON export) must
+            // stay integer-only too.
+            "crates/trace/src".to_string(),
         ];
         let mut cast_paths = exact_kernels.clone();
         // The cast rule additionally covers the f64 proposer and its glue:
@@ -149,6 +153,9 @@ impl LintConfig {
                 "crates/dynamics/src".into(),
                 "crates/p2psim/src".into(),
                 "crates/eg/src".into(),
+                // The recorder runs inside every layer above; a panic here
+                // takes the whole solver down with it.
+                "crates/trace/src".into(),
             ],
             hash_paths: vec![
                 "crates/deviation/src".into(),
@@ -157,6 +164,9 @@ impl LintConfig {
                 "crates/dynamics/src/parallel.rs".into(),
                 "crates/p2psim/src/parallel.rs".into(),
                 "crates/bench".into(),
+                // Exporters group spans; hash iteration order would make the
+                // summary / JSON output nondeterministic run to run.
+                "crates/trace/src".into(),
             ],
             api_doc_files: vec!["src/lib.rs".into()],
             non_exhaustive_fields: BTreeMap::from([
@@ -187,6 +197,12 @@ impl LintConfig {
                 (
                     "SessionConfig".to_string(),
                     ["warm_start", "cache_capacity"].map(String::from).to_vec(),
+                ),
+                (
+                    "TraceConfig".to_string(),
+                    ["enabled", "max_events_per_thread"]
+                        .map(String::from)
+                        .to_vec(),
                 ),
             ]),
         }

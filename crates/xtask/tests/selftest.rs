@@ -130,6 +130,23 @@ fn non_exhaustive_rule_fires_on_new_public_field() {
 }
 
 #[test]
+fn trace_crate_paths_are_enforced() {
+    // `crates/trace/src` joined every code-rule path set in PR 4; the
+    // seeded fixture proves each rule actually fires there.
+    let r = fixture_report();
+    let file = "crates/trace/src/bad_trace.rs";
+    assert_finding(&r, "hash-iter", file, 5); // the `use`
+    assert_finding(&r, "float", file, 7); // `-> f64`
+    assert_finding(&r, "float", file, 8); // `as f64` target type
+    assert_finding(&r, "cast", file, 8); // `n as f64`
+    assert_finding(&r, "hash-iter", file, 11); // return type
+    assert_finding(&r, "hash-iter", file, 12); // constructor
+    assert_finding(&r, "panic", file, 16); // `.unwrap()`
+    assert_finding(&r, "non-exhaustive", file, 23); // `pub rogue_knob`
+    assert_no_finding_at(&r, "non-exhaustive", file, 22); // `enabled` is in the snapshot
+}
+
+#[test]
 fn annotation_rule_fires_on_malformed_and_stale_allows() {
     let r = fixture_report();
     let file = "crates/flow/src/annotations.rs";
