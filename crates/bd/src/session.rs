@@ -49,7 +49,7 @@
 
 use crate::decomposition::{drive, maximal_bottleneck, BottleneckDecomposition, Layout, RoundNets};
 use crate::error::BdError;
-use prs_flow::{stats, CapInt};
+use prs_flow::{stats, SeedArc};
 use prs_graph::{Graph, VertexId, VertexSet};
 use prs_numeric::{BigInt, Rational, Sign};
 
@@ -584,31 +584,30 @@ fn snapshot_cert_int(
 
 /// Preload the scaled-integer network with the cached certifying flow
 /// pattern, rescaled from the cached weights to the current ones (and into
-/// the `p·D` integer units), then clamped to the current capacities.
-/// Returns the seeded flow value (the amount already routed s→t, in scaled
-/// units).
+/// the `p·D` integer units). The session translates each cached support
+/// arc into a [`SeedArc`] request — resolving vertices to edge ids and
+/// computing the rescaled amount — and the kernel's
+/// [`seed_flow`](prs_flow::Network::seed_flow) clamps the requests to
+/// remaining capacity and installs a valid (capacity-respecting,
+/// conserving) flow. Returns the seeded flow value (the amount already
+/// routed s→t, in scaled units).
 ///
-/// The seed is always a *valid* flow — capacity-respecting and conserving:
-/// each middle arc gets `min(⌊flow·(w'_v/w_v)·pD⌋, supply, sink room)`, and
-/// the source/sink arcs are then set to the exact per-vertex sums. The
-/// floor loses at most one scaled unit per arc, which the certification
-/// max-flow recovers from the residual graph: Dinic completes **any** valid
-/// flow to a maximum flow, so seeding changes only how many augmenting
-/// paths are needed, never the result.
+/// Each middle arc requests `⌊flow·(w'_v/w_v)·pD⌋`; the floor loses at
+/// most one scaled unit per arc, which the certification max-flow recovers
+/// from the residual graph: Dinic completes **any** valid flow to a
+/// maximum flow, so seeding changes only how many augmenting paths are
+/// needed, never the result.
 fn seed_certification_flow_int(
     nets: &mut RoundNets,
     g: &Graph,
     alive: &VertexSet,
     support: &[(VertexId, VertexId, Rational, Rational)],
 ) -> BigInt {
-    let mut total = BigInt::zero();
     if support.is_empty() {
-        return total;
+        return BigInt::zero();
     }
     debug_assert!(nets.int_scale.is_positive());
-    let n = g.n();
-    let mut out = vec![BigInt::zero(); n];
-    let mut intake = vec![BigInt::zero(); n];
+    let mut seeds = Vec::with_capacity(support.len());
     for (v, u, f, w_then) in support {
         let (v, u) = (*v, *u);
         if !alive.contains(v) || !alive.contains(u) {
@@ -620,6 +619,12 @@ fn seed_certification_flow_int(
         else {
             continue; // edge no longer present (different topology)
         };
+        let Ok(vpos) = nets.source_edges.binary_search_by(|probe| probe.0.cmp(&v)) else {
+            continue;
+        };
+        let Ok(upos) = nets.sink_edges.binary_search_by(|probe| probe.0.cmp(&u)) else {
+            continue;
+        };
         let w_now = g.weight(v);
         // desired = ⌊ f · (w'_v / w_v) · p·D ⌋, assembled numerator over
         // denominator so there is exactly one big division per arc.
@@ -629,55 +634,14 @@ fn seed_certification_flow_int(
         let den = &(&BigInt::from_parts(Sign::Plus, f.denom().clone())
             * &BigInt::from_parts(Sign::Plus, w_now.denom().clone()))
             * w_then.numer();
-        let mut desired = &num / &den;
-        if !desired.is_positive() {
-            continue;
-        }
-        // Clamp the sender to its remaining source capacity and the
-        // receiver to its remaining sink room.
-        let Ok(vpos) = nets.source_edges.binary_search_by(|probe| probe.0.cmp(&v)) else {
-            continue;
-        };
-        if let CapInt::Finite(scap) = nets.exact_int.capacity_of(nets.source_edges[vpos].1) {
-            let supply = scap - &out[v];
-            if !supply.is_positive() {
-                continue;
-            }
-            if desired > supply {
-                desired = supply;
-            }
-        }
-        let Ok(upos) = nets.sink_edges.binary_search_by(|probe| probe.0.cmp(&u)) else {
-            continue;
-        };
-        let sink_e = nets.sink_edges[upos].1;
-        if let CapInt::Finite(cap) = nets.exact_int.capacity_of(sink_e) {
-            let room = cap - &intake[u];
-            if !room.is_positive() {
-                continue;
-            }
-            if desired > room {
-                desired = room;
-            }
-        }
-        out[v] += &desired;
-        intake[u] += &desired;
-        let e = nets.mid_edges[mid].2;
-        nets.exact_int.preset_flow(e, desired);
+        seeds.push(SeedArc {
+            source_edge: nets.source_edges[vpos].1,
+            mid_edge: nets.mid_edges[mid].2,
+            sink_edge: nets.sink_edges[upos].1,
+            desired: &num / &den,
+        });
     }
-    // Mirror the middle flows onto the source and sink arcs so the seed
-    // conserves at every inner node.
-    for &(u, sink_e, _) in &nets.sink_edges {
-        if intake[u].is_positive() {
-            nets.exact_int.preset_flow(sink_e, intake[u].clone());
-        }
-    }
-    for &(v, src_e) in &nets.source_edges {
-        if out[v].is_positive() {
-            total += &out[v];
-            nets.exact_int.preset_flow(src_e, out[v].clone());
-        }
-    }
+    let total = nets.exact_int.seed_flow(&seeds);
     debug_assert!(nets.exact_int.check_capacities());
     debug_assert!(nets.exact_int.check_conservation(Layout::S, Layout::T));
     total

@@ -1,0 +1,155 @@
+//! The numeric-backend abstraction behind the single Dinic kernel.
+//!
+//! Every flow engine in this crate is the same algorithm — BFS level
+//! graph, explicit-stack DFS augmentation, residual min-cut extraction —
+//! over a different number type. [`Capacity`] captures exactly what the
+//! kernel needs from that number type: a zero, reference arithmetic,
+//! the bottleneck ordering, and a *tolerance hook* ([`Capacity::Tol`])
+//! deciding when an arc still has residual headroom. For the exact
+//! backends ([`Rational`], [`BigInt`]) the tolerance is the unit type and
+//! every comparison is exact; the `f64` backend threads a capacity-scaled
+//! epsilon through the same hook (see `network_f64`), so "saturated" means
+//! "within `eps` of capacity" there — and nowhere else.
+//!
+//! The trait also owns the per-engine observability surface: stable span
+//! names, the `engine` span attribute, and the routing of kernel events
+//! into [`crate::stats`] (the scaled-integer backend deliberately shares
+//! the `exact_*` counters with the rational one — both are exact engines,
+//! and the session's certification path predates the split).
+
+use prs_numeric::Rational;
+
+/// An arc capacity: a finite backend value or `+∞`.
+///
+/// Infinite capacities appear on the `B_i × C_i` middle edges of the
+/// Definition 5 networks; modelling them exactly (rather than with a large
+/// finite surrogate) keeps min-cut reasoning clean — an infinite arc can
+/// never be a cut edge. The parameter defaults to [`Rational`] so existing
+/// call sites can keep writing plain `Cap` for the exact engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Cap<C = Rational> {
+    /// A finite capacity in the backend's units.
+    Finite(C),
+    /// Unbounded capacity (never a min-cut edge).
+    Infinite,
+}
+
+impl<C: Capacity> Cap<C> {
+    /// True iff the capacity is a finite zero (the arc can never carry flow).
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Cap::Finite(c) if c.is_zero())
+    }
+}
+
+/// A numeric backend the Dinic kernel can run on.
+///
+/// Implementations provide reference arithmetic (capacities can be
+/// arbitrary-precision, so the kernel never clones where a borrow will
+/// do), the bottleneck ordering, and the saturation predicate. The
+/// `*_EPSILON`-style escape hatch lives entirely in [`Capacity::Tol`]:
+/// exact backends use `()` and compare exactly, tolerant backends carry
+/// whatever scale state they need.
+pub trait Capacity: Clone + PartialEq + std::fmt::Debug {
+    /// Comparison state threaded through every residual test. `Default`
+    /// is the state of an empty network; [`Capacity::observe`] folds each
+    /// finite capacity into it as the network is built.
+    type Tol: Clone + Default + std::fmt::Debug;
+
+    /// Engine label surfaced as the `engine` span attribute
+    /// (`"exact"`, `"int"`, `"f64"`).
+    const ENGINE: &'static str;
+    /// Stable span name for one BFS phase.
+    const SPAN_BFS: &'static str;
+    /// Stable span name for one full max-flow computation.
+    const SPAN_MAX_FLOW: &'static str;
+
+    /// The additive identity (no flow).
+    fn zero() -> Self;
+    /// True iff the value is exactly zero.
+    fn is_zero(&self) -> bool;
+    /// True iff the value is strictly negative (reverse-arc flows are).
+    fn is_negative(&self) -> bool;
+    /// True iff the value is strictly positive.
+    fn is_positive(&self) -> bool {
+        !self.is_zero() && !self.is_negative()
+    }
+    /// Total order used by the bottleneck fold; ties keep the earlier arc.
+    fn le(&self, rhs: &Self) -> bool;
+    /// `self += rhs` by reference.
+    fn add_assign_ref(&mut self, rhs: &Self);
+    /// `self -= rhs` by reference.
+    fn sub_assign_ref(&mut self, rhs: &Self);
+    /// `-self` by reference (preset flows mirror onto reverse arcs).
+    fn neg_ref(&self) -> Self;
+    /// `lhs - rhs` by reference (residual capacity, remaining supply).
+    fn sub_ref(lhs: &Self, rhs: &Self) -> Self;
+
+    /// Saturation predicate: can an arc with capacity `cap` and current
+    /// `flow` still carry more? Exact backends test `flow < cap`; the
+    /// tolerant backend tests `flow + eps(tol) < cap` so float dust never
+    /// opens a phantom residual arc.
+    fn has_headroom(flow: &Self, cap: &Self, tol: &Self::Tol) -> bool;
+    /// Loop-termination test on an augmentation result. Exact backends
+    /// stop on exactly zero; the tolerant backend also treats negative
+    /// dust as spent.
+    fn exhausted(pushed: &Self) -> bool;
+    /// Conservation test on a node's net flow (testing hook).
+    fn conserved(net: &Self, tol: &Self::Tol) -> bool;
+    /// Fold one finite capacity into the tolerance state (called from
+    /// `add_edge`/`set_capacity`; exact backends ignore it).
+    fn observe(tol: &mut Self::Tol, cap: &Self);
+
+    /// Count one BFS phase in [`crate::stats`].
+    fn record_bfs_phase();
+    /// Count one augmenting path in [`crate::stats`].
+    fn record_augmenting_path();
+    /// Count one completed max-flow in [`crate::stats`].
+    fn record_max_flow();
+}
+
+/// Implement the boilerplate half of [`Capacity`] — reference arithmetic,
+/// ordering, exact-zero tolerance — for an exact backend type from
+/// `prs-numeric`. The per-engine observability consts/hooks stay written
+/// out at each impl site, where their stability matters.
+macro_rules! exact_capacity_arith {
+    () => {
+        type Tol = ();
+
+        fn zero() -> Self {
+            Self::zero()
+        }
+        fn is_zero(&self) -> bool {
+            self.is_zero()
+        }
+        fn is_negative(&self) -> bool {
+            self.is_negative()
+        }
+        fn le(&self, rhs: &Self) -> bool {
+            self <= rhs
+        }
+        fn add_assign_ref(&mut self, rhs: &Self) {
+            *self += rhs;
+        }
+        fn sub_assign_ref(&mut self, rhs: &Self) {
+            *self -= rhs;
+        }
+        fn neg_ref(&self) -> Self {
+            -self
+        }
+        fn sub_ref(lhs: &Self, rhs: &Self) -> Self {
+            lhs - rhs
+        }
+        fn has_headroom(flow: &Self, cap: &Self, _tol: &()) -> bool {
+            flow < cap
+        }
+        fn exhausted(pushed: &Self) -> bool {
+            pushed.is_zero()
+        }
+        fn conserved(net: &Self, _tol: &()) -> bool {
+            net.is_zero()
+        }
+        fn observe(_tol: &mut (), _cap: &Self) {}
+    };
+}
+
+pub(crate) use exact_capacity_arith;

@@ -1,0 +1,466 @@
+//! The single Dinic max-flow kernel, generic over [`Capacity`].
+//!
+//! One arena, one `bfs_levels`, one explicit-stack `dfs_augment`, one
+//! min-cut routine: every engine in this crate is a thin type alias over
+//! [`Network`] plus a ~60-line [`Capacity`] impl. The kernel preserves
+//! the arc-iteration order of the historical per-engine copies exactly —
+//! adjacency lists record arcs in `add_edge` call order, the BFS queue is
+//! FIFO, and the DFS cursor scans each list front to back — so replay
+//! certificates and golden decompositions are bit-identical across the
+//! unification.
+
+use crate::capacity::{Cap, Capacity};
+use crate::stats;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Node index in a [`Network`].
+pub type NodeId = usize;
+
+/// Identifier of a directed edge, as returned by [`Network::add_edge`].
+///
+/// Internally each undirected residual pair occupies two consecutive arc
+/// slots; `EdgeId` always refers to the forward arc.
+pub type EdgeId = usize;
+
+#[derive(Clone)]
+struct Arc<C> {
+    to: NodeId,
+    cap: Cap<C>,
+    /// Flow currently on this arc (negative on reverse arcs).
+    flow: C,
+}
+
+impl<C: Capacity> Arc<C> {
+    /// Residual capacity; `None` encodes +∞.
+    fn residual(&self) -> Option<C> {
+        match &self.cap {
+            Cap::Infinite => None,
+            Cap::Finite(c) => Some(C::sub_ref(c, &self.flow)),
+        }
+    }
+
+    fn has_residual(&self, tol: &C::Tol) -> bool {
+        match &self.cap {
+            Cap::Infinite => true,
+            Cap::Finite(c) => C::has_headroom(&self.flow, c, tol),
+        }
+    }
+}
+
+/// One middle-arc request for [`Network::seed_flow`]: route `desired`
+/// units along `source_edge → mid_edge → sink_edge` of a three-layer
+/// (source / bipartite middle / sink) network.
+pub struct SeedArc<C> {
+    /// Forward arc out of the source feeding this route's left node.
+    pub source_edge: EdgeId,
+    /// Forward middle arc the seed lands on.
+    pub mid_edge: EdgeId,
+    /// Forward arc from this route's right node into the sink.
+    pub sink_edge: EdgeId,
+    /// Requested flow; the kernel clamps it to remaining capacity.
+    pub desired: C,
+}
+
+/// A directed flow network over any [`Capacity`] backend (Dinic).
+pub struct Network<C: Capacity> {
+    arcs: Vec<Arc<C>>,
+    adj: Vec<Vec<usize>>,
+    // Scratch buffers reused across phases (workhorse-buffer idiom).
+    level: Vec<u32>,
+    iter: Vec<usize>,
+    /// Backend tolerance state, fed by every finite capacity seen.
+    tol: C::Tol,
+}
+
+const UNREACHED: u32 = u32::MAX;
+
+impl<C: Capacity> Network<C> {
+    /// A network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        stats::record_networks_built(1);
+        Network {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![UNREACHED; n],
+            iter: vec![0; n],
+            tol: C::Tol::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Drop all arcs and resize to `n` nodes, keeping every allocation so
+    /// the next build reuses arc storage (arena reuse across decomposition
+    /// rounds and sweep evaluations).
+    pub fn clear(&mut self, n: usize) {
+        stats::record_networks_reused(1);
+        self.arcs.clear();
+        self.adj.iter_mut().for_each(|a| a.clear());
+        self.adj.resize_with(n, Vec::new);
+        self.level.clear();
+        self.level.resize(n, UNREACHED);
+        self.iter.clear();
+        self.iter.resize(n, 0);
+        self.tol = C::Tol::default();
+    }
+
+    /// Replace the capacity of forward edge `id` without touching topology —
+    /// the Dinkelbach loop updates only the sink arcs `w_u/α` between
+    /// parameter values. Call [`reset_flow`](Self::reset_flow) before the
+    /// next [`max_flow`](Self::max_flow).
+    pub fn set_capacity(&mut self, id: EdgeId, cap: impl Into<Cap<C>>) {
+        debug_assert_eq!(id % 2, 0, "capacities live on forward arcs");
+        let cap = cap.into();
+        if let Cap::Finite(c) = &cap {
+            C::observe(&mut self.tol, c);
+        }
+        self.arcs[id].cap = cap;
+    }
+
+    /// Add a directed edge `from → to` with the given capacity; returns its
+    /// id. Ids are assigned in call order for every backend, so one set of
+    /// edge bookkeeping serves all engines.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: impl Into<Cap<C>>) -> EdgeId {
+        assert!(from < self.n() && to < self.n(), "node out of range");
+        assert_ne!(from, to, "self-loop arcs are not supported");
+        let cap = cap.into();
+        if let Cap::Finite(c) = &cap {
+            C::observe(&mut self.tol, c);
+        }
+        let id = self.arcs.len();
+        self.adj[from].push(id);
+        self.arcs.push(Arc {
+            to,
+            cap,
+            flow: C::zero(),
+        });
+        self.adj[to].push(id + 1);
+        self.arcs.push(Arc {
+            to: from,
+            cap: Cap::Finite(C::zero()),
+            flow: C::zero(),
+        });
+        id
+    }
+
+    /// Flow currently assigned to edge `id` (a forward arc id from
+    /// [`add_edge`](Self::add_edge)).
+    pub fn flow_on(&self, id: EdgeId) -> &C {
+        &self.arcs[id].flow
+    }
+
+    /// The capacity of forward edge `id`.
+    pub fn capacity_of(&self, id: EdgeId) -> &Cap<C> {
+        debug_assert_eq!(id % 2, 0, "capacities live on forward arcs");
+        &self.arcs[id].cap
+    }
+
+    /// Seed forward edge `id` with flow `f` before a [`max_flow`] run (warm
+    /// start). The caller must keep the overall assignment capacity-valid
+    /// and conserving; `max_flow` then augments from this state and returns
+    /// only the *additional* flow pushed — the total value is the preset
+    /// amount plus the return value.
+    ///
+    /// [`max_flow`]: Self::max_flow
+    pub fn preset_flow(&mut self, id: EdgeId, f: C) {
+        debug_assert_eq!(id % 2, 0, "presets go on forward arcs");
+        debug_assert!(!f.is_negative());
+        debug_assert!(match &self.arcs[id].cap {
+            Cap::Infinite => true,
+            Cap::Finite(c) => f.le(c),
+        });
+        self.arcs[id ^ 1].flow = f.neg_ref();
+        self.arcs[id].flow = f;
+    }
+
+    /// Install the largest valid warm-start seed at most `seeds` on a
+    /// three-layer network and return its total value.
+    ///
+    /// Each request is clamped — in order — to the remaining capacity of
+    /// its source and sink arcs, then preset on its middle arc; finally the
+    /// per-source and per-sink sums are mirrored onto the boundary arcs so
+    /// the seed conserves at every inner node. The result is always a
+    /// *valid* flow (capacity-respecting and conserving), so a following
+    /// [`max_flow`](Self::max_flow) completes it to a maximum flow:
+    /// seeding changes only how many augmenting paths are needed, never
+    /// the result.
+    pub fn seed_flow(&mut self, seeds: &[SeedArc<C>]) -> C {
+        let mut out: BTreeMap<EdgeId, C> = BTreeMap::new();
+        let mut intake: BTreeMap<EdgeId, C> = BTreeMap::new();
+        for seed in seeds {
+            let mut desired = seed.desired.clone();
+            if !desired.is_positive() {
+                continue;
+            }
+            // Clamp the sender to its remaining source capacity and the
+            // receiver to its remaining sink room.
+            if let Cap::Finite(c) = &self.arcs[seed.source_edge].cap {
+                let supply = match out.get(&seed.source_edge) {
+                    Some(used) => C::sub_ref(c, used),
+                    None => c.clone(),
+                };
+                if !supply.is_positive() {
+                    continue;
+                }
+                if !desired.le(&supply) {
+                    desired = supply;
+                }
+            }
+            if let Cap::Finite(c) = &self.arcs[seed.sink_edge].cap {
+                let room = match intake.get(&seed.sink_edge) {
+                    Some(used) => C::sub_ref(c, used),
+                    None => c.clone(),
+                };
+                if !room.is_positive() {
+                    continue;
+                }
+                if !desired.le(&room) {
+                    desired = room;
+                }
+            }
+            out.entry(seed.source_edge)
+                .or_insert_with(C::zero)
+                .add_assign_ref(&desired);
+            intake
+                .entry(seed.sink_edge)
+                .or_insert_with(C::zero)
+                .add_assign_ref(&desired);
+            self.preset_flow(seed.mid_edge, desired);
+        }
+        // Mirror the middle flows onto the boundary arcs so the seed
+        // conserves at every inner node. Every accumulated entry is
+        // positive by construction.
+        let sinks: Vec<(EdgeId, C)> = intake.into_iter().collect();
+        for (e, amt) in sinks {
+            self.preset_flow(e, amt);
+        }
+        let mut total = C::zero();
+        let sources: Vec<(EdgeId, C)> = out.into_iter().collect();
+        for (e, amt) in sources {
+            total.add_assign_ref(&amt);
+            self.preset_flow(e, amt);
+        }
+        total
+    }
+
+    /// True iff edge `id` is saturated (meaningless for infinite arcs: always
+    /// false there).
+    pub fn is_saturated(&self, id: EdgeId) -> bool {
+        !self.arcs[id].has_residual(&self.tol)
+    }
+
+    /// Reset all flows to zero.
+    pub fn reset_flow(&mut self) {
+        for a in &mut self.arcs {
+            a.flow = C::zero();
+        }
+    }
+
+    fn bfs_levels(&mut self, s: NodeId) {
+        C::record_bfs_phase();
+        let mut sp = prs_trace::span("flow", C::SPAN_BFS);
+        sp.attr("engine", || C::ENGINE.to_string());
+        self.level.iter_mut().for_each(|l| *l = UNREACHED);
+        self.level[s] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &aid in &self.adj[v] {
+                let a = &self.arcs[aid];
+                if a.has_residual(&self.tol) && self.level[a.to] == UNREACHED {
+                    self.level[a.to] = self.level[v] + 1;
+                    q.push_back(a.to);
+                }
+            }
+        }
+    }
+
+    /// Find one augmenting path in the level graph and push flow along it;
+    /// returns the amount pushed (zero when no path remains this phase).
+    ///
+    /// Iterative with an explicit arc stack: path lengths are bounded only by
+    /// the node count, so recursion would overflow the thread stack on long
+    /// chains (n ≳ 10⁴).
+    fn dfs_augment(&mut self, s: NodeId, t: NodeId) -> C {
+        let mut path: Vec<usize> = Vec::new();
+        let mut v = s;
+        loop {
+            if v == t {
+                // Bottleneck = min finite residual along the path. Every
+                // s→t path crosses a finite arc, so the min exists; ties
+                // keep the earliest arc (first-min semantics, identical
+                // for every backend).
+                let mut limit: Option<C> = None;
+                for &aid in &path {
+                    if let Some(r) = self.arcs[aid].residual() {
+                        limit = Some(match limit {
+                            Some(l) if l.le(&r) => l,
+                            _ => r,
+                        });
+                    }
+                }
+                // prs-lint: allow(panic, reason = "s has only finite-capacity out-arcs, so every s→t path bounds the minimum; a violation is a solver bug, not an input error")
+                let pushed = limit.expect("an s→t path must pass a finite-capacity arc");
+                for &aid in &path {
+                    self.arcs[aid].flow.add_assign_ref(&pushed);
+                    self.arcs[aid ^ 1].flow.sub_assign_ref(&pushed);
+                }
+                C::record_augmenting_path();
+                return pushed;
+            }
+            // Advance v's per-phase arc cursor to the next usable level arc.
+            let mut advanced = false;
+            while self.iter[v] < self.adj[v].len() {
+                let aid = self.adj[v][self.iter[v]];
+                let a = &self.arcs[aid];
+                if a.has_residual(&self.tol) && self.level[a.to] == self.level[v] + 1 {
+                    path.push(aid);
+                    v = a.to;
+                    advanced = true;
+                    break;
+                }
+                self.iter[v] += 1;
+            }
+            if !advanced {
+                // Dead end: retreat one step and skip the arc that led here.
+                match path.pop() {
+                    Some(aid) => {
+                        let parent = self.arcs[aid ^ 1].to;
+                        self.iter[parent] += 1;
+                        v = parent;
+                    }
+                    None => return C::zero(),
+                }
+            }
+        }
+    }
+
+    /// Compute the maximum `s → t` flow in the backend's arithmetic. The
+    /// network must not contain an infinite-capacity `s → t` path; the
+    /// Definition 2/5 networks never do (every path crosses a finite source
+    /// or sink arc). Exact backends return the exact optimum; the tolerant
+    /// backend treats augmentations below its saturation tolerance as zero,
+    /// so its value is within `O(E · eps)` of the true max flow — good
+    /// enough to propose, never to certify.
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> C {
+        assert_ne!(s, t, "source equals sink");
+        C::record_max_flow();
+        let mut sp = prs_trace::span("flow", C::SPAN_MAX_FLOW);
+        sp.attr("engine", || C::ENGINE.to_string());
+        let mut phases: u64 = 0;
+        let mut total = C::zero();
+        loop {
+            self.bfs_levels(s);
+            phases += 1;
+            if self.level[t] == UNREACHED {
+                sp.attr("phases", || phases.to_string());
+                return total;
+            }
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs_augment(s, t);
+                if C::exhausted(&pushed) {
+                    break;
+                }
+                total.add_assign_ref(&pushed);
+            }
+        }
+    }
+
+    /// Nodes reachable from `s` in the residual graph (the s-side of a
+    /// minimum cut after [`max_flow`](Self::max_flow) has run).
+    pub fn min_cut_source_side(&self, s: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.n()];
+        seen[s] = true;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &aid in &self.adj[v] {
+                let a = &self.arcs[aid];
+                if a.has_residual(&self.tol) && !seen[a.to] {
+                    seen[a.to] = true;
+                    stack.push(a.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Nodes that can reach `t` through the residual graph. Computed by a
+    /// reverse traversal: `u` reaches `t` iff some residual arc `u → x` leads
+    /// to a node that reaches `t`.
+    ///
+    /// This is the query behind the *maximal bottleneck* extraction: at the
+    /// optimal α, a left-copy vertex belongs to the maximal tight set iff it
+    /// can **not** reach `t` (see prs-bd).
+    pub fn residual_reaches_sink(&self, t: NodeId) -> Vec<bool> {
+        // Build reverse residual adjacency on the fly: arc u→x residual
+        // contributes reverse edge x→u.
+        let mut reaches = vec![false; self.n()];
+        reaches[t] = true;
+        let mut stack = vec![t];
+        // Precompute incoming residual arcs per node once.
+        let mut incoming: Vec<Vec<NodeId>> = vec![Vec::new(); self.n()];
+        for (from, arcs) in self.adj.iter().enumerate() {
+            for &aid in arcs {
+                let a = &self.arcs[aid];
+                if a.has_residual(&self.tol) {
+                    incoming[a.to].push(from);
+                }
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for &u in &incoming[v] {
+                if !reaches[u] {
+                    reaches[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        reaches
+    }
+
+    /// Net flow leaving `s` over forward arcs: flow on edges `s → ·` minus
+    /// flow on edges `· → s`. After [`max_flow`](Self::max_flow) this equals
+    /// the flow value when `s` was the source (even if the network has edges
+    /// into the source); at a conserving interior node it is zero.
+    pub fn outflow(&self, s: NodeId) -> C {
+        // An edge u → s appears in adj[s] as its reverse arc, whose flow is
+        // exactly −(flow on u → s), so the plain sum over adj[s] is the net.
+        let mut net = C::zero();
+        for &aid in &self.adj[s] {
+            net.add_assign_ref(&self.arcs[aid].flow);
+        }
+        net
+    }
+
+    /// Verify conservation at every node except `s` and `t` (testing hook).
+    pub fn check_conservation(&self, s: NodeId, t: NodeId) -> bool {
+        for v in 0..self.n() {
+            if v == s || v == t {
+                continue;
+            }
+            let mut net = C::zero();
+            for &aid in &self.adj[v] {
+                net.add_assign_ref(&self.arcs[aid].flow);
+            }
+            if !C::conserved(&net, &self.tol) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Verify `0 ≤ flow ≤ cap` on all forward arcs (testing hook).
+    pub fn check_capacities(&self) -> bool {
+        self.arcs.iter().step_by(2).all(|a| {
+            !a.flow.is_negative()
+                && match &a.cap {
+                    Cap::Infinite => true,
+                    Cap::Finite(c) => a.flow.le(c),
+                }
+        })
+    }
+}

@@ -1,35 +1,49 @@
 #![warn(missing_docs)]
-//! # prs-flow — exact maximum flow over rational capacities
+//! # prs-flow — one Dinic kernel, three capacity backends
 //!
 //! The bottleneck decomposition (Definition 2 of the paper) and the BD
 //! Allocation Mechanism (Definition 5) are both defined through max-flow /
 //! min-cut arguments on small auxiliary networks whose capacities are agent
 //! weights and weights divided by α-ratios — i.e. exact rationals. This crate
-//! implements Dinic's algorithm over [`Rational`](prs_numeric::Rational)
-//! capacities (with first-class infinite capacities for the `B×C` middle
-//! edges), plus the residual-reachability queries the decomposition needs:
+//! implements Dinic's algorithm **once**, as [`Network<C>`] generic over the
+//! [`Capacity`] backend trait, with first-class infinite capacities for the
+//! `B×C` middle edges and the residual-reachability queries the
+//! decomposition needs:
 //!
-//! * [`FlowNetwork::max_flow`] — exact blocking-flow Dinic. Termination does
-//!   not depend on capacity magnitudes (≤ `V` phases, ≤ `E` augmentations per
+//! * [`Network::max_flow`] — blocking-flow Dinic. Termination does not
+//!   depend on capacity magnitudes (≤ `V` phases, ≤ `E` augmentations per
 //!   phase), so exact arithmetic is safe.
-//! * [`FlowNetwork::min_cut_source_side`] — the s-side of a minimum cut,
+//! * [`Network::min_cut_source_side`] — the s-side of a minimum cut,
 //!   used by the Dinkelbach step to extract a violating set.
-//! * [`FlowNetwork::residual_reaches_sink`] — the set of nodes with a
+//! * [`Network::residual_reaches_sink`] — the set of nodes with a
 //!   residual path *to* `t`, used to extract the maximal tight set
 //!   (= maximal bottleneck).
-
 //!
-//! The exact engine is complemented by [`NetworkF64`], a floating-point
-//! mirror used by the two-tier Dinkelbach driver in `prs-bd` to *propose*
-//! candidate parameters that a single exact flow then certifies, and by
-//! [`stats`], process-wide counters over both engines (`prs audit --stats`).
+//! Three backends instantiate the kernel:
+//!
+//! * [`FlowNetwork`] = `Network<Rational>` — the exact certifying engine.
+//! * [`NetworkInt`] = `Network<BigInt>` — uniformly scaled integers for the
+//!   session's warm certification path (same decisions, cheaper arithmetic).
+//! * [`NetworkF64`] = `Network<f64>` — the proposal half of the two-tier
+//!   Dinkelbach driver in `prs-bd`; tolerant comparisons, never decisive.
+//!
+//! The backend modules contribute only a `Capacity` impl and a type alias;
+//! the traversal order — hence the decomposition output — is bit-identical
+//! across engines by construction. [`stats`] keeps process-wide counters
+//! over all engines (`prs audit --stats`), and [`testkit`] holds the shared
+//! engine-parameterized test suite.
 
+pub mod capacity;
+pub mod kernel;
 pub mod network;
 pub mod network_f64;
 pub mod network_int;
 pub mod stats;
+pub mod testkit;
 
-pub use network::{Cap, EdgeId, FlowNetwork, NodeId};
+pub use capacity::{Cap, Capacity};
+pub use kernel::{EdgeId, Network, NodeId, SeedArc};
+pub use network::FlowNetwork;
 pub use network_f64::NetworkF64;
 pub use network_int::{CapInt, NetworkInt};
 pub use stats::FlowStats;

@@ -1,270 +1,122 @@
-//! Floating-point Dinic, the proposal half of the two-tier parametric
-//! max-flow engine.
+//! The floating-point engine: [`Network`] over `f64` capacities — and the
+//! **only** module in this crate where floats and numeric casts are
+//! permitted (prs-lint enforces the boundary).
 //!
-//! Mirrors [`FlowNetwork`](crate::FlowNetwork) over `f64` capacities
-//! (`f64::INFINITY` for the unbounded middle arcs). The float engine never
-//! decides anything on its own: the Dinkelbach driver in `prs-bd` runs it to
-//! *propose* a candidate α and bottleneck set, then certifies the proposal
-//! with a single exact-rational flow. Residual comparisons use a tolerance
-//! scaled to the largest finite capacity, so saturation detection is robust
+//! The float engine is the proposal half of the two-tier parametric
+//! max-flow engine. It never decides anything on its own: the Dinkelbach
+//! driver in `prs-bd` runs it to *propose* a candidate α and bottleneck
+//! set, then certifies the proposal with a single exact flow. Residual
+//! comparisons use a tolerance scaled to the largest finite capacity seen
+//! (threaded through [`Capacity::Tol`]), so saturation detection is robust
 //! but deliberately approximate — a near-tie that the tolerance misjudges
 //! only costs a fallback to the exact loop, never a wrong answer.
-//!
-//! The network supports in-place reuse: [`NetworkF64::clear`] rebuilds the
-//! topology without dropping arc storage, and
-//! [`NetworkF64::set_capacity`] + [`NetworkF64::reset_flow`] support
-//! capacity-only parameter updates between Dinkelbach steps.
 
+use crate::capacity::{Cap, Capacity};
+use crate::kernel::Network;
 use crate::stats;
-use crate::{EdgeId, NodeId};
-use std::collections::VecDeque;
-
-#[derive(Clone)]
-struct ArcF64 {
-    to: NodeId,
-    cap: f64,
-    flow: f64,
-}
-
-impl ArcF64 {
-    #[inline]
-    fn has_residual(&self, eps: f64) -> bool {
-        self.flow + eps < self.cap
-    }
-}
+use crate::testkit::TestCapacity;
 
 /// A directed flow network with `f64` capacities (Dinic).
-pub struct NetworkF64 {
-    arcs: Vec<ArcF64>,
-    adj: Vec<Vec<usize>>,
-    level: Vec<u32>,
-    iter: Vec<usize>,
+pub type NetworkF64 = Network<f64>;
+
+/// Saturation-tolerance state for the float backend: the largest finite
+/// capacity seen scales the epsilon, so "saturated" adapts to the
+/// magnitude of the instance instead of using an absolute cutoff.
+#[derive(Clone, Debug, Default)]
+pub struct F64Tol {
     /// Largest finite capacity seen; scales the saturation tolerance.
     cap_scale: f64,
 }
 
-const UNREACHED: u32 = u32::MAX;
 const REL_EPS: f64 = 1e-12;
 
-impl NetworkF64 {
-    /// A network with `n` nodes and no arcs.
-    pub fn new(n: usize) -> Self {
-        stats::record_networks_built(1);
-        NetworkF64 {
-            arcs: Vec::new(),
-            adj: vec![Vec::new(); n],
-            level: vec![UNREACHED; n],
-            iter: vec![0; n],
-            cap_scale: 0.0,
-        }
-    }
-
-    /// Number of nodes.
-    pub fn n(&self) -> usize {
-        self.adj.len()
-    }
-
-    /// Drop all arcs and resize to `n` nodes, keeping every allocation
-    /// (arena reuse across decomposition rounds).
-    pub fn clear(&mut self, n: usize) {
-        stats::record_networks_reused(1);
-        self.arcs.clear();
-        self.adj.iter_mut().for_each(|a| a.clear());
-        self.adj.resize_with(n, Vec::new);
-        self.level.clear();
-        self.level.resize(n, UNREACHED);
-        self.iter.clear();
-        self.iter.resize(n, 0);
-        self.cap_scale = 0.0;
-    }
-
-    /// Add a directed edge `from → to` (`f64::INFINITY` allowed); returns
-    /// its id.
-    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: f64) -> EdgeId {
-        debug_assert!(from < self.n() && to < self.n(), "node out of range");
-        debug_assert_ne!(from, to, "self-loop arcs are not supported");
-        debug_assert!(cap >= 0.0, "negative capacity");
-        if cap.is_finite() {
-            self.cap_scale = self.cap_scale.max(cap);
-        }
-        let id = self.arcs.len();
-        self.adj[from].push(id);
-        self.arcs.push(ArcF64 { to, cap, flow: 0.0 });
-        self.adj[to].push(id + 1);
-        self.arcs.push(ArcF64 {
-            to: from,
-            cap: 0.0,
-            flow: 0.0,
-        });
-        id
-    }
-
-    /// Replace the capacity of forward edge `id` (parameter update between
-    /// Dinkelbach steps; call [`reset_flow`](Self::reset_flow) before the
-    /// next run).
-    pub fn set_capacity(&mut self, id: EdgeId, cap: f64) {
-        debug_assert_eq!(id % 2, 0, "capacities live on forward arcs");
-        debug_assert!(cap >= 0.0, "negative capacity");
-        if cap.is_finite() {
-            self.cap_scale = self.cap_scale.max(cap);
-        }
-        self.arcs[id].cap = cap;
-    }
-
-    /// Flow currently assigned to forward edge `id`.
-    pub fn flow_on(&self, id: EdgeId) -> f64 {
-        self.arcs[id].flow
-    }
-
-    /// Reset all flows to zero.
-    pub fn reset_flow(&mut self) {
-        for a in &mut self.arcs {
-            a.flow = 0.0;
-        }
-    }
-
+impl F64Tol {
     #[inline]
     fn eps(&self) -> f64 {
         REL_EPS * (1.0 + self.cap_scale)
     }
+}
 
-    fn bfs_levels(&mut self, s: NodeId) {
+/// `f64::INFINITY` maps to [`Cap::Infinite`]; every other (non-negative,
+/// finite) value is a finite capacity. This keeps f64 call sites writing
+/// plain numbers while the kernel models unboundedness explicitly — an
+/// infinite arc can never be a cut edge, for floats exactly as for
+/// rationals.
+impl From<f64> for Cap<f64> {
+    fn from(cap: f64) -> Self {
+        debug_assert!(cap >= 0.0, "negative capacity");
+        if cap.is_finite() {
+            Cap::Finite(cap)
+        } else {
+            Cap::Infinite
+        }
+    }
+}
+
+impl Capacity for f64 {
+    type Tol = F64Tol;
+
+    const ENGINE: &'static str = "f64";
+    const SPAN_BFS: &'static str = "f64_bfs_phase";
+    const SPAN_MAX_FLOW: &'static str = "f64_max_flow";
+
+    fn zero() -> Self {
+        0.0
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    fn is_negative(&self) -> bool {
+        *self < 0.0
+    }
+    fn le(&self, rhs: &Self) -> bool {
+        self <= rhs
+    }
+    fn add_assign_ref(&mut self, rhs: &Self) {
+        *self += rhs;
+    }
+    fn sub_assign_ref(&mut self, rhs: &Self) {
+        *self -= rhs;
+    }
+    fn neg_ref(&self) -> Self {
+        -self
+    }
+    fn sub_ref(lhs: &Self, rhs: &Self) -> Self {
+        lhs - rhs
+    }
+    fn has_headroom(flow: &Self, cap: &Self, tol: &F64Tol) -> bool {
+        flow + tol.eps() < *cap
+    }
+    fn exhausted(pushed: &Self) -> bool {
+        *pushed <= 0.0
+    }
+    fn conserved(net: &Self, tol: &F64Tol) -> bool {
+        net.abs() <= tol.eps()
+    }
+    fn observe(tol: &mut F64Tol, cap: &Self) {
+        tol.cap_scale = tol.cap_scale.max(*cap);
+    }
+
+    fn record_bfs_phase() {
         stats::record_f64_bfs_phases(1);
-        let _sp = prs_trace::span("flow", "f64_bfs_phase");
-        let eps = self.eps();
-        self.level.iter_mut().for_each(|l| *l = UNREACHED);
-        self.level[s] = 0;
-        let mut q = VecDeque::new();
-        q.push_back(s);
-        while let Some(v) = q.pop_front() {
-            for &aid in &self.adj[v] {
-                let a = &self.arcs[aid];
-                if a.has_residual(eps) && self.level[a.to] == UNREACHED {
-                    self.level[a.to] = self.level[v] + 1;
-                    q.push_back(a.to);
-                }
-            }
-        }
     }
-
-    /// One augmenting path in the level graph (explicit stack, like the
-    /// exact engine); returns the amount pushed, 0.0 when the phase is done.
-    fn dfs_augment(&mut self, s: NodeId, t: NodeId) -> f64 {
-        let eps = self.eps();
-        let mut path: Vec<usize> = Vec::new();
-        let mut v = s;
-        loop {
-            if v == t {
-                let mut limit = f64::INFINITY;
-                for &aid in &path {
-                    let a = &self.arcs[aid];
-                    limit = limit.min(a.cap - a.flow);
-                }
-                debug_assert!(limit.is_finite(), "s→t path crossed no finite arc");
-                for &aid in &path {
-                    self.arcs[aid].flow += limit;
-                    self.arcs[aid ^ 1].flow -= limit;
-                }
-                stats::record_f64_augmenting_paths(1);
-                return limit;
-            }
-            let mut advanced = false;
-            while self.iter[v] < self.adj[v].len() {
-                let aid = self.adj[v][self.iter[v]];
-                let a = &self.arcs[aid];
-                if a.has_residual(eps) && self.level[a.to] == self.level[v] + 1 {
-                    path.push(aid);
-                    v = a.to;
-                    advanced = true;
-                    break;
-                }
-                self.iter[v] += 1;
-            }
-            if !advanced {
-                match path.pop() {
-                    Some(aid) => {
-                        let parent = self.arcs[aid ^ 1].to;
-                        self.iter[parent] += 1;
-                        v = parent;
-                    }
-                    None => return 0.0,
-                }
-            }
-        }
+    fn record_augmenting_path() {
+        stats::record_f64_augmenting_paths(1);
     }
-
-    /// Approximate maximum `s → t` flow. Augmentations below the saturation
-    /// tolerance are treated as zero, so the value is within
-    /// `O(E · eps)` of the true max flow — good enough to propose, never to
-    /// certify.
-    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> f64 {
-        debug_assert_ne!(s, t, "source equals sink");
+    fn record_max_flow() {
         stats::record_f64_max_flows(1);
-        let mut sp = prs_trace::span("flow", "f64_max_flow");
-        let mut phases: u64 = 0;
-        let mut total = 0.0;
-        loop {
-            self.bfs_levels(s);
-            phases += 1;
-            if self.level[t] == UNREACHED {
-                sp.attr("phases", || phases.to_string());
-                return total;
-            }
-            self.iter.iter_mut().for_each(|i| *i = 0);
-            loop {
-                let pushed = self.dfs_augment(s, t);
-                if pushed <= 0.0 {
-                    break;
-                }
-                total += pushed;
-            }
-        }
     }
+}
 
-    /// Nodes reachable from `s` in the residual graph (run after
-    /// [`max_flow`](Self::max_flow)).
-    pub fn min_cut_source_side(&self, s: NodeId) -> Vec<bool> {
-        let eps = self.eps();
-        let mut seen = vec![false; self.n()];
-        seen[s] = true;
-        let mut stack = vec![s];
-        while let Some(v) = stack.pop() {
-            for &aid in &self.adj[v] {
-                let a = &self.arcs[aid];
-                if a.has_residual(eps) && !seen[a.to] {
-                    seen[a.to] = true;
-                    stack.push(a.to);
-                }
-            }
-        }
-        seen
+impl TestCapacity for f64 {
+    fn from_ratio(num: i64, den: i64) -> Self {
+        num as f64 / den as f64
     }
-
-    /// Nodes with a residual path *to* `t` (maximal-tight-set query; see the
-    /// exact engine for the decomposition-side meaning).
-    pub fn residual_reaches_sink(&self, t: NodeId) -> Vec<bool> {
-        let eps = self.eps();
-        let mut reaches = vec![false; self.n()];
-        reaches[t] = true;
-        let mut stack = vec![t];
-        let mut incoming: Vec<Vec<NodeId>> = vec![Vec::new(); self.n()];
-        for (from, arcs) in self.adj.iter().enumerate() {
-            for &aid in arcs {
-                let a = &self.arcs[aid];
-                if a.has_residual(eps) {
-                    incoming[a.to].push(from);
-                }
-            }
-        }
-        while let Some(v) = stack.pop() {
-            for &u in &incoming[v] {
-                if !reaches[u] {
-                    reaches[u] = true;
-                    stack.push(u);
-                }
-            }
-        }
-        reaches
+    fn assert_feq(actual: &Self, expected: &Self) {
+        assert!(
+            (actual - expected).abs() <= 1e-9 * (1.0 + expected.abs()),
+            "f64 flow {actual} differs from expected {expected}"
+        );
     }
 }
 
@@ -273,75 +125,38 @@ mod tests {
     use super::*;
 
     #[test]
-    fn single_edge() {
+    fn infinity_converts_to_infinite_cap() {
+        let mut net = NetworkF64::new(4);
+        net.add_edge(0, 1, 2.0);
+        let mid = net.add_edge(1, 2, f64::INFINITY);
+        net.add_edge(2, 3, 0.5);
+        assert_eq!(net.capacity_of(mid), &Cap::Infinite);
+        assert!((net.max_flow(0, 3) - 0.5).abs() < 1e-9);
+        // An infinite arc is never saturated, so it is never a cut edge.
+        assert!(!net.is_saturated(mid));
+    }
+
+    #[test]
+    fn tolerance_scales_with_capacities() {
+        // At cap_scale 1e12 the saturation tolerance is ≈ 1e-12·1e12 = 1:
+        // a 1e-3 arc counts as saturated from the start, so the engine
+        // refuses to push the dust (the prefilter contract — near-zero
+        // residuals defer to the exact certifier instead of polluting the
+        // proposal). Without the big arc the same edge carries its 1e-3.
+        let mut big = NetworkF64::new(3);
+        big.add_edge(0, 1, 1.0e12); // dead end, but raises cap_scale
+        big.add_edge(0, 2, 1.0e-3); // below tolerance at this scale
+        assert_eq!(big.max_flow(0, 2), 0.0);
+
+        let mut small = NetworkF64::new(2);
+        small.add_edge(0, 1, 1.0e-3);
+        assert!((small.max_flow(0, 1) - 1.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_capacities_flow_within_tolerance() {
         let mut net = NetworkF64::new(2);
         net.add_edge(0, 1, 1.5);
         assert!((net.max_flow(0, 1) - 1.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn diamond_with_back_edge() {
-        let mut net = NetworkF64::new(4);
-        net.add_edge(0, 1, 1.0);
-        net.add_edge(0, 2, 1.0);
-        net.add_edge(1, 2, 1.0);
-        net.add_edge(1, 3, 1.0);
-        net.add_edge(2, 3, 1.0);
-        assert!((net.max_flow(0, 3) - 2.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn infinite_middle_edge() {
-        let mut net = NetworkF64::new(4);
-        net.add_edge(0, 1, 2.0);
-        net.add_edge(1, 2, f64::INFINITY);
-        net.add_edge(2, 3, 0.5);
-        assert!((net.max_flow(0, 3) - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn capacity_update_and_flow_reset_reuse_the_network() {
-        let mut net = NetworkF64::new(3);
-        let sa = net.add_edge(0, 1, 1.0);
-        net.add_edge(1, 2, 10.0);
-        assert!((net.max_flow(0, 2) - 1.0).abs() < 1e-9);
-        net.set_capacity(sa, 4.0);
-        net.reset_flow();
-        assert!((net.max_flow(0, 2) - 4.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn clear_rebuilds_in_place() {
-        let mut net = NetworkF64::new(2);
-        net.add_edge(0, 1, 1.0);
-        net.max_flow(0, 1);
-        net.clear(3);
-        assert_eq!(net.n(), 3);
-        net.add_edge(0, 1, 2.0);
-        net.add_edge(1, 2, 3.0);
-        assert!((net.max_flow(0, 2) - 2.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn long_path_no_stack_overflow() {
-        let n = 50_001;
-        let mut net = NetworkF64::new(n);
-        for v in 0..n - 1 {
-            net.add_edge(v, v + 1, 0.5);
-        }
-        assert!((net.max_flow(0, n - 1) - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn min_cut_and_sink_reachability() {
-        let mut net = NetworkF64::new(4);
-        net.add_edge(0, 1, 10.0);
-        net.add_edge(1, 2, 1.0);
-        net.add_edge(2, 3, 10.0);
-        net.max_flow(0, 3);
-        assert_eq!(net.min_cut_source_side(0), vec![true, true, false, false]);
-        let reaches = net.residual_reaches_sink(3);
-        assert!(reaches[2] && reaches[3]);
-        assert!(!reaches[0] && !reaches[1]);
     }
 }

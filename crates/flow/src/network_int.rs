@@ -1,330 +1,49 @@
-//! Dinic's maximum-flow algorithm with big-integer capacities.
+//! The scaled-integer engine: [`Network`] over [`BigInt`] capacities.
 //!
-//! The exact rational network ([`FlowNetwork`](crate::FlowNetwork)) pays a
-//! gcd-normalized cross-multiplication for every residual comparison and
-//! every flow update. A Hall-feasibility network can instead be *scaled
-//! integer*: multiply every capacity by `p · D`, where `α = p/q` is the
-//! parameter and `D` clears the weight denominators — the feasibility
-//! decision and the residual structure (min cuts, tight sets) are invariant
-//! under uniform scaling, while every arithmetic step becomes a plain
-//! big-integer add or compare. The session's warm certification path builds
-//! this network; the result it extracts is bit-identical to the rational
-//! engine's because only the *representation* of the capacities changes.
+//! The exact rational engine pays a gcd-normalized cross-multiplication
+//! for every residual comparison and every flow update. A Hall-feasibility
+//! network can instead be *scaled integer*: multiply every capacity by
+//! `p · D`, where `α = p/q` is the parameter and `D` clears the weight
+//! denominators — the feasibility decision and the residual structure
+//! (min cuts, tight sets) are invariant under uniform scaling, while every
+//! arithmetic step becomes a plain big-integer add or compare. The
+//! session's warm certification path builds this network; the result it
+//! extracts is bit-identical to the rational engine's because only the
+//! *representation* of the capacities changes.
+//!
+//! Counter routing note: this engine shares the `exact_*` counters in
+//! [`crate::stats`] with the rational one — both are exact engines, and
+//! the certification accounting predates the int/rational split.
 
+use crate::capacity::{exact_capacity_arith, Cap, Capacity};
+use crate::kernel::Network;
 use crate::stats;
-use crate::{EdgeId, NodeId};
 use prs_numeric::BigInt;
-use std::collections::VecDeque;
 
 /// An arc capacity: a finite big integer or `+∞` (middle arcs).
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum CapInt {
-    /// A finite exact capacity.
-    Finite(BigInt),
-    /// Unbounded capacity (never a min-cut edge).
-    Infinite,
-}
-
-#[derive(Clone)]
-struct Arc {
-    to: NodeId,
-    cap: CapInt,
-    /// Flow currently on this arc (negative on reverse arcs).
-    flow: BigInt,
-}
-
-impl Arc {
-    /// Residual capacity; `None` encodes +∞.
-    fn residual(&self) -> Option<BigInt> {
-        match &self.cap {
-            CapInt::Infinite => None,
-            CapInt::Finite(c) => Some(c - &self.flow),
-        }
-    }
-
-    fn has_residual(&self) -> bool {
-        match &self.cap {
-            CapInt::Infinite => true,
-            CapInt::Finite(c) => &self.flow < c,
-        }
-    }
-}
+pub type CapInt = Cap<BigInt>;
 
 /// A directed flow network with big-integer capacities — structurally the
-/// twin of [`FlowNetwork`](crate::FlowNetwork), sharing its [`EdgeId`]
-/// forward/reverse arc-pair layout so callers can keep one set of edge
-/// bookkeeping for both.
-pub struct NetworkInt {
-    arcs: Vec<Arc>,
-    adj: Vec<Vec<usize>>,
-    // Scratch buffers reused across phases (workhorse-buffer idiom).
-    level: Vec<u32>,
-    iter: Vec<usize>,
-}
+/// twin of [`FlowNetwork`](crate::FlowNetwork), sharing its
+/// [`EdgeId`](crate::EdgeId) forward/reverse arc-pair layout so callers
+/// can keep one set of edge bookkeeping for both.
+pub type NetworkInt = Network<BigInt>;
 
-const UNREACHED: u32 = u32::MAX;
+impl Capacity for BigInt {
+    exact_capacity_arith!();
 
-impl NetworkInt {
-    /// A network with `n` nodes and no arcs.
-    pub fn new(n: usize) -> Self {
-        stats::record_networks_built(1);
-        NetworkInt {
-            arcs: Vec::new(),
-            adj: vec![Vec::new(); n],
-            level: vec![UNREACHED; n],
-            iter: vec![0; n],
-        }
-    }
+    const ENGINE: &'static str = "int";
+    const SPAN_BFS: &'static str = "int_bfs_phase";
+    const SPAN_MAX_FLOW: &'static str = "int_max_flow";
 
-    /// Number of nodes.
-    pub fn n(&self) -> usize {
-        self.adj.len()
-    }
-
-    /// Drop all arcs and resize to `n` nodes, keeping every allocation.
-    pub fn clear(&mut self, n: usize) {
-        stats::record_networks_reused(1);
-        self.arcs.clear();
-        self.adj.iter_mut().for_each(|a| a.clear());
-        self.adj.resize_with(n, Vec::new);
-        self.level.clear();
-        self.level.resize(n, UNREACHED);
-        self.iter.clear();
-        self.iter.resize(n, 0);
-    }
-
-    /// Replace the capacity of forward edge `id` without touching topology.
-    /// Call [`reset_flow`](Self::reset_flow) before the next
-    /// [`max_flow`](Self::max_flow).
-    pub fn set_capacity(&mut self, id: EdgeId, cap: CapInt) {
-        debug_assert_eq!(id % 2, 0, "capacities live on forward arcs");
-        self.arcs[id].cap = cap;
-    }
-
-    /// Add a directed edge `from → to` with the given capacity; returns its
-    /// id. Ids are assigned in call order, exactly as in
-    /// [`FlowNetwork::add_edge`](crate::FlowNetwork::add_edge).
-    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: CapInt) -> EdgeId {
-        assert!(from < self.n() && to < self.n(), "node out of range");
-        assert_ne!(from, to, "self-loop arcs are not supported");
-        let id = self.arcs.len();
-        self.adj[from].push(id);
-        self.arcs.push(Arc {
-            to,
-            cap,
-            flow: BigInt::zero(),
-        });
-        self.adj[to].push(id + 1);
-        self.arcs.push(Arc {
-            to: from,
-            cap: CapInt::Finite(BigInt::zero()),
-            flow: BigInt::zero(),
-        });
-        id
-    }
-
-    /// Flow currently assigned to forward edge `id`.
-    pub fn flow_on(&self, id: EdgeId) -> &BigInt {
-        &self.arcs[id].flow
-    }
-
-    /// The capacity of forward edge `id`.
-    pub fn capacity_of(&self, id: EdgeId) -> &CapInt {
-        debug_assert_eq!(id % 2, 0, "capacities live on forward arcs");
-        &self.arcs[id].cap
-    }
-
-    /// Seed forward edge `id` with flow `f` before a
-    /// [`max_flow`](Self::max_flow) run (warm start). The caller must keep
-    /// the overall assignment capacity-valid and conserving; `max_flow`
-    /// then augments from this state and returns only the *additional*
-    /// flow pushed.
-    pub fn preset_flow(&mut self, id: EdgeId, f: BigInt) {
-        debug_assert_eq!(id % 2, 0, "presets go on forward arcs");
-        debug_assert!(!f.is_negative());
-        debug_assert!(match &self.arcs[id].cap {
-            CapInt::Infinite => true,
-            CapInt::Finite(c) => &f <= c,
-        });
-        self.arcs[id ^ 1].flow = -&f;
-        self.arcs[id].flow = f;
-    }
-
-    /// Reset all flows to zero.
-    pub fn reset_flow(&mut self) {
-        for a in &mut self.arcs {
-            a.flow = BigInt::zero();
-        }
-    }
-
-    fn bfs_levels(&mut self, s: NodeId) {
+    fn record_bfs_phase() {
         stats::record_exact_bfs_phases(1);
-        let _sp = prs_trace::span("flow", "int_bfs_phase");
-        self.level.iter_mut().for_each(|l| *l = UNREACHED);
-        self.level[s] = 0;
-        let mut q = VecDeque::new();
-        q.push_back(s);
-        while let Some(v) = q.pop_front() {
-            for &aid in &self.adj[v] {
-                let a = &self.arcs[aid];
-                if a.has_residual() && self.level[a.to] == UNREACHED {
-                    self.level[a.to] = self.level[v] + 1;
-                    q.push_back(a.to);
-                }
-            }
-        }
     }
-
-    /// Find one augmenting path in the level graph and push flow along it;
-    /// returns the amount pushed (zero when no path remains this phase).
-    /// Iterative — see [`FlowNetwork`](crate::FlowNetwork) for why.
-    fn dfs_augment(&mut self, s: NodeId, t: NodeId) -> BigInt {
-        let mut path: Vec<usize> = Vec::new();
-        let mut v = s;
-        loop {
-            if v == t {
-                let mut limit: Option<BigInt> = None;
-                for &aid in &path {
-                    if let Some(r) = self.arcs[aid].residual() {
-                        limit = Some(match limit {
-                            Some(l) if l <= r => l,
-                            _ => r,
-                        });
-                    }
-                }
-                // prs-lint: allow(panic, reason = "s has only finite-capacity out-arcs, so every s→t path bounds the minimum; a violation is a solver bug, not an input error")
-                let pushed = limit.expect("an s→t path must pass a finite-capacity arc");
-                for &aid in &path {
-                    self.arcs[aid].flow += &pushed;
-                    self.arcs[aid ^ 1].flow -= &pushed;
-                }
-                stats::record_exact_augmenting_paths(1);
-                return pushed;
-            }
-            let mut advanced = false;
-            while self.iter[v] < self.adj[v].len() {
-                let aid = self.adj[v][self.iter[v]];
-                let a = &self.arcs[aid];
-                if a.has_residual() && self.level[a.to] == self.level[v] + 1 {
-                    path.push(aid);
-                    v = a.to;
-                    advanced = true;
-                    break;
-                }
-                self.iter[v] += 1;
-            }
-            if !advanced {
-                match path.pop() {
-                    Some(aid) => {
-                        let parent = self.arcs[aid ^ 1].to;
-                        self.iter[parent] += 1;
-                        v = parent;
-                    }
-                    None => return BigInt::zero(),
-                }
-            }
-        }
+    fn record_augmenting_path() {
+        stats::record_exact_augmenting_paths(1);
     }
-
-    /// Compute the maximum `s → t` flow. The network must not contain an
-    /// infinite-capacity `s → t` path.
-    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> BigInt {
-        assert_ne!(s, t, "source equals sink");
+    fn record_max_flow() {
         stats::record_exact_max_flows(1);
-        let mut sp = prs_trace::span("flow", "int_max_flow");
-        let mut phases: u64 = 0;
-        let mut total = BigInt::zero();
-        loop {
-            self.bfs_levels(s);
-            phases += 1;
-            if self.level[t] == UNREACHED {
-                sp.attr("phases", || phases.to_string());
-                return total;
-            }
-            self.iter.iter_mut().for_each(|i| *i = 0);
-            loop {
-                let pushed = self.dfs_augment(s, t);
-                if pushed.is_zero() {
-                    break;
-                }
-                total += &pushed;
-            }
-        }
-    }
-
-    /// Nodes reachable from `s` in the residual graph (the s-side of a
-    /// minimum cut after [`max_flow`](Self::max_flow) has run).
-    pub fn min_cut_source_side(&self, s: NodeId) -> Vec<bool> {
-        let mut seen = vec![false; self.n()];
-        seen[s] = true;
-        let mut stack = vec![s];
-        while let Some(v) = stack.pop() {
-            for &aid in &self.adj[v] {
-                let a = &self.arcs[aid];
-                if a.has_residual() && !seen[a.to] {
-                    seen[a.to] = true;
-                    stack.push(a.to);
-                }
-            }
-        }
-        seen
-    }
-
-    /// Nodes that can reach `t` through the residual graph — the maximal
-    /// tight-set query (see [`FlowNetwork::residual_reaches_sink`]).
-    ///
-    /// [`FlowNetwork::residual_reaches_sink`]:
-    ///     crate::FlowNetwork::residual_reaches_sink
-    pub fn residual_reaches_sink(&self, t: NodeId) -> Vec<bool> {
-        let mut reaches = vec![false; self.n()];
-        reaches[t] = true;
-        let mut stack = vec![t];
-        let mut incoming: Vec<Vec<NodeId>> = vec![Vec::new(); self.n()];
-        for (from, arcs) in self.adj.iter().enumerate() {
-            for &aid in arcs {
-                let a = &self.arcs[aid];
-                if a.has_residual() {
-                    incoming[a.to].push(from);
-                }
-            }
-        }
-        while let Some(v) = stack.pop() {
-            for &u in &incoming[v] {
-                if !reaches[u] {
-                    reaches[u] = true;
-                    stack.push(u);
-                }
-            }
-        }
-        reaches
-    }
-
-    /// Verify conservation at every node except `s` and `t` (testing hook).
-    pub fn check_conservation(&self, s: NodeId, t: NodeId) -> bool {
-        for v in 0..self.n() {
-            if v == s || v == t {
-                continue;
-            }
-            let mut net = BigInt::zero();
-            for &aid in &self.adj[v] {
-                net += &self.arcs[aid].flow;
-            }
-            if !net.is_zero() {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Verify `0 ≤ flow ≤ cap` on all forward arcs (testing hook).
-    pub fn check_capacities(&self) -> bool {
-        self.arcs.iter().step_by(2).all(|a| {
-            !a.flow.is_negative()
-                && match &a.cap {
-                    CapInt::Infinite => true,
-                    CapInt::Finite(c) => &a.flow <= c,
-                }
-        })
     }
 }
 
@@ -332,105 +51,16 @@ impl NetworkInt {
 mod tests {
     use super::*;
 
-    fn fin(n: i64) -> CapInt {
-        CapInt::Finite(BigInt::from(n))
-    }
-
-    fn big(n: i64) -> BigInt {
-        BigInt::from(n)
-    }
-
     #[test]
-    fn single_edge() {
-        let mut net = NetworkInt::new(2);
-        net.add_edge(0, 1, fin(3));
-        assert_eq!(net.max_flow(0, 1), big(3));
-    }
-
-    #[test]
-    fn series_takes_minimum_and_parallel_sums() {
-        let mut net = NetworkInt::new(4);
-        net.add_edge(0, 1, fin(5));
-        net.add_edge(1, 3, fin(2));
-        net.add_edge(0, 2, fin(1));
-        net.add_edge(2, 3, fin(4));
-        assert_eq!(net.max_flow(0, 3), big(3));
-        assert!(net.check_conservation(0, 3));
-        assert!(net.check_capacities());
-    }
-
-    #[test]
-    fn classic_augmenting_through_back_edge() {
-        let mut net = NetworkInt::new(4);
-        net.add_edge(0, 1, fin(1));
-        net.add_edge(0, 2, fin(1));
-        net.add_edge(1, 2, fin(1));
-        net.add_edge(1, 3, fin(1));
-        net.add_edge(2, 3, fin(1));
-        assert_eq!(net.max_flow(0, 3), big(2));
-    }
-
-    #[test]
-    fn infinite_middle_edges_and_min_cut() {
-        let mut net = NetworkInt::new(4);
-        net.add_edge(0, 1, fin(2));
-        net.add_edge(1, 2, CapInt::Infinite);
-        net.add_edge(2, 3, fin(1));
-        assert_eq!(net.max_flow(0, 3), big(1));
-        let side = net.min_cut_source_side(0);
-        assert_eq!(side, vec![true, true, true, false]);
-    }
-
-    #[test]
-    fn preset_flow_resumes_to_the_same_optimum() {
-        // Hall-type: two left nodes (caps 2, 3) share one right node (cap 4).
-        let build = |net: &mut NetworkInt| {
-            let a = net.add_edge(0, 1, fin(2));
-            let b = net.add_edge(0, 2, fin(3));
-            let m1 = net.add_edge(1, 3, CapInt::Infinite);
-            let m2 = net.add_edge(2, 3, CapInt::Infinite);
-            let s = net.add_edge(3, 4, fin(4));
-            (a, b, m1, m2, s)
-        };
-        let mut cold = NetworkInt::new(5);
-        build(&mut cold);
-        let cold_val = cold.max_flow(0, 4);
-
-        let mut warm = NetworkInt::new(5);
-        let (a, b, m1, m2, s) = build(&mut warm);
-        // Seed a valid partial flow: 2 via node 1, 1 via node 2.
-        warm.preset_flow(a, big(2));
-        warm.preset_flow(m1, big(2));
-        warm.preset_flow(b, big(1));
-        warm.preset_flow(m2, big(1));
-        warm.preset_flow(s, big(3));
-        assert!(warm.check_capacities() && warm.check_conservation(0, 4));
-        let extra = warm.max_flow(0, 4);
-        assert_eq!(&big(3) + &extra, cold_val);
-        // Same residual tight-set structure as the cold run.
-        assert_eq!(warm.residual_reaches_sink(4), cold.residual_reaches_sink(4));
-    }
-
-    #[test]
-    fn reset_and_reparameterize_in_place() {
+    fn cap_int_alias_constructs_and_matches() {
+        // Callers pattern-match `CapInt::Finite` through the alias; pin
+        // that both construction and matching keep working.
         let mut net = NetworkInt::new(3);
-        let sa = net.add_edge(0, 1, fin(1));
-        net.add_edge(1, 2, fin(10));
-        assert_eq!(net.max_flow(0, 2), big(1));
-        net.set_capacity(sa, fin(7));
-        net.reset_flow();
-        assert_eq!(net.max_flow(0, 2), big(7));
-    }
-
-    #[test]
-    fn clear_rebuilds_in_place() {
-        let mut net = NetworkInt::new(2);
-        net.add_edge(0, 1, fin(1));
-        assert_eq!(net.max_flow(0, 1), big(1));
-        net.clear(3);
-        assert_eq!(net.n(), 3);
-        net.add_edge(0, 1, fin(2));
-        net.add_edge(1, 2, fin(3));
-        assert_eq!(net.max_flow(0, 2), big(2));
+        let e = net.add_edge(0, 1, CapInt::Finite(BigInt::from(7)));
+        net.add_edge(1, 2, CapInt::Infinite);
+        match net.capacity_of(e) {
+            CapInt::Finite(c) => assert_eq!(c, &BigInt::from(7)),
+            CapInt::Infinite => panic!("finite capacity stored as infinite"),
+        }
     }
 }

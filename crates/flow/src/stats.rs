@@ -54,6 +54,7 @@ pub struct FlowStats {
 impl FlowStats {
     /// Fraction of decomposition rounds settled by the fast path
     /// (`NaN` when no round was instrumented).
+    // prs-lint: allow(float, reason = "display-only ratio; derived from exact counters, never fed back into the solver")
     pub fn fast_path_rate(&self) -> f64 {
         let total = self.fast_path_hits + self.fast_path_fallbacks;
         if total == 0 {
@@ -66,6 +67,7 @@ impl FlowStats {
 
     /// Fraction of session-served rounds settled straight from the shape
     /// cache (`NaN` when no session round was instrumented).
+    // prs-lint: allow(float, reason = "display-only ratio; derived from exact counters, never fed back into the solver")
     pub fn session_hit_rate(&self) -> f64 {
         let total = self.session_hits + self.session_misses;
         if total == 0 {
@@ -114,6 +116,7 @@ impl FlowStats {
     }
 
     /// Render as `key = value` lines for terminal reporting.
+    // prs-lint: allow(float, reason = "percentage formatting of display-only rates")
     pub fn render(&self) -> String {
         let mut out = String::new();
         let rate = self.fast_path_rate();

@@ -17,6 +17,7 @@
 //!    representations of the same network never drift.
 
 use proptest::prelude::*;
+use prs_flow::testkit::network_from;
 use prs_flow::{Cap, CapInt, FlowNetwork, NetworkInt};
 use prs_numeric::{BigInt, Rational};
 
@@ -26,11 +27,11 @@ fn pow2(k: u32) -> BigInt {
 }
 
 fn int_net(n: usize, edges: &[(usize, usize, BigInt)]) -> NetworkInt {
-    let mut net = NetworkInt::new(n);
-    for (u, v, c) in edges {
-        net.add_edge(*u, *v, CapInt::Finite(c.clone()));
-    }
-    net
+    let caps: Vec<(usize, usize, CapInt)> = edges
+        .iter()
+        .map(|(u, v, c)| (*u, *v, CapInt::Finite(c.clone())))
+        .collect();
+    network_from(n, &caps)
 }
 
 /// Random sparse network with capacities `base · 2^exp` — the exponents

@@ -1,11 +1,20 @@
-//! Property tests for the exact max-flow engine against independent oracles.
+//! Property tests for the Dinic kernel against an independent oracle —
+//! run on **every** capacity backend.
+//!
+//! Random integral networks have integral max flows, so one oracle value
+//! checks all three engines: the exact and scaled-integer backends must
+//! match it exactly (the scaled one in `RATIO_SCALE` units), the float
+//! backend within proposal tolerance. The per-backend plumbing lives in
+//! `prs_flow::testkit`; this file owns only the oracle and the random
+//! network strategy.
 
 use proptest::prelude::*;
+use prs_flow::testkit;
 use prs_flow::{Cap, FlowNetwork};
-use prs_numeric::{int, Rational};
+use prs_numeric::{int, BigInt, Rational};
 
 /// Simple f64 Ford–Fulkerson (BFS augmenting paths) as an independent
-/// oracle. Unit-fraction capacities keep f64 exact enough to compare.
+/// oracle. Integer capacities keep f64 exact enough to compare.
 fn ford_fulkerson_f64(n: usize, edges: &[(usize, usize, f64)], s: usize, t: usize) -> f64 {
     let mut cap = vec![vec![0f64; n]; n];
     for &(u, v, c) in edges {
@@ -47,6 +56,20 @@ fn ford_fulkerson_f64(n: usize, edges: &[(usize, usize, f64)], s: usize, t: usiz
     }
 }
 
+/// Oracle max-flow as an exact integer (integral capacities guarantee an
+/// integral optimum, so the f64 oracle value rounds cleanly).
+fn oracle_integral(n: usize, edges: &[(usize, usize, i64)], s: usize, t: usize) -> i64 {
+    let f64_edges: Vec<(usize, usize, f64)> =
+        edges.iter().map(|&(u, v, c)| (u, v, c as f64)).collect();
+    let oracle = ford_fulkerson_f64(n, &f64_edges, s, t);
+    let rounded = oracle.round();
+    assert!(
+        (oracle - rounded).abs() < 1e-6,
+        "integral network produced non-integral oracle flow {oracle}"
+    );
+    rounded as i64
+}
+
 /// Strategy: a random DAG-ish network on `n` nodes with integer capacities.
 fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
     (4usize..9).prop_flat_map(|n| {
@@ -67,66 +90,40 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn dinic_matches_ford_fulkerson((n, edges) in arb_network()) {
+    fn every_engine_matches_ford_fulkerson((n, edges) in arb_network()) {
         prop_assume!(!edges.is_empty());
-        let s = 0;
-        let t = n - 1;
-        let mut net = FlowNetwork::new(n);
-        for &(u, v, c) in &edges {
-            net.add_edge(u, v, Cap::Finite(int(c)));
-        }
-        let exact = net.max_flow(s, t);
-        let oracle = ford_fulkerson_f64(
-            n,
-            &edges.iter().map(|&(u, v, c)| (u, v, c as f64)).collect::<Vec<_>>(),
-            s,
-            t,
-        );
-        prop_assert!((exact.to_f64() - oracle).abs() < 1e-6,
-            "dinic {} vs oracle {}", exact.to_f64(), oracle);
-        prop_assert!(net.check_conservation(s, t));
-        prop_assert!(net.check_capacities());
+        let (s, t) = (0, n - 1);
+        let expected = oracle_integral(n, &edges, s, t);
+        testkit::assert_max_flow_integral::<Rational>(n, &edges, s, t, expected);
+        testkit::assert_max_flow_integral::<BigInt>(n, &edges, s, t, expected);
+        testkit::assert_max_flow_integral::<f64>(n, &edges, s, t, expected);
     }
 
     #[test]
     fn flow_value_equals_outflow((n, edges) in arb_network()) {
         prop_assume!(!edges.is_empty());
-        let mut net = FlowNetwork::new(n);
-        for &(u, v, c) in &edges {
-            net.add_edge(u, v, Cap::Finite(int(c)));
-        }
-        let value = net.max_flow(0, n - 1);
-        prop_assert_eq!(value, net.outflow(0));
+        let (s, t) = (0, n - 1);
+        testkit::assert_outflow_equals_value::<Rational>(n, &edges, s, t);
+        testkit::assert_outflow_equals_value::<BigInt>(n, &edges, s, t);
+        testkit::assert_outflow_equals_value::<f64>(n, &edges, s, t);
     }
 
     #[test]
     fn min_cut_separates_and_matches_value((n, edges) in arb_network()) {
         prop_assume!(!edges.is_empty());
-        let s = 0;
-        let t = n - 1;
-        let mut net = FlowNetwork::new(n);
-        let mut ids = Vec::new();
-        for &(u, v, c) in &edges {
-            ids.push((net.add_edge(u, v, Cap::Finite(int(c))), u, v, c));
-        }
-        let value = net.max_flow(s, t);
-        let side = net.min_cut_source_side(s);
-        prop_assert!(side[s]);
-        prop_assert!(!side[t]);
-        // Cut capacity across (side → !side) equals the flow value
-        // (max-flow min-cut theorem, exact arithmetic).
-        let cut: Rational = ids
-            .iter()
-            .filter(|&&(_, u, v, _)| side[u] && !side[v])
-            .map(|&(_, _, _, c)| int(c))
-            .sum();
-        prop_assert_eq!(cut, value);
+        let (s, t) = (0, n - 1);
+        // Max-flow min-cut duality holds per engine (exactly on the exact
+        // backends, within tolerance on f64).
+        testkit::assert_min_cut_matches::<Rational>(n, &edges, s, t);
+        testkit::assert_min_cut_matches::<BigInt>(n, &edges, s, t);
+        testkit::assert_min_cut_matches::<f64>(n, &edges, s, t);
     }
 
     #[test]
     fn rational_capacities_scale_exactly((n, edges) in arb_network(), denom in 1i64..50) {
         prop_assume!(!edges.is_empty());
-        // Scaling all capacities by 1/denom scales the max flow by 1/denom.
+        // Scaling all capacities by 1/denom scales the max flow by 1/denom
+        // (exact-engine specific: the point is gcd-normalized arithmetic).
         let mut net1 = FlowNetwork::new(n);
         let mut net2 = FlowNetwork::new(n);
         for &(u, v, c) in &edges {

@@ -1,0 +1,14 @@
+//! Fixture: a Capacity backend leaking floats, casts, and panics into the
+//! generic kernel directory — every boundary rule must fire here.
+
+pub fn tolerant_compare(flow: f64, cap: f64) -> bool {
+    flow + 1e-12 < cap
+}
+
+pub fn scale_to_units(cap: u64) -> i64 {
+    cap as i64
+}
+
+pub fn bottleneck_or_die(limit: Option<u64>) -> u64 {
+    limit.expect("no finite arc on the path")
+}

@@ -1,0 +1,11 @@
+//! Fixture: the sanctioned float-backend module. Floats and numeric casts
+//! here are *exempt* (float_boundary_exempt), so none of the tokens below
+//! may produce a finding — this file proves the carve-out works.
+
+pub fn headroom(flow: f64, cap: f64, eps: f64) -> bool {
+    flow + eps < cap
+}
+
+pub fn from_ratio(num: i64, den: i64) -> f64 {
+    num as f64 / den as f64
+}

@@ -6,7 +6,9 @@
 //!
 //! * `float` — the incentive-ratio proofs need the decomposition to be
 //!   *exact*; no `f64`/`f32` types or float literals may appear in the
-//!   exact kernels (the f64 Dinic may only *propose*, never decide).
+//!   exact kernels. The f64 capacity backend may only *propose*, never
+//!   decide, and is the single `float_boundary_exempt` module where floats
+//!   (and casts into them) are permitted.
 //! * `cast` — `as` numeric casts truncate silently; exact kernels must use
 //!   `From`/`TryFrom` or carry a range argument in an allow annotation.
 //! * `panic` — library code must push failures into typed errors
@@ -91,6 +93,11 @@ pub struct LintConfig {
     pub float_paths: Vec<String>,
     /// No `as` numeric casts (superset of the exact kernels).
     pub cast_paths: Vec<String>,
+    /// The designated float-backend modules: carved out of *both* the
+    /// `float` and `cast` rules even when a parent directory is covered.
+    /// This is the boundary that makes "floats may propose, never decide"
+    /// checkable — exactly one module in the flow crate may mention `f64`.
+    pub float_boundary_exempt: Vec<String>,
     /// Library code: no panicking calls outside tests.
     pub panic_paths: Vec<String>,
     /// Deterministic sweep/bench paths: no hash collections.
@@ -115,9 +122,10 @@ impl LintConfig {
         let exact_kernels = vec![
             // All big-integer / rational arithmetic.
             "crates/numeric/src".to_string(),
-            // The exact flow engines (rational and scaled-integer Dinic).
-            "crates/flow/src/network.rs".to_string(),
-            "crates/flow/src/network_int.rs".to_string(),
+            // The whole flow crate: the generic Dinic kernel, the Capacity
+            // trait, and the exact backends. The one sanctioned float
+            // module is carved back out via `float_boundary_exempt`.
+            "crates/flow/src".to_string(),
             // The decomposition driver and the session replay/certify paths.
             "crates/bd/src/decomposition.rs".to_string(),
             "crates/bd/src/session.rs".to_string(),
@@ -127,10 +135,9 @@ impl LintConfig {
             "crates/trace/src".to_string(),
         ];
         let mut cast_paths = exact_kernels.clone();
-        // The cast rule additionally covers the f64 proposer and its glue:
-        // a truncating cast there can bias proposals systematically, and
-        // satellite instrumentation must state its ranges.
-        cast_paths.push("crates/flow/src".to_string());
+        // The cast rule additionally covers the bd glue: a truncating cast
+        // there can bias proposals systematically, and satellite
+        // instrumentation must state its ranges.
         cast_paths.push("crates/bd/src".to_string());
         LintConfig {
             root,
@@ -141,6 +148,10 @@ impl LintConfig {
             ],
             float_paths: exact_kernels,
             cast_paths,
+            // The f64 Capacity backend is the single module allowed to
+            // mention floats or cast into them; everything else in the flow
+            // crate is generic over the Capacity trait and stays exact.
+            float_boundary_exempt: vec!["crates/flow/src/network_f64.rs".to_string()],
             panic_paths: vec![
                 "crates/numeric/src".into(),
                 "crates/graph/src".into(),
@@ -291,10 +302,11 @@ pub fn lint_file(cfg: &LintConfig, rel: &str, src: &str, report: &mut Report) {
         });
     };
 
-    if cfg.matches(&cfg.float_paths, rel) {
+    let boundary_exempt = cfg.matches(&cfg.float_boundary_exempt, rel);
+    if !boundary_exempt && cfg.matches(&cfg.float_paths, rel) {
         float_rule(&lexed, &mut emit);
     }
-    if cfg.matches(&cfg.cast_paths, rel) {
+    if !boundary_exempt && cfg.matches(&cfg.cast_paths, rel) {
         cast_rule(&lexed, &mut emit);
     }
     if cfg.matches(&cfg.panic_paths, rel) {

@@ -147,6 +147,33 @@ fn trace_crate_paths_are_enforced() {
 }
 
 #[test]
+fn flow_kernel_boundary_rules_fire() {
+    // The kernel unification widened the float rule to all of
+    // `crates/flow/src`; a backend leaking floats, casts, or panics into
+    // the generic kernel directory must trip every boundary rule.
+    let r = fixture_report();
+    let file = "crates/flow/src/bad_capacity.rs";
+    assert_finding(&r, "float", file, 4); // `f64` parameter types
+    assert_finding(&r, "float", file, 5); // `1e-12` literal
+    assert_finding(&r, "cast", file, 9); // `cap as i64`
+    assert_finding(&r, "panic", file, 13); // `.expect(...)`
+}
+
+#[test]
+fn float_boundary_module_is_exempt() {
+    // The sanctioned f64 backend module is carved out of the float and
+    // cast rules: its fixture twin is saturated with floats and casts and
+    // must produce no findings at all.
+    let r = fixture_report();
+    let file = "crates/flow/src/network_f64.rs";
+    assert!(
+        !r.findings.iter().any(|f| f.file == file),
+        "float-boundary module produced findings:\n{}",
+        render(&r)
+    );
+}
+
+#[test]
 fn annotation_rule_fires_on_malformed_and_stale_allows() {
     let r = fixture_report();
     let file = "crates/flow/src/annotations.rs";

@@ -109,6 +109,18 @@ fn surface_is_importable_and_coherent() {
     // Module aliases resolve.
     let _: fn(&graph::Graph) -> Result<bd::BottleneckDecomposition, bd::BdError> = bd::decompose;
     let _ = flow::stats::snapshot;
+
+    // The unified flow kernel's vocabulary is reachable through the
+    // umbrella: one generic `Network<C>`, the three backend aliases, and
+    // the `Capacity`/`Cap`/`SeedArc` types.
+    let _: fn(usize) -> flow::FlowNetwork = flow::Network::<numeric::Rational>::new;
+    let _: fn(usize) -> flow::NetworkInt = flow::NetworkInt::new;
+    let _: fn(usize) -> flow::NetworkF64 = flow::NetworkF64::new;
+    let _ = std::mem::size_of::<flow::Cap>(); // defaults to the exact backend
+    let _ = std::mem::size_of::<flow::CapInt>();
+    let _ = std::mem::size_of::<flow::SeedArc<numeric::BigInt>>();
+    fn takes_capacity<C: flow::Capacity>() {}
+    let _ = takes_capacity::<f64>;
     let _ = builders::ring;
     let _ = numeric::int;
     let _ = deviation::exact_breakpoints::<MisreportFamily>;

@@ -1,6 +1,12 @@
 //! Cross-engine agreement tests: the same quantity computed by independent
 //! implementations must coincide — mechanism vs protocol, exact vs float,
 //! grid vs certified optimizer, flow vs brute-force decomposition.
+//!
+//! The flow-kernel modules at the bottom instantiate the shared
+//! engine-parameterized Dinic suite (`prs_flow::testkit`) once per capacity
+//! backend, so every kernel property — including the long-path
+//! no-stack-overflow regression — is pinned for all three engines from
+//! outside the crate.
 
 use prs::prelude::*;
 use prs::RingInstance;
@@ -115,6 +121,18 @@ fn exact_dynamics_certifies_float_dynamics_on_paths() {
         exact.step();
         float.step();
     }
+}
+
+mod flow_kernel_exact {
+    prs_flow::engine_suite!(prs_numeric::Rational);
+}
+
+mod flow_kernel_int {
+    prs_flow::engine_suite!(prs_numeric::BigInt);
+}
+
+mod flow_kernel_f64 {
+    prs_flow::engine_suite!(f64);
 }
 
 #[test]

@@ -60,6 +60,62 @@ fn single_threaded_jsonl_is_byte_identical_after_ts_strip() {
 }
 
 #[test]
+fn flow_spans_pin_engine_names_and_attrs() {
+    let _guard = locked();
+    // The kernel unification must not churn the trace vocabulary: the
+    // flow layer emits exactly the six per-engine span names it always
+    // has, and every one carries the new `engine` attribute matching its
+    // prefix. Drive all three backends: a cold decompose + allocate runs
+    // the f64 proposer and the exact certifier; a warm same-shape session
+    // replay runs the scaled-integer certifier.
+    trace::clear();
+    trace::enable();
+    let g = ring();
+    let bd = decompose(&g).unwrap();
+    let _alloc = allocate(&g, &bd);
+    let mut session = DecompositionSession::new();
+    session.decompose(&ring()).unwrap();
+    let reweighted = builders::ring(vec![int(4), int(1), int(4), int(1), int(5), int(9)]).unwrap();
+    session.decompose(&reweighted).unwrap();
+    trace::disable();
+    let t = trace::take();
+
+    const ALLOWED: [&str; 6] = [
+        "exact_bfs_phase",
+        "exact_max_flow",
+        "int_bfs_phase",
+        "int_max_flow",
+        "f64_bfs_phase",
+        "f64_max_flow",
+    ];
+    let mut seen = std::collections::BTreeSet::new();
+    for e in t.events.iter().filter(|e| e.layer == "flow") {
+        assert!(
+            ALLOWED.contains(&e.name),
+            "unexpected flow-layer span name: {}",
+            e.name
+        );
+        seen.insert(e.name);
+        let engine = e
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == "engine")
+            .unwrap_or_else(|| panic!("flow span {} has no engine attr", e.name));
+        let prefix = e.name.split('_').next().unwrap();
+        assert_eq!(
+            engine.1, prefix,
+            "engine attr disagrees with span name {}",
+            e.name
+        );
+    }
+    // All three backends actually ran (cold two-tier: f64 + exact; warm
+    // replay: int).
+    for name in ALLOWED {
+        assert!(seen.contains(name), "engine span {name} never recorded");
+    }
+}
+
+#[test]
 fn parallel_sweep_traces_are_permutation_equal() {
     let _guard = locked();
     // Which worker handles which sweep point (and therefore which session
