@@ -24,7 +24,10 @@
 //! is exactly their union — see DESIGN.md §3.1 for the exchange argument.)
 
 use crate::error::BdError;
-use prs_flow::{stats, Cap, CapInt, EdgeId, FlowNetwork, NetworkF64, NetworkInt};
+use prs_flow::network_i128::{overflow_detected, reset_overflow};
+use prs_flow::{
+    stats, Cap, CapI128, CapInt, EdgeId, FlowNetwork, NetworkF64, NetworkI128, NetworkInt, SeedArc,
+};
 use prs_graph::{Graph, VertexId, VertexSet};
 use prs_numeric::{gcd::lcm, BigInt, BigUint, Rational, Sign};
 
@@ -317,6 +320,21 @@ fn maximal_bottleneck_exact(
     }
 }
 
+/// Which engine holds the current scaled-integer certification build.
+///
+/// `rebuild_int_only` admits a round to the checked-`i128` tier iff both
+/// endpoint cap totals fit in `i128` (every individual capacity is bounded
+/// by its total, so they then fit too); otherwise — or when the checked
+/// arithmetic trips at runtime — the round promotes to the BigInt engine,
+/// which computes the identical answer without the width limit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum CertEngine {
+    /// The checked machine-word fast tier (`NetworkI128`).
+    I128,
+    /// The arbitrary-precision fallback (`NetworkInt`).
+    Int,
+}
+
 /// Paired exact + float feasibility networks for the two-tier engine.
 ///
 /// Rebuilt **in place** when the alive set changes (one `clear` per
@@ -330,8 +348,14 @@ pub(crate) struct RoundNets {
     /// capacities are multiplied by `p·D` (α = p/q in lowest terms, `D`
     /// clears the alive weights' denominators), turning every flow step into
     /// gcd-free big-integer arithmetic. Only meaningful after
-    /// [`RoundNets::rebuild_int_only`].
+    /// [`RoundNets::rebuild_int_only`] with `cert_engine == CertEngine::Int`.
     pub(crate) exact_int: NetworkInt,
+    /// Checked-`i128` twin of `exact_int` — the certification fast tier.
+    /// Same arc order, hence the same `EdgeId`s. Only meaningful when
+    /// `cert_engine == CertEngine::I128`.
+    pub(crate) exact_i128: NetworkI128,
+    /// Which engine the last `rebuild_int_only`/`set_alpha_int` targeted.
+    pub(crate) cert_engine: CertEngine,
     /// `p·D` of the current integer build (positive when valid).
     pub(crate) int_scale: BigInt,
     /// `D` = lcm of the alive weights' denominators (α-independent part of
@@ -371,6 +395,8 @@ impl RoundNets {
             exact: FlowNetwork::new(n_nodes),
             approx: NetworkF64::new(n_nodes),
             exact_int: NetworkInt::new(n_nodes),
+            exact_i128: NetworkI128::new(n_nodes),
+            cert_engine: CertEngine::Int,
             int_scale: BigInt::zero(),
             int_d: BigInt::zero(),
             int_weights: Vec::new(),
@@ -442,12 +468,7 @@ impl RoundNets {
     /// `EdgeId`s recorded in `source_edges` / `sink_edges` / `mid_edges`
     /// are valid for `exact_int`.
     pub(crate) fn rebuild_int_only(&mut self, g: &Graph, alive: &VertexSet, alpha: &Rational) {
-        let layout = Layout { n: g.n() };
-        self.exact_int.clear(layout.nodes());
         self.approx_valid = false;
-        self.sink_edges.clear();
-        self.source_edges.clear();
-        self.mid_edges.clear();
         self.int_weights.clear();
         let mut d = BigUint::one();
         for v in alive.iter() {
@@ -458,6 +479,7 @@ impl RoundNets {
         let q = BigInt::from_parts(Sign::Plus, alpha.denom().clone());
         debug_assert!(p.is_positive(), "bottleneck ratios are positive");
         let mut total = BigInt::zero();
+        let mut caps = Vec::with_capacity(alive.len());
         for v in alive.iter() {
             let w = g.weight(v);
             // w_v·D is integral because denom(w_v) divides D.
@@ -465,15 +487,45 @@ impl RoundNets {
             let src_cap = &iw * p;
             let snk_cap = &iw * &q;
             total += &src_cap;
-            let s = self
-                .exact_int
-                .add_edge(Layout::S, layout.left(v), CapInt::Finite(src_cap));
-            let e = self
-                .exact_int
-                .add_edge(layout.right(v), Layout::T, CapInt::Finite(snk_cap));
+            caps.push((src_cap, snk_cap));
+            self.int_weights.push(iw);
+        }
+        if let Some(caps128) = admit_i128(&caps) {
+            self.build_arcs_i128(g, alive, &caps128);
+        } else {
+            // Build-time promotion: some p·D-scaled capacity (or an endpoint
+            // total) does not fit in i128 — go straight to BigInt.
+            stats::record_i128_promotions(1);
+            self.build_arcs_int(g, alive, &caps);
+        }
+        self.int_scale = p * &d;
+        self.int_d = d;
+        self.int_source_total = total;
+    }
+
+    /// Add the certification arcs to the BigInt engine. Arc order matches
+    /// `rebuild` / `build_arcs_i128`, so the recorded `EdgeId`s are valid
+    /// for whichever engine built last.
+    fn build_arcs_int(&mut self, g: &Graph, alive: &VertexSet, caps: &[(BigInt, BigInt)]) {
+        let layout = Layout { n: g.n() };
+        self.cert_engine = CertEngine::Int;
+        self.exact_int.clear(layout.nodes());
+        self.sink_edges.clear();
+        self.source_edges.clear();
+        self.mid_edges.clear();
+        for (i, v) in alive.iter().enumerate() {
+            let s = self.exact_int.add_edge(
+                Layout::S,
+                layout.left(v),
+                CapInt::Finite(caps[i].0.clone()),
+            );
+            let e = self.exact_int.add_edge(
+                layout.right(v),
+                Layout::T,
+                CapInt::Finite(caps[i].1.clone()),
+            );
             self.sink_edges.push((v, e, EdgeId::default()));
             self.source_edges.push((v, s));
-            self.int_weights.push(iw);
             for &u in g.neighbors(v) {
                 if alive.contains(u) {
                     let m =
@@ -483,32 +535,188 @@ impl RoundNets {
                 }
             }
         }
-        self.int_scale = p * &d;
-        self.int_d = d;
-        self.int_source_total = total;
+    }
+
+    /// Add the certification arcs to the checked-`i128` fast tier. Same arc
+    /// order as `build_arcs_int` — the engines are `EdgeId`-compatible.
+    fn build_arcs_i128(&mut self, g: &Graph, alive: &VertexSet, caps: &[(i128, i128)]) {
+        let layout = Layout { n: g.n() };
+        self.cert_engine = CertEngine::I128;
+        reset_overflow();
+        self.exact_i128.clear(layout.nodes());
+        self.sink_edges.clear();
+        self.source_edges.clear();
+        self.mid_edges.clear();
+        for (i, v) in alive.iter().enumerate() {
+            let s = self
+                .exact_i128
+                .add_edge(Layout::S, layout.left(v), CapI128::Finite(caps[i].0));
+            let e =
+                self.exact_i128
+                    .add_edge(layout.right(v), Layout::T, CapI128::Finite(caps[i].1));
+            self.sink_edges.push((v, e, EdgeId::default()));
+            self.source_edges.push((v, s));
+            for &u in g.neighbors(v) {
+                if alive.contains(u) {
+                    let m = self.exact_i128.add_edge(
+                        layout.left(v),
+                        layout.right(u),
+                        CapI128::Infinite,
+                    );
+                    self.mid_edges.push((v, u, m));
+                }
+            }
+        }
     }
 
     /// Re-parameterize the integer network to `alpha = p'/q'`. Unlike the
     /// rational network, *both* arc families depend on α here (source caps
     /// carry the `p` factor of the scale), so both are rewritten; `D` and
-    /// the arc structure are untouched.
-    pub(crate) fn set_alpha_int(&mut self, alpha: &Rational) {
+    /// the arc structure are untouched. An i128-tier round whose new
+    /// capacities no longer fit promotes to BigInt here (the descent can
+    /// only shrink `p`, but `q` can grow without bound).
+    pub(crate) fn set_alpha_int(&mut self, g: &Graph, alive: &VertexSet, alpha: &Rational) {
         let p = alpha.numer();
         let q = BigInt::from_parts(Sign::Plus, alpha.denom().clone());
         debug_assert!(p.is_positive(), "bottleneck ratios are positive");
         debug_assert_eq!(self.int_weights.len(), self.source_edges.len());
         let mut total = BigInt::zero();
-        for (i, iw) in self.int_weights.iter().enumerate() {
+        let mut caps = Vec::with_capacity(self.int_weights.len());
+        for iw in &self.int_weights {
             let src_cap = iw * p;
             total += &src_cap;
-            self.exact_int
-                .set_capacity(self.source_edges[i].1, CapInt::Finite(src_cap));
-            self.exact_int
-                .set_capacity(self.sink_edges[i].1, CapInt::Finite(iw * &q));
+            caps.push((src_cap, iw * &q));
         }
-        self.exact_int.reset_flow();
+        match self.cert_engine {
+            CertEngine::I128 => match admit_i128(&caps) {
+                Some(caps128) => {
+                    reset_overflow();
+                    for (i, &(src, snk)) in caps128.iter().enumerate() {
+                        self.exact_i128
+                            .set_capacity(self.source_edges[i].1, CapI128::Finite(src));
+                        self.exact_i128
+                            .set_capacity(self.sink_edges[i].1, CapI128::Finite(snk));
+                    }
+                    self.exact_i128.reset_flow();
+                }
+                None => {
+                    // Mid-descent promotion: the BigInt twin was never built
+                    // this round, so construct it outright (same arc order →
+                    // the recorded EdgeIds stay valid).
+                    stats::record_i128_promotions(1);
+                    self.build_arcs_int(g, alive, &caps);
+                }
+            },
+            CertEngine::Int => {
+                for (i, (src, snk)) in caps.into_iter().enumerate() {
+                    self.exact_int
+                        .set_capacity(self.source_edges[i].1, CapInt::Finite(src));
+                    self.exact_int
+                        .set_capacity(self.sink_edges[i].1, CapInt::Finite(snk));
+                }
+                self.exact_int.reset_flow();
+            }
+        }
         self.int_scale = p * &self.int_d;
         self.int_source_total = total;
+    }
+
+    /// Run the certification max-flow on the active engine, returning the
+    /// pushed flow in BigInt units and whether a *runtime* overflow promoted
+    /// the round mid-flight. On promotion the poisoned i128 result is
+    /// discarded and the max-flow reruns cold on a freshly built BigInt
+    /// network at the same α — any seed installed on the i128 network is
+    /// gone, so callers must drop their seeded-flow bookkeeping when the
+    /// flag comes back `true`.
+    pub(crate) fn cert_max_flow(
+        &mut self,
+        g: &Graph,
+        alive: &VertexSet,
+        alpha: &Rational,
+    ) -> (BigInt, bool) {
+        match self.cert_engine {
+            CertEngine::I128 => {
+                let flow = self.exact_i128.max_flow(Layout::S, Layout::T);
+                if !overflow_detected() {
+                    return (BigInt::from(flow), false);
+                }
+                // The admission check bounds every partial sum by an endpoint
+                // total that fits, so this is defense-in-depth rather than an
+                // expected path — but soundness must not depend on that
+                // argument staying true under refactors.
+                stats::record_i128_promotions(1);
+                let p = alpha.numer();
+                let q = BigInt::from_parts(Sign::Plus, alpha.denom().clone());
+                let caps: Vec<(BigInt, BigInt)> = self
+                    .int_weights
+                    .iter()
+                    .map(|iw| (iw * p, iw * &q))
+                    .collect();
+                self.build_arcs_int(g, alive, &caps);
+                (self.exact_int.max_flow(Layout::S, Layout::T), true)
+            }
+            CertEngine::Int => (self.exact_int.max_flow(Layout::S, Layout::T), false),
+        }
+    }
+
+    /// Engine-dispatched [`prs_flow::Network::residual_reaches_sink`].
+    pub(crate) fn cert_residual_reaches_sink(&self) -> Vec<bool> {
+        match self.cert_engine {
+            CertEngine::I128 => self.exact_i128.residual_reaches_sink(Layout::T),
+            CertEngine::Int => self.exact_int.residual_reaches_sink(Layout::T),
+        }
+    }
+
+    /// Engine-dispatched [`prs_flow::Network::min_cut_source_side`].
+    pub(crate) fn cert_min_cut_source_side(&self) -> Vec<bool> {
+        match self.cert_engine {
+            CertEngine::I128 => self.exact_i128.min_cut_source_side(Layout::S),
+            CertEngine::Int => self.exact_int.min_cut_source_side(Layout::S),
+        }
+    }
+
+    /// Flow on `e` in the active certification engine, widened to BigInt.
+    pub(crate) fn cert_flow_on(&self, e: EdgeId) -> BigInt {
+        match self.cert_engine {
+            CertEngine::I128 => BigInt::from(*self.exact_i128.flow_on(e)),
+            CertEngine::Int => self.exact_int.flow_on(e).clone(),
+        }
+    }
+
+    /// Seed the active certification engine with the given flow requests
+    /// (desired amounts in scaled BigInt units), returning the total flow
+    /// actually installed.
+    ///
+    /// On the i128 tier each `desired` is narrowed with a clamp to
+    /// `i128::MAX`: the kernel's `seed_flow` caps every request by the
+    /// remaining source supply and sink room, and those are bounded by
+    /// endpoint totals the admission check proved fit — so the clamp can
+    /// never change the installed amount, only the (ignored) excess of the
+    /// request.
+    pub(crate) fn cert_seed_flow(&mut self, seeds: &[SeedArc<BigInt>]) -> BigInt {
+        match self.cert_engine {
+            CertEngine::I128 => {
+                let narrowed: Vec<SeedArc<i128>> = seeds
+                    .iter()
+                    .map(|s| SeedArc {
+                        source_edge: s.source_edge,
+                        mid_edge: s.mid_edge,
+                        sink_edge: s.sink_edge,
+                        desired: s.desired.to_i128().unwrap_or(i128::MAX),
+                    })
+                    .collect();
+                let total = self.exact_i128.seed_flow(&narrowed);
+                debug_assert!(self.exact_i128.check_capacities());
+                debug_assert!(self.exact_i128.check_conservation(Layout::S, Layout::T));
+                BigInt::from(total)
+            }
+            CertEngine::Int => {
+                let total = self.exact_int.seed_flow(seeds);
+                debug_assert!(self.exact_int.check_capacities());
+                debug_assert!(self.exact_int.check_conservation(Layout::S, Layout::T));
+                total
+            }
+        }
     }
 
     // prs-lint: allow(float, reason = "two-tier proposer: re-parameterizes the approx network only; certification is exact")
@@ -520,6 +728,27 @@ impl RoundNets {
         }
         self.approx.reset_flow();
     }
+}
+
+/// Try to narrow a full set of scaled certification capacities to `i128` —
+/// the admission test of the fast tier. Succeeds iff every capacity *and*
+/// both endpoint totals fit (the `checked_add` chain proves the totals,
+/// which in turn bound every partial sum the kernel can form: a flow value
+/// never exceeds an endpoint total, so an admitted network cannot overflow
+/// at runtime). Returns `None` on the first miss, which the callers count
+/// as one promotion to BigInt.
+fn admit_i128(caps: &[(BigInt, BigInt)]) -> Option<Vec<(i128, i128)>> {
+    let mut src_total: i128 = 0;
+    let mut snk_total: i128 = 0;
+    let mut out = Vec::with_capacity(caps.len());
+    for (src, snk) in caps {
+        let s = src.to_i128()?;
+        let k = snk.to_i128()?;
+        src_total = src_total.checked_add(s)?;
+        snk_total = snk_total.checked_add(k)?;
+        out.push((s, k));
+    }
+    Some(out)
 }
 
 // prs-lint: allow(float, reason = "tier-1 proposer: every candidate it returns is re-certified by an exact max-flow before adoption (see maximal_bottleneck)")

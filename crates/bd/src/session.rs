@@ -351,7 +351,7 @@ fn solve_round_warm(
     // (nearly) maximal, so certification does little more than one
     // confirming BFS instead of a full augmenting-path run.
     nets.rebuild_int_only(g, alive, &alpha_hat);
-    let seeded =
+    let mut seeded =
         seed_certification_flow_int(nets, g, alive, &cache[entry_idx].rounds[round].data.support);
     let mut alpha = alpha_hat;
     let mut first = true;
@@ -360,9 +360,15 @@ fn solve_round_warm(
         let mut sp_iter = prs_trace::span("bd", "dinkelbach_iter");
         sp_iter.attr("engine", || "session".to_string());
         if !first {
-            nets.set_alpha_int(&alpha);
+            nets.set_alpha_int(g, alive, &alpha);
         }
-        let mut flow = nets.exact_int.max_flow(Layout::S, Layout::T);
+        let (mut flow, promoted) = nets.cert_max_flow(g, alive, &alpha);
+        if promoted {
+            // A runtime overflow discarded the i128 network mid-round — and
+            // with it any seed installed there; the BigInt rerun pushed its
+            // whole flow from zero, so nothing must be added back.
+            seeded = BigInt::zero();
+        }
         if first {
             // `max_flow` reports only the flow it pushed on top of the seed.
             flow += &seeded;
@@ -374,7 +380,7 @@ fn solve_round_warm(
                 local.hits += 1;
                 stats::record_session_hits(1);
             }
-            let reaches = nets.exact_int.residual_reaches_sink(Layout::T);
+            let reaches = nets.cert_residual_reaches_sink();
             let mut b = VertexSet::empty(g.n());
             for v in alive.iter() {
                 if !reaches[layout.left(v)] {
@@ -397,7 +403,7 @@ fn solve_round_warm(
             stats::record_session_misses(1);
             first = false;
         }
-        let side = nets.exact_int.min_cut_source_side(Layout::S);
+        let side = nets.cert_min_cut_source_side();
         let mut s_set = VertexSet::empty(g.n());
         for v in alive.iter() {
             if side[layout.left(v)] {
@@ -538,9 +544,10 @@ fn best_warm_candidate(
     best
 }
 
-/// Snapshot a round certified on the *integer* network: identical to
-/// [`snapshot_cert`] except the middle-arc flows are read off
-/// `nets.exact_int` and divided back by the scale `p·D`, so the cached
+/// Snapshot a round certified on the *integer* network (BigInt or the
+/// checked-i128 fast tier — whichever the round settled on): identical to
+/// [`snapshot_cert`] except the middle-arc flows are read off the active
+/// scaled engine and divided back by the scale `p·D`, so the cached
 /// support is in true (unscaled) flow units regardless of which engine
 /// certifies next time.
 fn snapshot_cert_int(
@@ -560,14 +567,9 @@ fn snapshot_cert_int(
     let mut support = Vec::new();
     for &(v, u, e) in &nets.mid_edges {
         adj.push((v, u));
-        let f = nets.exact_int.flow_on(e);
+        let f = nets.cert_flow_on(e);
         if f.is_positive() {
-            support.push((
-                v,
-                u,
-                Rational::new(f.clone(), scale.clone()),
-                g.weight(v).clone(),
-            ));
+            support.push((v, u, Rational::new(f, scale.clone()), g.weight(v).clone()));
         }
     }
     RoundCert {
@@ -641,10 +643,7 @@ fn seed_certification_flow_int(
             desired: &num / &den,
         });
     }
-    let total = nets.exact_int.seed_flow(&seeds);
-    debug_assert!(nets.exact_int.check_capacities());
-    debug_assert!(nets.exact_int.check_conservation(Layout::S, Layout::T));
-    total
+    nets.cert_seed_flow(&seeds)
 }
 
 #[cfg(test)]

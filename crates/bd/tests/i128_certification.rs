@@ -1,0 +1,65 @@
+//! The checked-i128 certification fast tier: routing and promotion.
+//!
+//! The session's warm certification path now tries the `i128` engine
+//! before BigInt. Two things must hold: shipped-scale instances run
+//! entirely on the fast tier (promotion count exactly zero), and
+//! adversarial scale separation promotes — with results bit-identical to
+//! the cold rational engine either way.
+//!
+//! Both phases live in a single `#[test]`: the promotion counter is
+//! process-global, so a concurrently running promoting test would make a
+//! "promotions == 0" window assertion flaky.
+
+use prs_bd::{decompose, DecompositionSession, SessionConfig};
+use prs_flow::stats;
+use prs_graph::builders;
+use prs_numeric::{int, Rational};
+
+fn pow2(e: i32) -> Rational {
+    Rational::from_integer(2).pow(e)
+}
+
+#[test]
+fn fast_tier_serves_small_weights_and_promotes_adversarial_ones() {
+    // Phase 1 — shipped-scale weights: the warm certification must run on
+    // the i128 engine (i128 max-flows move) and never promote.
+    let before = stats::snapshot();
+    let mut session = DecompositionSession::with_config(SessionConfig::new());
+    let g1 = builders::ring(vec![int(3), int(1), int(4), int(1), int(5)]).unwrap();
+    let g2 = builders::ring(vec![int(4), int(1), int(4), int(1), int(5)]).unwrap();
+    assert_eq!(session.decompose(&g1).unwrap(), decompose(&g1).unwrap());
+    assert_eq!(session.decompose(&g2).unwrap(), decompose(&g2).unwrap());
+    let delta = stats::snapshot().since(&before);
+    assert!(
+        delta.i128_max_flows > 0,
+        "warm certification must land on the i128 fast tier: {delta:?}"
+    );
+    assert_eq!(
+        delta.i128_promotions, 0,
+        "small-weight instances must not promote: {delta:?}"
+    );
+
+    // Phase 2 — adversarial scale separation: weights 2^±200 make the
+    // p·D-scaled capacities hundreds of bits wide, so the admission test
+    // fails and the round promotes to BigInt. The decomposition is still
+    // bit-identical to the cold rational engine.
+    let before = stats::snapshot();
+    let mut session = DecompositionSession::with_config(SessionConfig::new());
+    for j in 0..2i32 {
+        let eps = pow2(-200 - j);
+        let big = pow2(200 + j);
+        let w = vec![eps.clone(), int(1), int(1), big, eps];
+        let g = builders::ring(w).unwrap();
+        assert_eq!(session.decompose(&g).unwrap(), decompose(&g).unwrap());
+    }
+    let delta = stats::snapshot().since(&before);
+    let s = session.stats();
+    assert!(
+        s.hits + s.warm_starts > 0,
+        "family must exercise the warm path: {s:?}"
+    );
+    assert!(
+        delta.i128_promotions > 0,
+        "400-bit scale separation must promote to BigInt: {delta:?}"
+    );
+}

@@ -942,6 +942,103 @@ fn bench_two_tier(quick: bool) {
     }
     t.print();
 
+    // --- certification engines: checked-i128 fast tier vs BigInt --------
+    //
+    // The session's warm certification solves Hall-style bipartite
+    // networks (source → left layer → right layer → sink) whose integer
+    // caps are the p·D-scaled weights. The same networks run here on both
+    // exact engines — results asserted bit-identical — so the speedup
+    // column is the pure representation win of i128 words over BigInt
+    // limbs on the certification hot path. Shipped-scale caps (~2⁴⁰) must
+    // never promote.
+    let cert_engine_rows: Vec<String> = {
+        use prs_core::flow::{CapI128, CapInt, NetworkI128, NetworkInt};
+        use prs_core::numeric::BigInt;
+        let cert_ns: &[usize] = if quick { &[16, 32] } else { &[32, 64, 128] };
+        let mut tc = Table::new(&[
+            "network",
+            "bigint ms",
+            "i128 ms",
+            "speedup",
+            "i128 max-flows",
+            "promotions",
+        ]);
+        let mut cert_rows: Vec<String> = Vec::new();
+        for &n in cert_ns {
+            // Deterministic ~2^40 caps: shipped scale after p·D clearing.
+            let cap = |v: usize| -> i128 { (1 << 40) + (v as i128 * 7_777_777) % (1 << 39) + 1 };
+            let (s, t_sink) = (0usize, 1usize);
+            let left = |v: usize| 2 + v;
+            let right = |v: usize| 2 + n + v;
+            let build_i128 = || {
+                let mut net = NetworkI128::new(2 + 2 * n);
+                for v in 0..n {
+                    net.add_edge(s, left(v), CapI128::Finite(cap(v)));
+                    net.add_edge(left(v), right(v), CapI128::Infinite);
+                    net.add_edge(left(v), right((v + 1) % n), CapI128::Infinite);
+                    net.add_edge(right(v), t_sink, CapI128::Finite(cap(n + v)));
+                }
+                net
+            };
+            let build_int = || {
+                let mut net = NetworkInt::new(2 + 2 * n);
+                for v in 0..n {
+                    net.add_edge(s, left(v), CapInt::Finite(BigInt::from(cap(v))));
+                    net.add_edge(left(v), right(v), CapInt::Infinite);
+                    net.add_edge(left(v), right((v + 1) % n), CapInt::Infinite);
+                    net.add_edge(right(v), t_sink, CapInt::Finite(BigInt::from(cap(n + v))));
+                }
+                net
+            };
+            let fast_flow = {
+                let mut net = build_i128();
+                net.max_flow(s, t_sink)
+            };
+            let slow_flow = {
+                let mut net = build_int();
+                net.max_flow(s, t_sink)
+            };
+            assert_eq!(
+                BigInt::from(fast_flow),
+                slow_flow,
+                "cert engines disagree at n={n}"
+            );
+            let int_ms = median_ms(reps, || {
+                let mut net = build_int();
+                net.max_flow(s, t_sink)
+            });
+            let before = stats::snapshot();
+            let i128_ms = median_ms(reps, || {
+                let mut net = build_i128();
+                net.max_flow(s, t_sink)
+            });
+            let delta = stats::snapshot().since(&before);
+            assert_eq!(
+                delta.i128_promotions, 0,
+                "shipped-scale caps promoted at n={n}"
+            );
+            let speedup = int_ms / i128_ms;
+            tc.row(vec![
+                format!("hall-bipartite/n={n}"),
+                format!("{int_ms:.3}"),
+                format!("{i128_ms:.3}"),
+                format!("{speedup:.2}×"),
+                delta.i128_max_flows.to_string(),
+                delta.i128_promotions.to_string(),
+            ]);
+            cert_rows.push(format!(
+                concat!(
+                    "    {{\"network\": \"hall-bipartite/n={}\", \"bigint_ms\": {:.4}, ",
+                    "\"i128_ms\": {:.4}, \"speedup\": {:.3}, \"i128_max_flows\": {}, ",
+                    "\"i128_promotions\": {}}}"
+                ),
+                n, int_ms, i128_ms, speedup, delta.i128_max_flows, delta.i128_promotions,
+            ));
+        }
+        tc.print();
+        cert_rows
+    };
+
     // One end-to-end number: a full attack optimization (whose inner loop is
     // thousands of split-ring decompositions) under the two-tier engine.
     let attack_n = if quick { 12 } else { 32 };
@@ -1110,6 +1207,7 @@ fn bench_two_tier(quick: bool) {
             "  \"quick\": {},\n",
             "  \"reps_per_measurement\": {},\n",
             "  \"engines\": [\n{}\n  ],\n",
+            "  \"cert_engines\": [\n{}\n  ],\n",
             "  \"session_workloads\": [\n{}\n  ],\n",
             "  \"trace_spans\": {{\"workload\": \"misreport-sweep/n={}\", \"spans\": [\n{}\n  ]}},\n",
             "  \"sybil_attack_n{}\": {{\"two_tier_ms\": {:.4}, \"stats\": {}}}\n",
@@ -1118,6 +1216,7 @@ fn bench_two_tier(quick: bool) {
         quick,
         reps,
         rows.join(",\n"),
+        cert_engine_rows.join(",\n"),
         session_rows.join(",\n"),
         trace_n,
         span_rows.join(",\n"),

@@ -1,5 +1,5 @@
 #![warn(missing_docs)]
-//! # prs-flow — one Dinic kernel, three capacity backends
+//! # prs-flow — one Dinic kernel, four capacity backends
 //!
 //! The bottleneck decomposition (Definition 2 of the paper) and the BD
 //! Allocation Mechanism (Definition 5) are both defined through max-flow /
@@ -19,11 +19,14 @@
 //!   residual path *to* `t`, used to extract the maximal tight set
 //!   (= maximal bottleneck).
 //!
-//! Three backends instantiate the kernel:
+//! Four backends instantiate the kernel:
 //!
 //! * [`FlowNetwork`] = `Network<Rational>` — the exact certifying engine.
 //! * [`NetworkInt`] = `Network<BigInt>` — uniformly scaled integers for the
 //!   session's warm certification path (same decisions, cheaper arithmetic).
+//! * [`NetworkI128`] = `Network<i128>` — the checked machine-word fast tier
+//!   of the scaled-integer certifier; overflow poisons the run (see
+//!   [`network_i128`]) and promotes the round back to [`NetworkInt`].
 //! * [`NetworkF64`] = `Network<f64>` — the proposal half of the two-tier
 //!   Dinkelbach driver in `prs-bd`; tolerant comparisons, never decisive.
 //!
@@ -37,6 +40,7 @@ pub mod capacity;
 pub mod kernel;
 pub mod network;
 pub mod network_f64;
+pub mod network_i128;
 pub mod network_int;
 pub mod stats;
 pub mod testkit;
@@ -45,5 +49,6 @@ pub use capacity::{Cap, Capacity};
 pub use kernel::{EdgeId, Network, NodeId, SeedArc};
 pub use network::FlowNetwork;
 pub use network_f64::NetworkF64;
+pub use network_i128::{CapI128, NetworkI128};
 pub use network_int::{CapInt, NetworkInt};
 pub use stats::FlowStats;

@@ -37,15 +37,24 @@ impl F64Tol {
     }
 }
 
-/// `f64::INFINITY` maps to [`Cap::Infinite`]; every other (non-negative,
-/// finite) value is a finite capacity. This keeps f64 call sites writing
+/// `f64::INFINITY` maps to [`Cap::Infinite`]; every other non-negative
+/// finite value is a finite capacity. This keeps f64 call sites writing
 /// plain numbers while the kernel models unboundedness explicitly — an
 /// infinite arc can never be a cut edge, for floats exactly as for
 /// rationals.
+///
+/// NaN and negative inputs clamp to `Cap::Finite(0.0)` — a dead arc, the
+/// conservative reading of a meaningless capacity. The clamp is explicit
+/// rather than a `debug_assert` so debug and release builds agree: the
+/// previous assert compiled out in release, where NaN then failed the
+/// `is_finite()` test and silently became an *uncuttable infinite* arc —
+/// a poisoned input promoted to unbounded trust. The f64 tier only ever
+/// proposes, so a zeroed arc at worst costs an exact-descent fallback.
 impl From<f64> for Cap<f64> {
     fn from(cap: f64) -> Self {
-        debug_assert!(cap >= 0.0, "negative capacity");
-        if cap.is_finite() {
+        if cap.is_nan() || cap < 0.0 {
+            Cap::Finite(0.0)
+        } else if cap.is_finite() {
             Cap::Finite(cap)
         } else {
             Cap::Infinite
@@ -69,6 +78,13 @@ impl Capacity for f64 {
     fn is_negative(&self) -> bool {
         *self < 0.0
     }
+    // NaN-safe override: the trait default (`!is_zero && !is_negative`)
+    // answers *true* for NaN, which would let a NaN-contaminated seed or
+    // bottleneck pass the "worth pushing?" gates in `seed_flow`. A strict
+    // `> 0.0` comparison is false for NaN.
+    fn is_positive(&self) -> bool {
+        *self > 0.0
+    }
     fn le(&self, rhs: &Self) -> bool {
         self <= rhs
     }
@@ -87,8 +103,13 @@ impl Capacity for f64 {
     fn has_headroom(flow: &Self, cap: &Self, tol: &F64Tol) -> bool {
         flow + tol.eps() < *cap
     }
+    // NaN-safe: written as `!(pushed > 0)` rather than `pushed <= 0` so a
+    // NaN bottleneck counts as exhausted. With `NaN <= 0.0 == false`, a
+    // single NaN pushed amount would keep the augmentation loop running
+    // forever; here it terminates the loop instead.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // the incomparable case (NaN) is the point
     fn exhausted(pushed: &Self) -> bool {
-        *pushed <= 0.0
+        !(*pushed > 0.0)
     }
     fn conserved(net: &Self, tol: &F64Tol) -> bool {
         net.abs() <= tol.eps()
@@ -158,5 +179,57 @@ mod tests {
         let mut net = NetworkF64::new(2);
         net.add_edge(0, 1, 1.5);
         assert!((net.max_flow(0, 1) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_and_negative_capacities_clamp_to_dead_arcs() {
+        // Regression (release-mode bug): the old conversion guarded
+        // negatives with a debug_assert (compiled out in release) and then
+        // routed NaN through `is_finite() == false` into `Cap::Infinite` —
+        // an uncuttable arc built from a poisoned input. Both now clamp to
+        // a dead finite-zero arc, identically in debug and release.
+        assert_eq!(Cap::from(f64::NAN), Cap::Finite(0.0));
+        assert_eq!(Cap::from(-3.5), Cap::Finite(0.0));
+        assert_eq!(Cap::from(f64::NEG_INFINITY), Cap::Finite(0.0));
+        // The legitimate cases are untouched.
+        assert_eq!(Cap::from(f64::INFINITY), Cap::Infinite);
+        assert_eq!(Cap::from(2.5), Cap::Finite(2.5));
+        assert_eq!(Cap::from(0.0), Cap::Finite(0.0));
+
+        // End to end: a NaN capacity yields a dead arc, not infinite flow.
+        let mut net = NetworkF64::new(2);
+        let e = net.add_edge(0, 1, f64::NAN);
+        assert_eq!(net.capacity_of(e), &Cap::Finite(0.0));
+        assert_eq!(net.max_flow(0, 1), 0.0);
+    }
+
+    #[test]
+    fn nan_is_neither_positive_nor_unexhausted() {
+        // Regression: the trait-default `is_positive` called NaN positive,
+        // and `exhausted(NaN)` was false — together enough to keep an
+        // augmentation loop alive on a NaN bottleneck forever.
+        assert!(!Capacity::is_positive(&f64::NAN));
+        assert!(f64::exhausted(&f64::NAN));
+        assert!(!f64::exhausted(&1.0));
+        assert!(f64::exhausted(&0.0));
+        assert!(f64::exhausted(&-1.0e-15));
+    }
+
+    #[test]
+    fn nan_contaminated_network_terminates() {
+        // Inject NaN past the `From` clamp (directly as a finite capacity)
+        // and check the kernel still terminates with a sane answer instead
+        // of hanging: NaN comparisons all answer false, so contaminated
+        // arcs read as saturated and contribute nothing.
+        let mut net = NetworkF64::new(4);
+        net.add_edge(0, 1, Cap::Finite(f64::NAN));
+        net.add_edge(1, 3, 8.0);
+        net.add_edge(0, 2, 2.0);
+        net.add_edge(2, 3, 2.0);
+        let flow = net.max_flow(0, 3);
+        assert!(
+            (flow - 2.0).abs() < 1e-9,
+            "clean parallel path must still carry its 2.0, got {flow}"
+        );
     }
 }

@@ -31,6 +31,15 @@ pub struct FlowStats {
     pub f64_augmenting_paths: u64,
     /// Float max-flow computations run to completion.
     pub f64_max_flows: u64,
+    /// Checked-i128 engine Dinic BFS phases.
+    pub i128_bfs_phases: u64,
+    /// Checked-i128 engine augmenting paths pushed.
+    pub i128_augmenting_paths: u64,
+    /// Checked-i128 max-flow computations run to completion.
+    pub i128_max_flows: u64,
+    /// Certification rounds promoted from the i128 tier to BigInt
+    /// (build-time width rejection or a runtime checked-arithmetic trip).
+    pub i128_promotions: u64,
     /// Exact Dinkelbach descent steps (certifications + fallback steps).
     pub dinkelbach_iterations: u64,
     /// Rounds where the float proposal certified on the first exact flow.
@@ -98,6 +107,12 @@ impl FlowStats {
                 .f64_augmenting_paths
                 .saturating_sub(earlier.f64_augmenting_paths),
             f64_max_flows: self.f64_max_flows.saturating_sub(earlier.f64_max_flows),
+            i128_bfs_phases: self.i128_bfs_phases.saturating_sub(earlier.i128_bfs_phases),
+            i128_augmenting_paths: self
+                .i128_augmenting_paths
+                .saturating_sub(earlier.i128_augmenting_paths),
+            i128_max_flows: self.i128_max_flows.saturating_sub(earlier.i128_max_flows),
+            i128_promotions: self.i128_promotions.saturating_sub(earlier.i128_promotions),
             dinkelbach_iterations: self
                 .dinkelbach_iterations
                 .saturating_sub(earlier.dinkelbach_iterations),
@@ -127,6 +142,10 @@ impl FlowStats {
             ("f64 max-flows", self.f64_max_flows),
             ("f64 BFS phases", self.f64_bfs_phases),
             ("f64 augmenting paths", self.f64_augmenting_paths),
+            ("i128 max-flows", self.i128_max_flows),
+            ("i128 BFS phases", self.i128_bfs_phases),
+            ("i128 augmenting paths", self.i128_augmenting_paths),
+            ("i128 promotions", self.i128_promotions),
             ("Dinkelbach iterations", self.dinkelbach_iterations),
             ("fast-path hits", self.fast_path_hits),
             ("fast-path fallbacks", self.fast_path_fallbacks),
@@ -170,6 +189,8 @@ impl FlowStats {
                 "{{\"exact_max_flows\": {}, \"exact_bfs_phases\": {}, ",
                 "\"exact_augmenting_paths\": {}, \"f64_max_flows\": {}, ",
                 "\"f64_bfs_phases\": {}, \"f64_augmenting_paths\": {}, ",
+                "\"i128_max_flows\": {}, \"i128_bfs_phases\": {}, ",
+                "\"i128_augmenting_paths\": {}, \"i128_promotions\": {}, ",
                 "\"dinkelbach_iterations\": {}, \"fast_path_hits\": {}, ",
                 "\"fast_path_fallbacks\": {}, \"networks_built\": {}, ",
                 "\"networks_reused\": {}, \"session_hits\": {}, ",
@@ -181,6 +202,10 @@ impl FlowStats {
             self.f64_max_flows,
             self.f64_bfs_phases,
             self.f64_augmenting_paths,
+            self.i128_max_flows,
+            self.i128_bfs_phases,
+            self.i128_augmenting_paths,
+            self.i128_promotions,
             self.dinkelbach_iterations,
             self.fast_path_hits,
             self.fast_path_fallbacks,
@@ -239,6 +264,10 @@ counters! {
     F64_BFS("flow.f64_bfs_phases") => f64_bfs_phases, record_f64_bfs_phases;
     F64_AUG("flow.f64_augmenting_paths") => f64_augmenting_paths, record_f64_augmenting_paths;
     F64_FLOWS("flow.f64_max_flows") => f64_max_flows, record_f64_max_flows;
+    I128_BFS("flow.i128_bfs_phases") => i128_bfs_phases, record_i128_bfs_phases;
+    I128_AUG("flow.i128_augmenting_paths") => i128_augmenting_paths, record_i128_augmenting_paths;
+    I128_FLOWS("flow.i128_max_flows") => i128_max_flows, record_i128_max_flows;
+    I128_PROMOTIONS("bd.i128_promotions") => i128_promotions, record_i128_promotions;
     DINKELBACH("bd.dinkelbach_iterations") => dinkelbach_iterations, record_dinkelbach_iterations;
     FAST_HITS("bd.fast_path_hits") => fast_path_hits, record_fast_path_hits;
     FAST_FALLBACKS("bd.fast_path_fallbacks") => fast_path_fallbacks, record_fast_path_fallbacks;
@@ -366,5 +395,35 @@ mod tests {
         assert!(s.render().contains("session hits"));
         assert!(s.render().contains("75.0%"), "{}", s.render());
         assert!(s.to_json().contains("\"session_warm_starts\": 3"));
+    }
+
+    #[test]
+    fn i128_counters_round_trip() {
+        let before = snapshot();
+        record_i128_bfs_phases(2);
+        record_i128_augmenting_paths(3);
+        record_i128_max_flows(1);
+        record_i128_promotions(1);
+        let delta = snapshot().since(&before);
+        assert!(delta.i128_bfs_phases >= 2);
+        assert!(delta.i128_augmenting_paths >= 3);
+        assert!(delta.i128_max_flows >= 1);
+        assert!(delta.i128_promotions >= 1);
+        let s = FlowStats {
+            i128_max_flows: 9,
+            i128_promotions: 2,
+            ..FlowStats::default()
+        };
+        assert!(s.render().contains("i128 max-flows"));
+        assert!(s.render().contains("i128 promotions"));
+        let json = s.to_json();
+        assert!(json.contains("\"i128_max_flows\": 9"), "{json}");
+        assert!(json.contains("\"i128_promotions\": 2"), "{json}");
+        let names: Vec<&str> = prs_trace::counter_values()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert!(names.contains(&"flow.i128_max_flows"), "{names:?}");
+        assert!(names.contains(&"bd.i128_promotions"), "{names:?}");
     }
 }

@@ -59,6 +59,20 @@ impl TestCapacity for BigInt {
     }
 }
 
+impl TestCapacity for i128 {
+    fn from_ratio(num: i64, den: i64) -> Self {
+        assert_eq!(
+            RATIO_SCALE % den,
+            0,
+            "test denominator {den} must divide RATIO_SCALE"
+        );
+        i128::from(num) * i128::from(RATIO_SCALE / den)
+    }
+    fn assert_feq(actual: &Self, expected: &Self) {
+        assert_eq!(actual, expected);
+    }
+}
+
 /// `Cap::Finite(num/den)` in backend units.
 pub fn fin<C: TestCapacity>(num: i64, den: i64) -> Cap<C> {
     Cap::Finite(C::from_ratio(num, den))
@@ -486,6 +500,9 @@ mod tests {
     }
     mod int_engine {
         crate::engine_suite!(prs_numeric::BigInt);
+    }
+    mod i128_engine {
+        crate::engine_suite!(i128);
     }
     mod f64_engine {
         crate::engine_suite!(f64);

@@ -17,8 +17,9 @@
 //!    representations of the same network never drift.
 
 use proptest::prelude::*;
+use prs_flow::network_i128::{overflow_detected, reset_overflow};
 use prs_flow::testkit::network_from;
-use prs_flow::{Cap, CapInt, FlowNetwork, NetworkInt};
+use prs_flow::{Cap, CapI128, CapInt, FlowNetwork, NetworkI128, NetworkInt};
 use prs_numeric::{BigInt, Rational};
 
 /// `2^k`, exact.
@@ -111,6 +112,113 @@ proptest! {
         // rational value times D.
         let expected = &rational_flow * &Rational::from(pow2(d_exp));
         prop_assert_eq!(Rational::from(scaled_flow), expected);
+    }
+}
+
+// ---- i128 fast-tier promotion boundary -------------------------------------
+//
+// The checked-i128 certification tier accepts a round iff every p·D-scaled
+// capacity (and endpoint total) converts via `BigInt::to_i128`. The tests
+// below pin that boundary exactly — one bit below `i128::MAX` runs on the
+// fast tier bit-identically to BigInt, straddling it must promote — and the
+// runtime poison flag that backstops the build-time check.
+
+/// The exact build-time promotion boundary: `i128::MAX` itself converts,
+/// one past it does not. (This conversion is the session's admission test.)
+#[test]
+fn promotion_boundary_is_exactly_i128_max() {
+    let max = BigInt::from(i128::MAX);
+    assert_eq!(max.to_i128(), Some(i128::MAX));
+    assert_eq!((&max + &BigInt::one()).to_i128(), None, "must promote");
+    assert_eq!((&max - &BigInt::one()).to_i128(), Some(i128::MAX - 1));
+    assert_eq!(pow2(127).to_i128(), None, "2^127 straddles the boundary");
+    assert_eq!((&pow2(127) - &BigInt::one()).to_i128(), Some(i128::MAX));
+}
+
+/// One bit below the boundary the fast tier must NOT promote: a capacity of
+/// `i128::MAX` flows exactly, with no overflow poison, and the result is
+/// bit-identical to the BigInt engine on the same network.
+#[test]
+fn cap_at_i128_max_runs_on_fast_tier_without_promotion() {
+    reset_overflow();
+    let mut net = NetworkI128::new(3);
+    net.add_edge(0, 1, CapI128::Finite(i128::MAX));
+    net.add_edge(1, 2, CapI128::Finite(i128::MAX - 7));
+    let flow = net.max_flow(0, 2);
+    assert!(!overflow_detected(), "in-range caps must not poison");
+    assert_eq!(flow, i128::MAX - 7);
+    assert!(net.check_conservation(0, 2));
+    assert!(net.check_capacities());
+
+    let mut twin = NetworkInt::new(3);
+    twin.add_edge(0, 1, CapInt::Finite(BigInt::from(i128::MAX)));
+    twin.add_edge(1, 2, CapInt::Finite(BigInt::from(i128::MAX - 7)));
+    assert_eq!(twin.max_flow(0, 2), BigInt::from(flow), "bit-identical");
+    assert_eq!(net.min_cut_source_side(0), twin.min_cut_source_side(0));
+}
+
+/// Runtime backstop: capacities that individually fit but whose total
+/// crosses `i128::MAX` poison the run; the promoted BigInt rerun of the
+/// same network produces the true (beyond-i128) answer.
+#[test]
+fn runtime_overflow_poisons_and_bigint_rerun_is_exact() {
+    let big = i128::MAX / 2 + 1;
+    let edges_fit = |net: &mut NetworkI128| {
+        net.add_edge(0, 1, CapI128::Finite(big));
+        net.add_edge(0, 2, CapI128::Finite(big));
+        net.add_edge(1, 3, CapI128::Finite(big));
+        net.add_edge(2, 3, CapI128::Finite(big));
+    };
+    reset_overflow();
+    let mut net = NetworkI128::new(4);
+    edges_fit(&mut net);
+    let _poisoned = net.max_flow(0, 3);
+    assert!(
+        overflow_detected(),
+        "total 2·(MAX/2 + 1) > MAX must trip the checked accumulation"
+    );
+    reset_overflow();
+
+    // The promotion target: same network, BigInt capacities — exact.
+    let big_int = BigInt::from(big);
+    let mut twin = NetworkInt::new(4);
+    twin.add_edge(0, 1, CapInt::Finite(big_int.clone()));
+    twin.add_edge(0, 2, CapInt::Finite(big_int.clone()));
+    twin.add_edge(1, 3, CapInt::Finite(big_int.clone()));
+    twin.add_edge(2, 3, CapInt::Finite(big_int.clone()));
+    assert_eq!(twin.max_flow(0, 3), &big_int + &big_int);
+    assert!(twin.check_conservation(0, 3));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Below the boundary the two exact integer engines are bit-identical:
+    /// same flow value, same min-cut partition, same residual structure —
+    /// the fast tier changes representation width, never decisions.
+    #[test]
+    fn i128_tier_is_bit_identical_to_bigint_below_boundary((n, raw) in arb_adversarial()) {
+        prop_assume!(!raw.is_empty());
+        let (s, t) = (0, n - 1);
+        reset_overflow();
+        let mut fast = NetworkI128::new(n);
+        let mut slow = NetworkInt::new(n);
+        for &(u, v, b, e) in &raw {
+            // b·2^e with e < 100 stays far inside i128 (≤ 16·2^99 < 2^103),
+            // and any flow total is bounded by the ≤16-edge cap sum < 2^107.
+            let e = e % 100;
+            let cap = i128::from(b) << e;
+            fast.add_edge(u, v, CapI128::Finite(cap));
+            slow.add_edge(u, v, CapInt::Finite(&BigInt::from(b) * &pow2(e)));
+        }
+        let fast_flow = fast.max_flow(s, t);
+        let slow_flow = slow.max_flow(s, t);
+        prop_assert!(!overflow_detected(), "in-range instance must not poison");
+        prop_assert_eq!(BigInt::from(fast_flow), slow_flow);
+        prop_assert_eq!(fast.min_cut_source_side(s), slow.min_cut_source_side(s));
+        prop_assert_eq!(fast.residual_reaches_sink(t), slow.residual_reaches_sink(t));
+        prop_assert!(fast.check_conservation(s, t));
+        prop_assert!(fast.check_capacities());
     }
 }
 

@@ -183,6 +183,27 @@ impl BigInt {
             }
         }
     }
+
+    // prs-lint: allow(cast, reason = "two's-complement edge: |i128::MIN| = i128::MAX + 1 has no i128 form; the u128 wrapping_neg round-trip is checked against that bound first")
+    /// Exact `i128` conversion if it fits.
+    ///
+    /// This is the promotion boundary of the scaled-integer certifier's
+    /// `i128` fast tier: a p·D-scaled capacity promotes the round to the
+    /// BigInt engine exactly when this returns `None`.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::NoSign => Some(0),
+            Sign::Plus => i128::try_from(m).ok(),
+            Sign::Minus => {
+                if m <= i128::MAX as u128 + 1 {
+                    Some(m.wrapping_neg() as i128)
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 // ---- conversions -----------------------------------------------------------
@@ -492,5 +513,20 @@ mod tests {
         assert_eq!(b(i64::MIN as i128).to_i64(), Some(i64::MIN));
         assert_eq!(b(i64::MAX as i128 + 1).to_i64(), None);
         assert_eq!(b(i64::MIN as i128 - 1).to_i64(), None);
+    }
+
+    #[test]
+    fn to_i128_bounds() {
+        assert_eq!(b(0).to_i128(), Some(0));
+        assert_eq!(b(-42).to_i128(), Some(-42));
+        assert_eq!(b(i128::MAX).to_i128(), Some(i128::MAX));
+        assert_eq!(b(i128::MIN).to_i128(), Some(i128::MIN));
+        // One past either end: the exact promotion boundary.
+        assert_eq!((b(i128::MAX) + b(1)).to_i128(), None);
+        assert_eq!((b(i128::MIN) - b(1)).to_i128(), None);
+        assert_eq!((b(i128::MAX) + b(1)).to_i128(), None);
+        assert_eq!(b(2).pow(127).to_i128(), None);
+        assert_eq!((b(2).pow(127) - b(1)).to_i128(), Some(i128::MAX));
+        assert_eq!((-b(2).pow(127)).to_i128(), Some(i128::MIN));
     }
 }

@@ -1,0 +1,14 @@
+//! Fixture: a checked-i128 backend smuggling floats, lossy casts, and
+//! panics past the overflow boundary — every kernel rule must fire here.
+
+pub fn headroom_ratio(flow: i128, cap: i128) -> f64 {
+    (cap - flow) as f64
+}
+
+pub fn narrow_total(total: i128) -> i64 {
+    total as i64
+}
+
+pub fn checked_or_die(a: i128, b: i128) -> i128 {
+    a.checked_add(b).unwrap()
+}

@@ -151,6 +151,8 @@ impl LintConfig {
             // The f64 Capacity backend is the single module allowed to
             // mention floats or cast into them; everything else in the flow
             // crate is generic over the Capacity trait and stays exact.
+            // The checked-i128 fast tier (`network_i128.rs`) is deliberately
+            // NOT exempted: it is an exact backend and every rule covers it.
             float_boundary_exempt: vec!["crates/flow/src/network_f64.rs".to_string()],
             panic_paths: vec![
                 "crates/numeric/src".into(),

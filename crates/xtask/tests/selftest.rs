@@ -160,6 +160,21 @@ fn flow_kernel_boundary_rules_fire() {
 }
 
 #[test]
+fn i128_backend_boundary_rules_fire() {
+    // The checked-i128 fast tier lives in the kernel directory and is
+    // covered by every boundary rule (only `network_f64.rs` is carved
+    // out): a fixture twin leaking floats, lossy casts, or panics past
+    // the checked-arithmetic boundary must trip them all.
+    let r = fixture_report();
+    let file = "crates/flow/src/bad_i128.rs";
+    assert_finding(&r, "float", file, 4); // `-> f64`
+    assert_finding(&r, "float", file, 5); // `as f64` target type
+    assert_finding(&r, "cast", file, 5); // `(cap - flow) as f64`
+    assert_finding(&r, "cast", file, 9); // `total as i64`
+    assert_finding(&r, "panic", file, 13); // `.unwrap()` on checked_add
+}
+
+#[test]
 fn float_boundary_module_is_exempt() {
     // The sanctioned f64 backend module is carved out of the float and
     // cast rules: its fixture twin is saturated with floats and casts and

@@ -131,6 +131,10 @@ mod flow_kernel_int {
     prs_flow::engine_suite!(prs_numeric::BigInt);
 }
 
+mod flow_kernel_i128 {
+    prs_flow::engine_suite!(i128);
+}
+
 mod flow_kernel_f64 {
     prs_flow::engine_suite!(f64);
 }

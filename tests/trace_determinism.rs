@@ -63,11 +63,13 @@ fn single_threaded_jsonl_is_byte_identical_after_ts_strip() {
 fn flow_spans_pin_engine_names_and_attrs() {
     let _guard = locked();
     // The kernel unification must not churn the trace vocabulary: the
-    // flow layer emits exactly the six per-engine span names it always
-    // has, and every one carries the new `engine` attribute matching its
-    // prefix. Drive all three backends: a cold decompose + allocate runs
+    // flow layer emits exactly the eight per-engine span names it always
+    // has, and every one carries the `engine` attribute matching its
+    // prefix. Drive all four backends: a cold decompose + allocate runs
     // the f64 proposer and the exact certifier; a warm same-shape session
-    // replay runs the scaled-integer certifier.
+    // replay runs the scaled-integer certifier, which lands on the
+    // checked-i128 fast tier for these small weights; a direct BigInt
+    // max-flow covers the promotion target.
     trace::clear();
     trace::enable();
     let g = ring();
@@ -77,14 +79,23 @@ fn flow_spans_pin_engine_names_and_attrs() {
     session.decompose(&ring()).unwrap();
     let reweighted = builders::ring(vec![int(4), int(1), int(4), int(1), int(5), int(9)]).unwrap();
     session.decompose(&reweighted).unwrap();
+    let mut int_net = prs::flow::NetworkInt::new(2);
+    int_net.add_edge(
+        0,
+        1,
+        prs::flow::CapInt::Finite(prs::numeric::BigInt::from(3)),
+    );
+    let _ = int_net.max_flow(0, 1);
     trace::disable();
     let t = trace::take();
 
-    const ALLOWED: [&str; 6] = [
+    const ALLOWED: [&str; 8] = [
         "exact_bfs_phase",
         "exact_max_flow",
         "int_bfs_phase",
         "int_max_flow",
+        "i128_bfs_phase",
+        "i128_max_flow",
         "f64_bfs_phase",
         "f64_max_flow",
     ];
@@ -108,8 +119,8 @@ fn flow_spans_pin_engine_names_and_attrs() {
             e.name
         );
     }
-    // All three backends actually ran (cold two-tier: f64 + exact; warm
-    // replay: int).
+    // All four backends actually ran (cold two-tier: f64 + exact; warm
+    // replay: i128 fast tier; direct run: int).
     for name in ALLOWED {
         assert!(seen.contains(name), "engine span {name} never recorded");
     }
