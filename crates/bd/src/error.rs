@@ -1,5 +1,6 @@
 //! Errors surfaced by the decomposition / allocation pipeline.
 
+use prs_graph::GraphError;
 use std::fmt;
 
 /// Why a bottleneck decomposition or BD allocation could not be produced.
@@ -21,6 +22,24 @@ pub enum BdError {
         /// Decomposition round at which the residue appeared.
         round: usize,
     },
+    /// A [`Delta`](crate::Delta) mutation was rejected by the graph layer
+    /// (out-of-range vertex, negative weight, self-loop, …). The session it
+    /// was applied to is left untouched.
+    InvalidDelta {
+        /// The underlying graph-mutation error.
+        source: GraphError,
+    },
+    /// A delta-API call ([`apply`](crate::DecompositionSession::apply),
+    /// [`current`](crate::DecompositionSession::current), …) reached a
+    /// session constructed without an owned instance
+    /// ([`DecompositionSession::detached`](crate::DecompositionSession::detached)).
+    DetachedSession,
+}
+
+impl From<GraphError> for BdError {
+    fn from(source: GraphError) -> Self {
+        BdError::InvalidDelta { source }
+    }
 }
 
 impl fmt::Display for BdError {
@@ -37,8 +56,22 @@ impl fmt::Display for BdError {
                 "residual subgraph at round {round} has total weight 0; \
                  α-ratios are undefined there"
             ),
+            BdError::InvalidDelta { source } => write!(f, "invalid delta: {source}"),
+            BdError::DetachedSession => write!(
+                f,
+                "delta API called on a detached session (no owned instance); \
+                 construct with DecompositionSession::new(graph) or call \
+                 replace_instance first"
+            ),
         }
     }
 }
 
-impl std::error::Error for BdError {}
+impl std::error::Error for BdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BdError::InvalidDelta { source } => Some(source),
+            _ => None,
+        }
+    }
+}

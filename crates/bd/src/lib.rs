@@ -40,6 +40,7 @@
 
 pub mod allocation;
 pub mod decomposition;
+pub mod delta;
 pub mod error;
 pub mod par;
 pub mod reference;
@@ -49,6 +50,7 @@ pub use allocation::{allocate, Allocation};
 pub use decomposition::{
     decompose, decompose_exact, AgentClass, BottleneckDecomposition, BottleneckPair,
 };
+pub use delta::{CellMoebius, Delta, EdgeOp, StabilityCell, UpdateOutcome};
 pub use error::BdError;
-pub use par::SessionPool;
+pub use par::{SessionPool, ShardPool};
 pub use session::{DecompositionSession, SessionConfig, SessionStats};

@@ -1,4 +1,4 @@
-//! `DecompositionSession` — a warm-started, memoizing solver handle.
+//! `DecompositionSession` — a stateful, warm-started decomposition server.
 //!
 //! The misreport sweep (Section III-B) and the Sybil grids call
 //! [`decompose`](crate::decompose) at hundreds of nearby parameter values.
@@ -35,6 +35,23 @@
 //!    the integer network); with no usable candidate at all, the standard
 //!    two-tier engine runs on the session's arenas.
 //!
+//! ## The delta API
+//!
+//! A session constructed **over an instance**
+//! ([`DecompositionSession::new`] takes ownership of the [`Graph`]) serves a
+//! *stream of mutations* instead of instance-at-a-time calls:
+//! [`apply`](DecompositionSession::apply) takes a [`Delta`] (`SetWeight` /
+//! `AddEdge` / `RemoveEdge` / `Batch`), mutates the owned instance
+//! transactionally, and reports which tier served it
+//! ([`UpdateOutcome::Unchanged`] / [`Recertified`](UpdateOutcome::Recertified)
+//! / [`Recomputed`](UpdateOutcome::Recomputed)). The incremental solver
+//! replays the previous decomposition's rounds verbatim wherever the
+//! mutation is invisible, re-certifies (seeded from the previous certifying
+//! flow via the kernel's `SeedArc` machinery) only the rounds whose
+//! bottleneck sets can see it, and falls back to the general warm solver
+//! the moment the round structure diverges — see `DESIGN.md` §3.3 for the
+//! tier soundness arguments and cell-cache invalidation rules.
+//!
 //! **Bit-identity.** Replay is sound because the round solver is a pure
 //! function of the inputs it compares. For *any* vertex set `S`,
 //! `α(S) ≥ α* = min α`, so a cached candidate can never seed the descent
@@ -44,10 +61,13 @@
 //! decision, min cuts, and residual reachability, so the integer network
 //! extracts the same sets as the rational one. The session therefore
 //! changes only where exact arithmetic is spent, never what it concludes;
-//! the `session_equivalence` property suite enforces this against cold
-//! [`decompose`](crate::decompose) calls.
+//! the `session_equivalence` and `incremental_equivalence` property suites
+//! enforce this against cold [`decompose`](crate::decompose) calls.
 
-use crate::decomposition::{drive, maximal_bottleneck, BottleneckDecomposition, Layout, RoundNets};
+use crate::decomposition::{
+    drive, maximal_bottleneck, AgentClass, BottleneckDecomposition, Layout, RoundNets,
+};
+use crate::delta::{Delta, EdgeOp, StabilityCell, UpdateOutcome};
 use crate::error::BdError;
 use prs_flow::{stats, SeedArc};
 use prs_graph::{Graph, VertexId, VertexSet};
@@ -110,7 +130,7 @@ impl Default for SessionConfig {
 /// counts as a miss).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Rounds settled by a cached shape: one certification max-flow.
+    /// Rounds settled by a cached shape: at most one certification max-flow.
     pub hits: u64,
     /// Rounds that ran a descent (no usable cached candidate, or the warm
     /// candidate sat on the wrong side of a breakpoint).
@@ -164,6 +184,96 @@ struct ShapeEntry {
     rounds: Vec<RoundCert>,
 }
 
+/// The owned instance a session serves deltas against, with its current
+/// certified decomposition and any installed stability cells.
+struct DeltaState {
+    /// The instance as of the last committed delta.
+    graph: Graph,
+    /// The current decomposition + per-round certificates; `None` until the
+    /// first [`current`](DecompositionSession::current) /
+    /// [`apply`](DecompositionSession::apply) forces a solve.
+    current: Option<CurrentResult>,
+    /// Installed Prop. 11/12 breakpoint-cell certificates, consulted on the
+    /// recertified tier and invalidated on commit (`DESIGN.md` §3.3).
+    cells: Vec<StabilityCell>,
+}
+
+/// The decomposition of the owned instance together with the round
+/// certificates that seed the next delta's recertification flows.
+struct CurrentResult {
+    bd: BottleneckDecomposition,
+    certs: Vec<RoundCert>,
+}
+
+/// The canonicalized difference between the owned instance and its mutated
+/// scratch copy. Computing the diff (rather than trusting the delta's
+/// literal ops) coalesces batches and makes idempotent / self-cancelling
+/// mutations invisible for free.
+struct GraphDiff {
+    /// Vertices whose weight changed.
+    weights: Vec<VertexId>,
+    /// Edges present after the mutation but not before.
+    added: Vec<(VertexId, VertexId)>,
+    /// Edges present before the mutation but not after.
+    removed: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphDiff {
+    fn between(old: &Graph, new: &Graph) -> GraphDiff {
+        let weights = (0..old.n())
+            .filter(|&v| old.weight(v) != new.weight(v))
+            .collect();
+        let (mut added, mut removed) = (Vec::new(), Vec::new());
+        let (a, b) = (old.edges(), new.edges());
+        let (mut i, mut j) = (0, 0);
+        // Both edge lists are sorted, so a single merge pass yields the
+        // symmetric difference.
+        while i < a.len() || j < b.len() {
+            match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    removed.push(x);
+                    i += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    added.push(y);
+                    j += 1;
+                }
+                (Some(&x), None) => {
+                    removed.push(x);
+                    i += 1;
+                }
+                (None, Some(&y)) => {
+                    added.push(y);
+                    j += 1;
+                }
+                (None, None) => {}
+            }
+        }
+        GraphDiff {
+            weights,
+            added,
+            removed,
+        }
+    }
+
+    /// True iff any part of the diff is visible inside `alive`: a moved
+    /// weight on an alive vertex, or a churned edge with both endpoints
+    /// alive. An edge with a dead endpoint does not exist in the
+    /// alive-induced subgraph either way, so it cannot affect the round.
+    fn visible_in(&self, alive: &VertexSet) -> bool {
+        self.weights.iter().any(|&v| alive.contains(v))
+            || self
+                .added
+                .iter()
+                .chain(&self.removed)
+                .any(|&(u, v)| alive.contains(u) && alive.contains(v))
+    }
+}
+
 /// A reusable decomposition solver: owns the exact and f64 flow arenas
 /// across calls and memoizes shape certificates so repeated decompositions
 /// of nearby instances cost one certification max-flow per round instead of
@@ -172,12 +282,39 @@ struct ShapeEntry {
 /// Results are **bit-identical** to [`decompose`](crate::decompose) on every
 /// input; see the module docs for the argument.
 ///
+/// A session constructed with [`new`](Self::new) / [`with_config`](Self::with_config)
+/// *owns* its instance and serves mutations through [`apply`](Self::apply):
+///
+/// ```
+/// use prs_bd::{decompose, DecompositionSession, Delta, UpdateOutcome};
+/// use prs_graph::builders;
+/// use prs_numeric::int;
+///
+/// let g = builders::path(vec![int(1), int(10), int(3)]).unwrap();
+/// let mut session = DecompositionSession::new(g.clone());
+/// assert_eq!(*session.current().unwrap(), decompose(&g).unwrap());
+///
+/// // Stream a mutation instead of rebuilding the instance:
+/// session.apply(Delta::SetWeight { v: 0, w: int(2) }).unwrap();
+/// let g2 = builders::path(vec![int(2), int(10), int(3)]).unwrap();
+/// assert_eq!(*session.current().unwrap(), decompose(&g2).unwrap());
+///
+/// // A no-op batch is answered without touching the flow engine:
+/// assert_eq!(
+///     session.apply(Delta::Batch(vec![])).unwrap(),
+///     UpdateOutcome::Unchanged,
+/// );
+/// ```
+///
+/// A [`detached`](Self::detached) session has no owned instance and serves
+/// the legacy instance-at-a-time path (deviation sweeps, Sybil grids):
+///
 /// ```
 /// use prs_bd::{decompose, DecompositionSession};
 /// use prs_graph::builders;
-/// use prs_numeric::{int, ratio};
+/// use prs_numeric::int;
 ///
-/// let mut session = DecompositionSession::new();
+/// let mut session = DecompositionSession::detached();
 /// for w in 1..6 {
 ///     let g = builders::path(vec![int(w), int(10)]).unwrap();
 ///     assert_eq!(session.decompose(&g).unwrap(), decompose(&g).unwrap());
@@ -190,27 +327,55 @@ pub struct DecompositionSession {
     /// MRU-ordered shape certificates (front = most recent).
     cache: Vec<ShapeEntry>,
     local: SessionStats,
+    /// The owned instance + delta-serving state; `None` for detached
+    /// sessions.
+    delta: Option<DeltaState>,
 }
 
 impl DecompositionSession {
-    /// A session with the default [`SessionConfig`].
-    pub fn new() -> Self {
-        Self::with_config(SessionConfig::new())
+    /// A session owning `g`, with the default [`SessionConfig`].
+    ///
+    /// The first [`current`](Self::current) or [`apply`](Self::apply) call
+    /// decomposes the instance; construction itself does no flow work.
+    pub fn new(g: Graph) -> Self {
+        Self::with_config(g, SessionConfig::new())
     }
 
-    /// A session with explicit tuning knobs.
-    pub fn with_config(cfg: SessionConfig) -> Self {
+    /// A session owning `g`, with explicit tuning knobs.
+    pub fn with_config(g: Graph, cfg: SessionConfig) -> Self {
+        let mut s = Self::detached_with_config(cfg);
+        s.replace_instance(g);
+        s
+    }
+
+    /// A session with no owned instance: the delta API is unavailable
+    /// (returns [`BdError::DetachedSession`]) but
+    /// [`decompose`](Self::decompose) serves arbitrary instances through the
+    /// shared arenas and shape cache.
+    pub fn detached() -> Self {
+        Self::detached_with_config(SessionConfig::new())
+    }
+
+    /// A detached session with explicit tuning knobs.
+    pub fn detached_with_config(cfg: SessionConfig) -> Self {
         DecompositionSession {
             cfg,
             nets: RoundNets::new(0),
             cache: Vec::new(),
             local: SessionStats::default(),
+            delta: None,
         }
     }
 
     /// This session's configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.cfg
+    }
+
+    /// The owned instance as of the last committed delta (`None` when
+    /// detached).
+    pub fn graph(&self) -> Option<&Graph> {
+        self.delta.as_ref().map(|s| &s.graph)
     }
 
     /// Lifetime hit/miss/warm-start counters for this session. The same
@@ -230,10 +395,389 @@ impl DecompositionSession {
         self.cache.clear();
     }
 
-    /// Compute the bottleneck decomposition of `g`, warm-starting each round
-    /// from this session's shape cache. Bit-identical to
-    /// [`decompose`](crate::decompose).
+    /// Number of installed stability cells.
+    pub fn cell_count(&self) -> usize {
+        self.delta.as_ref().map_or(0, |s| s.cells.len())
+    }
+
+    /// Install a [`StabilityCell`] certificate for the owned instance.
+    ///
+    /// Matching cells let the recertified tier predict a round's ratio
+    /// without computing any candidate α-ratio. Predictions are always
+    /// validated by the certification flow — a feasible flow with no tight
+    /// set exposes an under-predicted α̂ and the session retries with the
+    /// exact candidate ratio — so a stale or lying cell can waste one flow
+    /// but never change a result. Returns `false` (dropping the cell) when
+    /// the session is detached.
+    pub fn install_cell(&mut self, cell: StabilityCell) -> bool {
+        match self.delta.as_mut() {
+            Some(state) => {
+                state.cells.push(cell);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replace (or attach) the owned instance wholesale, dropping the delta
+    /// state — current decomposition and stability cells — while keeping the
+    /// flow arenas and the MRU shape cache warm.
+    pub fn replace_instance(&mut self, g: Graph) {
+        self.delta = Some(DeltaState {
+            graph: g,
+            current: None,
+            cells: Vec::new(),
+        });
+    }
+
+    /// The decomposition of the owned instance, solving it on first use.
+    pub fn current(&mut self) -> Result<&BottleneckDecomposition, BdError> {
+        let needs_solve = match &self.delta {
+            None => return Err(BdError::DetachedSession),
+            Some(state) => state.current.is_none(),
+        };
+        if needs_solve {
+            let g = match &self.delta {
+                Some(state) => state.graph.clone(),
+                None => return Err(BdError::DetachedSession),
+            };
+            let (bd, certs) = self.run_decompose(&g, true)?;
+            self.store(g.n(), certs.clone());
+            if let Some(state) = self.delta.as_mut() {
+                state.current = Some(CurrentResult { bd, certs });
+            }
+        }
+        match &self.delta {
+            Some(DeltaState {
+                current: Some(cur), ..
+            }) => Ok(&cur.bd),
+            _ => Err(BdError::DetachedSession),
+        }
+    }
+
+    /// Apply one [`Delta`] to the owned instance and re-serve the
+    /// decomposition, reporting which tier answered (module docs +
+    /// `DESIGN.md` §3.3). Atomic: on any error the instance, the current
+    /// decomposition, and the installed cells are left exactly as they
+    /// were.
+    pub fn apply(&mut self, delta: Delta) -> Result<UpdateOutcome, BdError> {
+        let mut sp = prs_trace::span("bd", "delta_apply");
+        sp.attr("ops", || delta.len().to_string());
+        let Some(mut state) = self.delta.take() else {
+            return Err(BdError::DetachedSession);
+        };
+        let out = self.apply_to_state(&mut state, &delta);
+        self.delta = Some(state);
+        match &out {
+            Ok(UpdateOutcome::Unchanged) => {
+                sp.attr("tier", || "unchanged".to_string());
+                stats::record_delta_unchanged(1);
+            }
+            Ok(UpdateOutcome::Recertified { .. }) => {
+                sp.attr("tier", || "recertified".to_string());
+                stats::record_delta_recertified(1);
+            }
+            Ok(UpdateOutcome::Recomputed) => {
+                sp.attr("tier", || "recomputed".to_string());
+                stats::record_delta_recomputed(1);
+            }
+            Err(_) => {
+                sp.attr("tier", || "rejected".to_string());
+            }
+        }
+        out
+    }
+
+    /// Replace the weight of vertex `v` with `w` — shorthand for
+    /// [`apply`](Self::apply)`(Delta::SetWeight { v, w })`.
+    pub fn update_weight(&mut self, v: VertexId, w: Rational) -> Result<UpdateOutcome, BdError> {
+        self.apply(Delta::SetWeight { v, w })
+    }
+
+    /// Insert or remove one edge of the owned instance — shorthand for
+    /// [`apply`](Self::apply) with the matching [`Delta`] variant.
+    pub fn update_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        op: EdgeOp,
+    ) -> Result<UpdateOutcome, BdError> {
+        self.apply(match op {
+            EdgeOp::Add => Delta::AddEdge { u, v },
+            EdgeOp::Remove => Delta::RemoveEdge { u, v },
+        })
+    }
+
+    /// The transactional body of [`apply`](Self::apply): every mutation
+    /// happens on a scratch copy first, and `state` is only committed once
+    /// a full re-serve has succeeded.
+    fn apply_to_state(
+        &mut self,
+        state: &mut DeltaState,
+        delta: &Delta,
+    ) -> Result<UpdateOutcome, BdError> {
+        let mut scratch = state.graph.clone();
+        apply_delta_ops(&mut scratch, delta)?;
+
+        // Tier 1a — net no-op: idempotent edge ops and self-cancelling
+        // batches leave the instance literally equal, so the current
+        // decomposition (whether or not it has been forced yet) still
+        // describes it. Zero flow work.
+        if scratch == state.graph {
+            return Ok(UpdateOutcome::Unchanged);
+        }
+
+        let diff = GraphDiff::between(&state.graph, &scratch);
+
+        // Cold delta state: nothing to be incremental against — decompose
+        // the mutated instance through the general warm solver.
+        let Some(cur) = state.current.as_ref() else {
+            let (bd, certs) = self.run_decompose(&scratch, true)?;
+            self.store(scratch.n(), certs.clone());
+            retain_cells(&mut state.cells, &diff, &scratch);
+            state.graph = scratch;
+            state.current = Some(CurrentResult { bd, certs });
+            return Ok(UpdateOutcome::Recomputed);
+        };
+
+        // Tier 1b — strictly-C edge insertions leave the decomposition
+        // untouched (DESIGN.md §3.3): for every round up to an endpoint's
+        // pair, the bottleneck B_r avoids both endpoints, so Γ(B_r) — and
+        // with it α_r and the maximal tight set — is unchanged, while α(S)
+        // can only grow for other sets; once an endpoint is peeled the edge
+        // is invisible to the induced subgraph. (The removal analogue is
+        // *not* sound: deleting an edge can lower some α(S) below α_r.)
+        if diff.weights.is_empty()
+            && diff.removed.is_empty()
+            && diff.added.iter().all(|&(u, v)| {
+                cur.bd.class_of(u) == AgentClass::C && cur.bd.class_of(v) == AgentClass::C
+            })
+        {
+            // The round certificates keep their pre-insertion adjacency;
+            // that is sound (replay *compares* inputs before trusting, and
+            // seeds are clamped) but means the next visible delta sees the
+            // edge as cache-stale, which costs at most one extra flow.
+            retain_cells(&mut state.cells, &diff, &scratch);
+            state.graph = scratch;
+            return Ok(UpdateOutcome::Unchanged);
+        }
+
+        // Tiers 2/3 — incremental re-decomposition: replay the previous
+        // rounds wherever the diff is invisible, recertify the rounds that
+        // can see it, fall back to the general solver when the structure
+        // diverges.
+        let cell = if diff.added.is_empty() && diff.removed.is_empty() && diff.weights.len() == 1 {
+            let v = diff.weights[0];
+            let x = scratch.weight(v);
+            state
+                .cells
+                .iter()
+                .find(|c| c.covers(v, x) && c.shape_matches(&cur.bd))
+                .cloned()
+        } else {
+            None
+        };
+        let (bd, certs, recert_rounds, clean) =
+            self.redecompose_delta(&scratch, cur, &diff, cell.as_ref())?;
+        self.store(scratch.n(), certs.clone());
+        retain_cells(&mut state.cells, &diff, &scratch);
+        state.graph = scratch;
+        state.current = Some(CurrentResult { bd, certs });
+        Ok(if clean {
+            UpdateOutcome::Recertified {
+                rounds: recert_rounds,
+            }
+        } else {
+            UpdateOutcome::Recomputed
+        })
+    }
+
+    /// Incrementally re-decompose the mutated instance `g` against the
+    /// previous result. Returns the new decomposition, its round
+    /// certificates, the number of recertified rounds, and whether the
+    /// serve was *clean* (every round settled by verbatim replay or a
+    /// single first-try certification flow — the
+    /// [`UpdateOutcome::Recertified`] tier).
+    fn redecompose_delta(
+        &mut self,
+        g: &Graph,
+        prev: &CurrentResult,
+        diff: &GraphDiff,
+        cell: Option<&StabilityCell>,
+    ) -> Result<(BottleneckDecomposition, Vec<RoundCert>, usize, bool), BdError> {
+        let mut certified: Vec<RoundCert> = Vec::new();
+        let mut recert_rounds = 0usize;
+        let mut clean = true;
+        let result = {
+            let cfg = self.cfg.clone();
+            let nets = &mut self.nets;
+            let cache = &self.cache;
+            let local = &mut self.local;
+            let certified = &mut certified;
+            let recert_rounds = &mut recert_rounds;
+            let clean = &mut clean;
+            let prev_bd = &prev.bd;
+            let prev_certs = &prev.certs;
+            // The round-by-round alive set the *previous* decomposition
+            // would produce; as long as the actual alive set tracks it, the
+            // old round structure is still in force ("prefix intact") and
+            // the old certificates are usable as-is.
+            let mut prefix_intact = true;
+            let mut expected_alive = VertexSet::full(g.n());
+            let focus_x = cell.map(|c| g.weight(c.vertex).clone());
+            drive(g, move |g, alive, round| {
+                if prefix_intact {
+                    if round > 0 {
+                        if let Some(p) = prev_bd.pairs().get(round - 1) {
+                            expected_alive.subtract(&p.b.union(&p.c));
+                        }
+                    }
+                    // The equality check is the whole soundness guard: any
+                    // divergence — a different B, the same B with a grown
+                    // or shrunk partner class C, extra rounds — shows up as
+                    // a mismatched alive set at the next round's entry.
+                    if round >= prev_bd.k() || *alive != expected_alive {
+                        prefix_intact = false;
+                    }
+                }
+                if !prefix_intact {
+                    // Structural break: serve the remaining rounds through
+                    // the general warm solver (MRU replay, warm
+                    // certification, cold two-tier).
+                    *clean = false;
+                    return solve_round_warm(
+                        g, alive, round, &cfg, nets, cache, local, certified, true,
+                    );
+                }
+                let pair = &prev_bd.pairs()[round];
+                if !diff.visible_in(alive) {
+                    // Tail replay: this round's inputs (alive set, weights
+                    // on it, induced adjacency) are identical to the
+                    // previous decomposition's, and the round solver is a
+                    // pure function of them — the certificate replays
+                    // verbatim, zero flow work.
+                    let mut sp = prs_trace::span("bd", "session_round");
+                    sp.attr("round", || round.to_string());
+                    sp.attr("path", || "delta_replay".to_string());
+                    local.hits += 1;
+                    local.warm_starts += 1;
+                    stats::record_session_hits(1);
+                    stats::record_session_warm_starts(1);
+                    if let Some(rc) = prev_certs.get(round) {
+                        certified.push(rc.clone());
+                    }
+                    return Ok((pair.b.clone(), pair.alpha.clone()));
+                }
+                // The mutation is visible: recertify this round, seeded
+                // from the previous certifying flow.
+                let mut sp = prs_trace::span("bd", "session_round");
+                sp.attr("round", || round.to_string());
+                local.warm_starts += 1;
+                stats::record_session_warm_starts(1);
+                let support: &[(VertexId, VertexId, Rational, Rational)] = prev_certs
+                    .get(round)
+                    .map_or(&[], |rc| rc.data.support.as_slice());
+                let one = Rational::one();
+                let mut attempt = None;
+                if let (Some(c), Some(x)) = (cell, focus_x.as_ref()) {
+                    // A matching stability cell predicts this round's ratio
+                    // outright. The certification flow adjudicates: a
+                    // feasible flow with no tight set means the prediction
+                    // undershot the optimum (a lying cell) and the exact
+                    // candidate ratio below retries.
+                    if let Some(alpha_hat) = c.alpha_curve(round).and_then(|m| m.eval(x)) {
+                        if alpha_hat.is_positive() && alpha_hat <= one {
+                            sp.attr("cell", || "predicted".to_string());
+                            match certify_with_candidate(
+                                g, alive, round, nets, alpha_hat, support, true,
+                            )? {
+                                CertAttempt::Undershot => {}
+                                done => attempt = Some(done),
+                            }
+                        }
+                    }
+                }
+                if attempt.is_none() {
+                    // Exact candidate ratio of the previous bottleneck:
+                    // α(B_prev) ≥ α* always, so certification either
+                    // confirms it (tight set extraction included) or the
+                    // descent walks down from it.
+                    if let Some(alpha_hat) = g.alpha_ratio_in(&pair.b, alive) {
+                        if alpha_hat.is_positive() && alpha_hat <= one {
+                            attempt = Some(certify_with_candidate(
+                                g, alive, round, nets, alpha_hat, support, false,
+                            )?);
+                        }
+                    }
+                }
+                match attempt {
+                    Some(CertAttempt::Certified {
+                        b,
+                        alpha,
+                        first_try,
+                    }) => {
+                        if first_try {
+                            sp.attr("path", || "delta_recert".to_string());
+                            local.hits += 1;
+                            stats::record_session_hits(1);
+                            *recert_rounds += 1;
+                        } else {
+                            // Crossed a breakpoint: the exact descent ran;
+                            // the result is still bit-identical but the
+                            // serve is no longer a pure recertification.
+                            sp.attr("path", || "delta_descent".to_string());
+                            local.misses += 1;
+                            stats::record_session_misses(1);
+                            *clean = false;
+                        }
+                        certified.push(snapshot_cert_int(nets, g, alive, &b, &alpha));
+                        Ok((b, alpha))
+                    }
+                    Some(CertAttempt::Undershot) | None => {
+                        // No usable candidate (the mutation pushed the
+                        // previous bottleneck's ratio out of (0, 1], or the
+                        // cell prediction failed without an exact backup):
+                        // plain two-tier round.
+                        sp.attr("path", || "cold".to_string());
+                        local.misses += 1;
+                        stats::record_session_misses(1);
+                        *clean = false;
+                        let (b, alpha) = maximal_bottleneck(g, alive, round, nets)?;
+                        certified.push(snapshot_cert(nets, g, alive, &b, &alpha));
+                        Ok((b, alpha))
+                    }
+                }
+            })
+        };
+        result.map(|bd| (bd, certified, recert_rounds, clean))
+    }
+
+    /// Warm-decompose an arbitrary instance on this session's arenas and
+    /// shape cache. Bit-identical to [`decompose`](crate::decompose).
+    ///
+    /// **Deprecated re-entry shim.** This predates the owned-instance delta
+    /// API: prefer constructing the session over the instance
+    /// ([`DecompositionSession::new`]) and streaming [`Delta`]s through
+    /// [`apply`](Self::apply), which replays/recertifies instead of
+    /// re-solving. `decompose` neither reads nor updates the session's delta
+    /// state; it is kept because the deviation sweep and the Sybil grids
+    /// legitimately decompose many *unrelated* instances through one arena.
     pub fn decompose(&mut self, g: &Graph) -> Result<BottleneckDecomposition, BdError> {
+        let (bd, certs) = self.run_decompose(g, false)?;
+        self.store(g.n(), certs);
+        Ok(bd)
+    }
+
+    /// Drive a full decomposition through [`solve_round_warm`], collecting
+    /// round certificates when the cache wants them or `force_collect` asks
+    /// for them (the delta path needs certificates even with the MRU cache
+    /// disabled).
+    fn run_decompose(
+        &mut self,
+        g: &Graph,
+        force_collect: bool,
+    ) -> Result<(BottleneckDecomposition, Vec<RoundCert>), BdError> {
+        let collect = force_collect || self.cfg.cache_capacity > 0;
         let mut certified: Vec<RoundCert> = Vec::new();
         let result = {
             let cfg = self.cfg.clone();
@@ -242,13 +786,12 @@ impl DecompositionSession {
             let local = &mut self.local;
             let certified = &mut certified;
             drive(g, |g, alive, round| {
-                solve_round_warm(g, alive, round, &cfg, nets, cache, local, certified)
+                solve_round_warm(
+                    g, alive, round, &cfg, nets, cache, local, certified, collect,
+                )
             })
         };
-        if result.is_ok() {
-            self.store(g.n(), certified);
-        }
-        result
+        result.map(|bd| (bd, certified))
     }
 
     /// Insert a freshly certified shape at the cache front (MRU), deduping
@@ -271,8 +814,172 @@ impl DecompositionSession {
 }
 
 impl Default for DecompositionSession {
+    /// The default session is [`detached`](DecompositionSession::detached).
     fn default() -> Self {
-        Self::new()
+        Self::detached()
+    }
+}
+
+/// Apply `delta` to `g`, validating as it goes. Idempotent edge operations
+/// (inserting a present edge, removing an absent one) are accepted as
+/// no-ops; everything else surfaces the underlying
+/// [`GraphError`](prs_graph::GraphError) as [`BdError::InvalidDelta`].
+fn apply_delta_ops(g: &mut Graph, delta: &Delta) -> Result<(), BdError> {
+    match delta {
+        Delta::SetWeight { v, w } => g.try_set_weight(*v, w.clone()).map_err(BdError::from),
+        Delta::AddEdge { u, v } => {
+            if *u < g.n() && *v < g.n() && u != v && g.has_edge(*u, *v) {
+                return Ok(()); // idempotent re-insert
+            }
+            g.add_edge(*u, *v).map_err(BdError::from)
+        }
+        Delta::RemoveEdge { u, v } => {
+            if *u < g.n() && *v < g.n() && !g.has_edge(*u, *v) {
+                return Ok(()); // idempotent removal of an absent edge
+            }
+            g.remove_edge(*u, *v).map_err(BdError::from)
+        }
+        Delta::Batch(items) => {
+            for d in items {
+                apply_delta_ops(g, d)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Cell-cache invalidation on commit (`DESIGN.md` §3.3): a committed diff
+/// keeps only the cells it provably does not disturb — a pure single-weight
+/// move of the cell's own focus vertex, landing inside the cell's certified
+/// interval. Any edge churn or any other vertex's weight move invalidates
+/// every cell.
+fn retain_cells(cells: &mut Vec<StabilityCell>, diff: &GraphDiff, g: &Graph) {
+    if diff.added.is_empty() && diff.removed.is_empty() && diff.weights.len() == 1 {
+        let v = diff.weights[0];
+        let x = g.weight(v);
+        cells.retain(|c| c.covers(v, x));
+    } else {
+        cells.clear();
+    }
+}
+
+/// The result of one warm certification attempt (see
+/// [`certify_with_candidate`]).
+enum CertAttempt {
+    /// The round settled: `b` is the maximal tight set at the certified
+    /// `alpha`; `first_try` is false iff a Dinkelbach descent ran.
+    Certified {
+        b: VertexSet,
+        alpha: Rational,
+        first_try: bool,
+    },
+    /// Feasible at `α̂` with slack everywhere — no tight set exists, so the
+    /// *predicted* `α̂` sits strictly below the round optimum. Only possible
+    /// (and only reported) when the caller opted into predictions;
+    /// candidate ratios `α(S)` of real sets are always ≥ the optimum.
+    Undershot,
+}
+
+/// Certify a candidate ratio `α̂` on the scaled-integer network, seeded
+/// from `support` (a previous certifying flow pattern), descending exactly
+/// when infeasible. The shared engine behind both the MRU warm path and the
+/// delta recertification path.
+///
+/// With `allow_undershoot`, `α̂` may be a *prediction* (a stability-cell
+/// evaluation) rather than the ratio of a concrete set: feasibility with an
+/// empty tight set then reports [`CertAttempt::Undershot`] instead of
+/// settling, and the caller retries with an exact candidate. This is what
+/// makes cell predictions safe to use directly as certification parameters:
+/// a feasible flow **with** a nonempty tight set proves `α̂` equals the
+/// round optimum (some set attains it), infeasibility proves `α̂` is above
+/// it (descent resumes as usual), and the empty-tight-set case is exactly
+/// the signature of an under-prediction.
+#[allow(clippy::too_many_arguments)]
+fn certify_with_candidate(
+    g: &Graph,
+    alive: &VertexSet,
+    round: usize,
+    nets: &mut RoundNets,
+    alpha_hat: Rational,
+    support: &[(VertexId, VertexId, Rational, Rational)],
+    allow_undershoot: bool,
+) -> Result<CertAttempt, BdError> {
+    let layout = Layout { n: g.n() };
+    // Build the *scaled-integer* network directly at α̂: multiplying every
+    // capacity by `p·D` (α̂ = p/q in lowest terms, `D` clears the alive
+    // weights' denominators) turns each Dinic step from a gcd-normalized
+    // rational operation into a plain big-integer one, while preserving the
+    // feasibility decision, min cuts, and residual reachability — so the
+    // extracted sets are bit-identical to the rational network's. Then seed
+    // it with the cached round's certifying flow pattern rescaled to the
+    // current weights: inside a known `ShapeInterval` the seed is already
+    // (nearly) maximal, so certification does little more than one
+    // confirming BFS instead of a full augmenting-path run.
+    nets.rebuild_int_only(g, alive, &alpha_hat);
+    let mut seeded = seed_certification_flow_int(nets, g, alive, support);
+    let mut alpha = alpha_hat;
+    let mut first = true;
+    loop {
+        stats::record_dinkelbach_iterations(1);
+        let mut sp_iter = prs_trace::span("bd", "dinkelbach_iter");
+        sp_iter.attr("engine", || "session".to_string());
+        if !first {
+            nets.set_alpha_int(g, alive, &alpha);
+        }
+        let (mut flow, promoted) = nets.cert_max_flow(g, alive, &alpha);
+        if promoted {
+            // A runtime overflow discarded the i128 network mid-round — and
+            // with it any seed installed there; the BigInt rerun pushed its
+            // whole flow from zero, so nothing must be added back.
+            seeded = BigInt::zero();
+        }
+        if first {
+            // `max_flow` reports only the flow it pushed on top of the seed.
+            flow += &seeded;
+        }
+        // Feasible iff the sources saturate: max flow = Σ (w_v·D)·p.
+        if flow == nets.int_source_total {
+            let reaches = nets.cert_residual_reaches_sink();
+            let mut b = VertexSet::empty(g.n());
+            for v in alive.iter() {
+                if !reaches[layout.left(v)] {
+                    b.insert(v);
+                }
+            }
+            if b.is_empty() && allow_undershoot && first {
+                return Ok(CertAttempt::Undershot);
+            }
+            debug_assert!(!b.is_empty(), "a tight set must exist at the optimum");
+            return Ok(CertAttempt::Certified {
+                b,
+                alpha,
+                first_try: first,
+            });
+        }
+        // Breakpoint crossed: the candidate's ratio is no longer the
+        // minimum. Continue the unchanged exact descent from the min cut —
+        // no float-tier re-entry; misses are rare and the pure descent from
+        // α̂ is already close.
+        first = false;
+        let side = nets.cert_min_cut_source_side();
+        let mut s_set = VertexSet::empty(g.n());
+        for v in alive.iter() {
+            if side[layout.left(v)] {
+                s_set.insert(v);
+            }
+        }
+        // prs-lint: allow(panic, reason = "the s-side of an infeasible cut contains a source arc, hence positive weight; failure is a solver bug")
+        let new_alpha = g
+            .alpha_ratio_in(&s_set, alive)
+            .expect("violating sets have positive weight");
+        if new_alpha.is_zero() {
+            return Err(BdError::ZeroAlpha { round });
+        }
+        debug_assert!(
+            new_alpha < alpha,
+            "Dinkelbach step must strictly decrease α"
+        );
+        alpha = new_alpha;
     }
 }
 
@@ -297,6 +1004,7 @@ fn solve_round_warm(
     cache: &[ShapeEntry],
     local: &mut SessionStats,
     certified: &mut Vec<RoundCert>,
+    collect: bool,
 ) -> Result<(VertexSet, Rational), BdError> {
     // The `path` attribute names which of the session's tiers settled the
     // round: `replay`, `warm_hit`, `warm_descent`, or `cold`.
@@ -309,7 +1017,7 @@ fn solve_round_warm(
             local.warm_starts += 1;
             stats::record_session_hits(1);
             stats::record_session_warm_starts(1);
-            if cfg.cache_capacity > 0 {
+            if collect {
                 certified.push(rc.clone());
             }
             return Ok((rc.b.clone(), rc.alpha.clone()));
@@ -329,7 +1037,7 @@ fn solve_round_warm(
         local.misses += 1;
         stats::record_session_misses(1);
         let (b, alpha) = maximal_bottleneck(g, alive, round, nets)?;
-        if cfg.cache_capacity > 0 {
+        if collect {
             certified.push(snapshot_cert(nets, g, alive, &b, &alpha));
         }
         return Ok((b, alpha));
@@ -338,90 +1046,47 @@ fn solve_round_warm(
     local.warm_starts += 1;
     stats::record_session_warm_starts(1);
 
-    let layout = Layout { n: g.n() };
-
-    // Build the *scaled-integer* network directly at α̂: multiplying every
-    // capacity by `p·D` (α̂ = p/q in lowest terms, `D` clears the alive
-    // weights' denominators) turns each Dinic step from a gcd-normalized
-    // rational operation into a plain big-integer one, while preserving the
-    // feasibility decision, min cuts, and residual reachability — so the
-    // extracted sets are bit-identical to the rational network's. Then seed
-    // it with the cached round's certifying flow pattern rescaled to the
-    // current weights: inside a known `ShapeInterval` the seed is already
-    // (nearly) maximal, so certification does little more than one
-    // confirming BFS instead of a full augmenting-path run.
-    nets.rebuild_int_only(g, alive, &alpha_hat);
-    let mut seeded =
-        seed_certification_flow_int(nets, g, alive, &cache[entry_idx].rounds[round].data.support);
-    let mut alpha = alpha_hat;
-    let mut first = true;
-    loop {
-        stats::record_dinkelbach_iterations(1);
-        let mut sp_iter = prs_trace::span("bd", "dinkelbach_iter");
-        sp_iter.attr("engine", || "session".to_string());
-        if !first {
-            nets.set_alpha_int(g, alive, &alpha);
-        }
-        let (mut flow, promoted) = nets.cert_max_flow(g, alive, &alpha);
-        if promoted {
-            // A runtime overflow discarded the i128 network mid-round — and
-            // with it any seed installed there; the BigInt rerun pushed its
-            // whole flow from zero, so nothing must be added back.
-            seeded = BigInt::zero();
-        }
-        if first {
-            // `max_flow` reports only the flow it pushed on top of the seed.
-            flow += &seeded;
-        }
-        // Feasible iff the sources saturate: max flow = Σ (w_v·D)·p.
-        if flow == nets.int_source_total {
-            if first {
+    match certify_with_candidate(
+        g,
+        alive,
+        round,
+        nets,
+        alpha_hat,
+        &cache[entry_idx].rounds[round].data.support,
+        false,
+    )? {
+        CertAttempt::Certified {
+            b,
+            alpha,
+            first_try,
+        } => {
+            if first_try {
                 sp.attr("path", || "warm_hit".to_string());
                 local.hits += 1;
                 stats::record_session_hits(1);
+            } else {
+                sp.attr("path", || "warm_descent".to_string());
+                local.misses += 1;
+                stats::record_session_misses(1);
             }
-            let reaches = nets.cert_residual_reaches_sink();
-            let mut b = VertexSet::empty(g.n());
-            for v in alive.iter() {
-                if !reaches[layout.left(v)] {
-                    b.insert(v);
-                }
-            }
-            debug_assert!(!b.is_empty(), "a tight set must exist at the optimum");
-            if cfg.cache_capacity > 0 {
+            if collect {
                 certified.push(snapshot_cert_int(nets, g, alive, &b, &alpha));
             }
-            return Ok((b, alpha));
+            Ok((b, alpha))
         }
-        if first {
-            // Breakpoint crossed: the cached shape's ratio is no longer the
-            // minimum. Continue the unchanged exact descent from the min
-            // cut — no float-tier re-entry; misses are rare and the pure
-            // descent from α̂ is already close.
-            sp.attr("path", || "warm_descent".to_string());
+        CertAttempt::Undershot => {
+            // Unreachable with `allow_undershoot = false` (candidate ratios
+            // of real sets are ≥ the optimum); recover through the standard
+            // two-tier engine rather than asserting.
+            sp.attr("path", || "cold".to_string());
             local.misses += 1;
             stats::record_session_misses(1);
-            first = false;
-        }
-        let side = nets.cert_min_cut_source_side();
-        let mut s_set = VertexSet::empty(g.n());
-        for v in alive.iter() {
-            if side[layout.left(v)] {
-                s_set.insert(v);
+            let (b, alpha) = maximal_bottleneck(g, alive, round, nets)?;
+            if collect {
+                certified.push(snapshot_cert(nets, g, alive, &b, &alpha));
             }
+            Ok((b, alpha))
         }
-        // prs-lint: allow(panic, reason = "the s-side of an infeasible cut contains a source arc, hence positive weight; failure is a solver bug")
-        let new_alpha = g
-            .alpha_ratio_in(&s_set, alive)
-            .expect("violating sets have positive weight");
-        if new_alpha.is_zero() {
-            return Err(BdError::ZeroAlpha { round });
-        }
-        debug_assert!(
-            new_alpha < alpha,
-            "Dinkelbach step must strictly decrease α"
-        );
-        alpha = new_alpha;
     }
 }
 
@@ -650,6 +1315,7 @@ fn seed_certification_flow_int(
 mod tests {
     use super::*;
     use crate::decompose;
+    use crate::delta::CellMoebius;
     use prs_graph::builders;
     use prs_numeric::{int, ratio, Rational};
 
@@ -659,7 +1325,7 @@ mod tests {
 
     #[test]
     fn session_matches_cold_decompose_across_a_sweep() {
-        let mut session = DecompositionSession::new();
+        let mut session = DecompositionSession::detached();
         for k in 1..40 {
             let g = path_graph(ratio(k, 7));
             let warm = session.decompose(&g).unwrap();
@@ -675,7 +1341,7 @@ mod tests {
     #[test]
     fn warm_start_off_never_warm_starts() {
         let cfg = SessionConfig::new().with_warm_start(false);
-        let mut session = DecompositionSession::with_config(cfg);
+        let mut session = DecompositionSession::detached_with_config(cfg);
         for k in 1..10 {
             let g = path_graph(int(k));
             assert_eq!(session.decompose(&g).unwrap(), decompose(&g).unwrap());
@@ -689,7 +1355,7 @@ mod tests {
     #[test]
     fn cache_capacity_zero_disables_caching() {
         let cfg = SessionConfig::new().with_cache_capacity(0);
-        let mut session = DecompositionSession::with_config(cfg);
+        let mut session = DecompositionSession::detached_with_config(cfg);
         for k in 1..6 {
             let g = path_graph(int(k));
             session.decompose(&g).unwrap();
@@ -701,7 +1367,7 @@ mod tests {
     #[test]
     fn cache_evicts_beyond_capacity_and_dedupes() {
         let cfg = SessionConfig::new().with_cache_capacity(2);
-        let mut session = DecompositionSession::with_config(cfg);
+        let mut session = DecompositionSession::detached_with_config(cfg);
         // Same shape every time → a single deduped entry.
         for k in 1..5 {
             session.decompose(&path_graph(int(k))).unwrap();
@@ -719,7 +1385,7 @@ mod tests {
 
     #[test]
     fn counters_are_monotone_and_account_every_round() {
-        let mut session = DecompositionSession::new();
+        let mut session = DecompositionSession::detached();
         let mut prev = SessionStats::default();
         let mut rounds_served = 0u64;
         for k in 1..12 {
@@ -737,7 +1403,7 @@ mod tests {
 
     #[test]
     fn errors_propagate_and_leave_session_usable() {
-        let mut session = DecompositionSession::new();
+        let mut session = DecompositionSession::detached();
         let empty = Graph::new(vec![], &[]).unwrap();
         assert_eq!(session.decompose(&empty), Err(BdError::EmptyGraph));
         let isolated = Graph::new(vec![int(1), int(1), int(1)], &[(0, 1)]).unwrap();
@@ -757,5 +1423,250 @@ mod tests {
         assert!(!cfg.warm_start);
         assert_eq!(cfg.cache_capacity, 7);
         assert_eq!(SessionConfig::default(), SessionConfig::new());
+    }
+
+    // ---- delta API ----
+
+    #[test]
+    fn owned_session_current_matches_cold() {
+        let g = path_graph(int(4));
+        let mut session = DecompositionSession::new(g.clone());
+        assert_eq!(session.graph(), Some(&g));
+        assert_eq!(*session.current().unwrap(), decompose(&g).unwrap());
+        // Second call is served from state, same answer.
+        assert_eq!(*session.current().unwrap(), decompose(&g).unwrap());
+    }
+
+    #[test]
+    fn detached_session_rejects_delta_api() {
+        let mut session = DecompositionSession::detached();
+        assert_eq!(session.current().err(), Some(BdError::DetachedSession));
+        assert_eq!(
+            session.apply(Delta::SetWeight { v: 0, w: int(1) }).err(),
+            Some(BdError::DetachedSession)
+        );
+        assert_eq!(session.graph(), None);
+        assert!(!session.install_cell(StabilityCell {
+            vertex: 0,
+            lo: int(1),
+            hi: int(2),
+            shape: vec![],
+            alphas: vec![],
+        }));
+        // Attaching an instance turns the delta API on.
+        session.replace_instance(path_graph(int(2)));
+        assert!(session.current().is_ok());
+    }
+
+    #[test]
+    fn noop_deltas_are_unchanged_with_zero_flow_work() {
+        let mut session = DecompositionSession::new(path_graph(int(5)));
+        session.current().unwrap();
+        let hits_before = session.stats();
+        // Empty batch.
+        assert_eq!(
+            session.apply(Delta::Batch(vec![])).unwrap(),
+            UpdateOutcome::Unchanged
+        );
+        // Idempotent re-insert of an existing edge.
+        assert_eq!(
+            session.apply(Delta::AddEdge { u: 0, v: 1 }).unwrap(),
+            UpdateOutcome::Unchanged
+        );
+        // Idempotent removal of an absent edge.
+        assert_eq!(
+            session.apply(Delta::RemoveEdge { u: 0, v: 2 }).unwrap(),
+            UpdateOutcome::Unchanged
+        );
+        // Re-stating the current weight.
+        assert_eq!(
+            session.update_weight(1, int(10)).unwrap(),
+            UpdateOutcome::Unchanged
+        );
+        // A batch whose net effect cancels out.
+        assert_eq!(
+            session
+                .apply(Delta::Batch(vec![
+                    Delta::AddEdge { u: 0, v: 2 },
+                    Delta::SetWeight { v: 0, w: int(9) },
+                    Delta::SetWeight { v: 0, w: int(5) },
+                    Delta::RemoveEdge { u: 0, v: 2 },
+                ]))
+                .unwrap(),
+            UpdateOutcome::Unchanged
+        );
+        // None of those touched a solver round.
+        assert_eq!(session.stats(), hits_before);
+    }
+
+    #[test]
+    fn strictly_c_edge_insertion_is_unchanged() {
+        // Star with a heavy hub: B = {hub}, C = all leaves, single round.
+        let g = builders::star(vec![int(10), int(1), int(1), int(1)]).unwrap();
+        let mut session = DecompositionSession::new(g.clone());
+        let before = session.current().unwrap().clone();
+        assert_eq!(before.class_of(1), AgentClass::C);
+        assert_eq!(before.class_of(2), AgentClass::C);
+        let stats_before = session.stats();
+        assert_eq!(
+            session.update_edge(1, 2, EdgeOp::Add).unwrap(),
+            UpdateOutcome::Unchanged
+        );
+        assert_eq!(session.stats(), stats_before, "no solver round may run");
+        // The committed instance has the edge; the decomposition is
+        // (provably, and verifiably) identical to cold on the new graph.
+        let committed = session.graph().unwrap().clone();
+        assert!(committed.has_edge(1, 2));
+        assert_eq!(*session.current().unwrap(), decompose(&committed).unwrap());
+        assert_eq!(*session.current().unwrap(), before);
+        // A later visible delta on the post-insertion instance still matches
+        // cold (stale certificates may cost a flow, never correctness).
+        session.update_weight(3, int(7)).unwrap();
+        let committed = session.graph().unwrap().clone();
+        assert_eq!(*session.current().unwrap(), decompose(&committed).unwrap());
+    }
+
+    #[test]
+    fn weight_delta_matches_cold_and_reports_tier() {
+        let mut session = DecompositionSession::new(path_graph(int(5)));
+        session.current().unwrap();
+        for k in [6, 2, 40, 1] {
+            let out = session.update_weight(0, int(k)).unwrap();
+            assert_ne!(out, UpdateOutcome::Unchanged, "w0 = {k} must be visible");
+            let committed = session.graph().unwrap().clone();
+            assert_eq!(
+                *session.current().unwrap(),
+                decompose(&committed).unwrap(),
+                "diverged at w0 = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_churn_matches_cold() {
+        let g = builders::ring(vec![int(3), int(5), int(7), int(2)]).unwrap();
+        let mut session = DecompositionSession::new(g);
+        session.current().unwrap();
+        session.apply(Delta::AddEdge { u: 0, v: 2 }).unwrap();
+        let committed = session.graph().unwrap().clone();
+        assert_eq!(*session.current().unwrap(), decompose(&committed).unwrap());
+        session.update_edge(1, 2, EdgeOp::Remove).unwrap();
+        let committed = session.graph().unwrap().clone();
+        assert_eq!(*session.current().unwrap(), decompose(&committed).unwrap());
+    }
+
+    #[test]
+    fn invalid_deltas_roll_back_atomically() {
+        let g = path_graph(int(5));
+        let mut session = DecompositionSession::new(g.clone());
+        let before = session.current().unwrap().clone();
+        // Out-of-range vertex.
+        assert!(matches!(
+            session.update_weight(99, int(1)),
+            Err(BdError::InvalidDelta { .. })
+        ));
+        // Negative weight.
+        assert!(matches!(
+            session.update_weight(0, int(-3)),
+            Err(BdError::InvalidDelta { .. })
+        ));
+        // Self-loop insertion.
+        assert!(matches!(
+            session.apply(Delta::AddEdge { u: 1, v: 1 }),
+            Err(BdError::InvalidDelta { .. })
+        ));
+        // A batch that fails midway must not commit its earlier ops.
+        assert!(session
+            .apply(Delta::Batch(vec![
+                Delta::SetWeight { v: 0, w: int(77) },
+                Delta::AddEdge { u: 5, v: 6 },
+            ]))
+            .is_err());
+        assert_eq!(session.graph(), Some(&g), "instance must be untouched");
+        assert_eq!(*session.current().unwrap(), before);
+    }
+
+    #[test]
+    fn solver_errors_roll_back_atomically() {
+        // Removing the only edge of a positive-weight pendant vertex makes
+        // the decomposition undefined (ZeroAlpha) — the session must keep
+        // serving the pre-delta instance.
+        let g = builders::path(vec![int(1), int(2), int(3)]).unwrap();
+        let mut session = DecompositionSession::new(g.clone());
+        let before = session.current().unwrap().clone();
+        assert!(matches!(
+            session.update_edge(0, 1, EdgeOp::Remove),
+            Err(BdError::ZeroAlpha { .. })
+        ));
+        assert_eq!(session.graph(), Some(&g));
+        assert_eq!(*session.current().unwrap(), before);
+        // And it still accepts good deltas afterwards.
+        assert!(session.update_weight(0, int(4)).is_ok());
+        let committed = session.graph().unwrap().clone();
+        assert_eq!(*session.current().unwrap(), decompose(&committed).unwrap());
+    }
+
+    #[test]
+    fn stability_cells_install_and_invalidate() {
+        let g = path_graph(int(5));
+        let mut session = DecompositionSession::new(g);
+        let shape = session.current().unwrap().shape();
+        let alphas = session
+            .current()
+            .unwrap()
+            .pairs()
+            .iter()
+            .map(|p| CellMoebius {
+                p: Rational::zero(),
+                q: p.alpha.clone(),
+                r: Rational::zero(),
+                s: Rational::one(),
+            })
+            .collect::<Vec<_>>();
+        assert!(session.install_cell(StabilityCell {
+            vertex: 0,
+            lo: int(4),
+            hi: int(6),
+            shape,
+            alphas,
+        }));
+        assert_eq!(session.cell_count(), 1);
+        // A move inside the cell keeps it installed…
+        session.update_weight(0, int(6)).unwrap();
+        assert_eq!(session.cell_count(), 1);
+        let committed = session.graph().unwrap().clone();
+        assert_eq!(*session.current().unwrap(), decompose(&committed).unwrap());
+        // …a move outside (or any other mutation) invalidates.
+        session.update_weight(0, int(40)).unwrap();
+        assert_eq!(session.cell_count(), 0);
+        let committed = session.graph().unwrap().clone();
+        assert_eq!(*session.current().unwrap(), decompose(&committed).unwrap());
+    }
+
+    #[test]
+    fn lying_cell_cannot_change_results() {
+        let g = path_graph(int(5));
+        let mut session = DecompositionSession::new(g);
+        let shape = session.current().unwrap().shape();
+        let k = shape.len();
+        // A cell that predicts an absurdly low constant α for every round.
+        let alphas = (0..k)
+            .map(|_| CellMoebius {
+                p: Rational::zero(),
+                q: Rational::one(),
+                r: Rational::zero(),
+                s: int(1000),
+            })
+            .collect::<Vec<_>>();
+        session.install_cell(StabilityCell {
+            vertex: 0,
+            lo: int(1),
+            hi: int(100),
+            shape,
+            alphas,
+        });
+        session.update_weight(0, int(6)).unwrap();
+        let committed = session.graph().unwrap().clone();
+        assert_eq!(*session.current().unwrap(), decompose(&committed).unwrap());
     }
 }

@@ -24,7 +24,7 @@ fn fast_tier_serves_small_weights_and_promotes_adversarial_ones() {
     // Phase 1 — shipped-scale weights: the warm certification must run on
     // the i128 engine (i128 max-flows move) and never promote.
     let before = stats::snapshot();
-    let mut session = DecompositionSession::with_config(SessionConfig::new());
+    let mut session = DecompositionSession::detached_with_config(SessionConfig::new());
     let g1 = builders::ring(vec![int(3), int(1), int(4), int(1), int(5)]).unwrap();
     let g2 = builders::ring(vec![int(4), int(1), int(4), int(1), int(5)]).unwrap();
     assert_eq!(session.decompose(&g1).unwrap(), decompose(&g1).unwrap());
@@ -44,7 +44,7 @@ fn fast_tier_serves_small_weights_and_promotes_adversarial_ones() {
     // fails and the round promotes to BigInt. The decomposition is still
     // bit-identical to the cold rational engine.
     let before = stats::snapshot();
-    let mut session = DecompositionSession::with_config(SessionConfig::new());
+    let mut session = DecompositionSession::detached_with_config(SessionConfig::new());
     for j in 0..2i32 {
         let eps = pow2(-200 - j);
         let big = pow2(200 + j);

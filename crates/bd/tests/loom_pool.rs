@@ -23,10 +23,10 @@ fn concurrent_checkout_yields_distinct_sessions() {
         let pool = Arc::new(SessionPool::new(SessionConfig::new()));
         // Pre-warm two sessions into the pool so both threads contend for
         // pooled (not freshly created) sessions.
-        pool.checkin(prs_bd::DecompositionSession::with_config(
+        pool.checkin(prs_bd::DecompositionSession::detached_with_config(
             SessionConfig::new(),
         ));
-        pool.checkin(prs_bd::DecompositionSession::with_config(
+        pool.checkin(prs_bd::DecompositionSession::detached_with_config(
             SessionConfig::new(),
         ));
 

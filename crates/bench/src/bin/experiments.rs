@@ -1160,6 +1160,302 @@ fn bench_two_tier(quick: bool) {
     }
     ts.print();
 
+    // --- churn workloads: incremental delta serving vs per-event cold ----
+    //
+    // The stream-of-mutations access pattern (ISSUE 7): a long-lived
+    // session owning its instance absorbs Zipf-distributed single-weight
+    // re-reports and join/leave edge churn through `apply`, while the cold
+    // baseline re-decomposes every mutated graph from scratch with the
+    // same two-tier engine. A verification pass first replays each script
+    // asserting per-event bit-identity with cold and tallying the serving
+    // tiers; the no-op probe additionally asserts the `Unchanged` tier
+    // answers with **zero** flow invocations. The shard row drains the
+    // same weight scripts through a `ShardPool`'s per-shard delta queues.
+    let mut churn_rows: Vec<String> = Vec::new();
+    let churn_stats_json: String;
+    {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let churn_window = stats::snapshot();
+
+        /// Mirror `delta` onto `g` with the session's idempotent edge
+        /// semantics (re-adding a present edge is a no-op, not an error).
+        fn apply_delta_to_mirror(g: &mut Graph, delta: &Delta) {
+            match delta {
+                Delta::SetWeight { v, w } => g.try_set_weight(*v, w.clone()).unwrap(),
+                Delta::AddEdge { u, v } => {
+                    if !g.has_edge(*u, *v) {
+                        g.add_edge(*u, *v).unwrap();
+                    }
+                }
+                Delta::RemoveEdge { u, v } => {
+                    if g.has_edge(*u, *v) {
+                        g.remove_edge(*u, *v).unwrap();
+                    }
+                }
+                Delta::Batch(items) => {
+                    for d in items {
+                        apply_delta_to_mirror(g, d);
+                    }
+                }
+            }
+        }
+
+        let mut tch = Table::new(&[
+            "workload",
+            "events",
+            "cold ms/ev",
+            "incr ms/ev",
+            "speedup",
+            "unchanged",
+            "recert",
+            "recomp",
+        ]);
+
+        // Zipf(1.1) vertex popularity: a few hot agents re-report often.
+        let zipf_vertex = |rng: &mut StdRng, n: usize| -> usize {
+            let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(1.1)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut u = rng.gen_range(0.0..1.0) * total;
+            for (i, z) in weights.iter().enumerate() {
+                if u < *z {
+                    return i;
+                }
+                u -= *z;
+            }
+            n - 1
+        };
+
+        let weight_script = |seed: u64, n: usize, events: usize| -> Vec<Delta> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..events)
+                .map(|_| Delta::SetWeight {
+                    v: zipf_vertex(&mut rng, n),
+                    w: int(rng.gen_range(1..=50)),
+                })
+                .collect()
+        };
+        let join_leave_script = |seed: u64, n: usize, events: usize| -> Vec<Delta> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut chord_in = false;
+            (0..events)
+                .map(|i| match i % 3 {
+                    0 => {
+                        chord_in = !chord_in;
+                        if chord_in {
+                            Delta::AddEdge { u: 0, v: n / 2 }
+                        } else {
+                            Delta::RemoveEdge { u: 0, v: n / 2 }
+                        }
+                    }
+                    // Peers re-announcing existing links: pure `Unchanged`.
+                    1 => Delta::AddEdge { u: 0, v: 1 },
+                    _ => Delta::SetWeight {
+                        v: zipf_vertex(&mut rng, n),
+                        w: int(rng.gen_range(1..=50)),
+                    },
+                })
+                .collect()
+        };
+        let noop_script = |n: usize, events: usize| -> Vec<Delta> {
+            (0..events)
+                .map(|i| match i % 2 {
+                    0 => Delta::AddEdge { u: 0, v: 1 }, // already a ring edge
+                    _ => Delta::Batch(vec![
+                        Delta::AddEdge { u: 1, v: n / 2 + 1 },
+                        Delta::RemoveEdge { u: 1, v: n / 2 + 1 },
+                    ]),
+                })
+                .collect()
+        };
+
+        // Replay once for verification: per-event bit-identity vs cold,
+        // serving-tier tallies, and (via the returned graphs) the cold
+        // baseline's workload.
+        let verify_and_tally = |g0: &Graph, script: &[Delta]| -> (Vec<Graph>, u64, u64, u64) {
+            let mut session = DecompositionSession::new(g0.clone());
+            let mut mirror = g0.clone();
+            let (mut unchanged, mut recert, mut recomp) = (0u64, 0u64, 0u64);
+            let mut graphs = Vec::with_capacity(script.len());
+            for d in script {
+                match session.apply(d.clone()).expect("valid churn event") {
+                    UpdateOutcome::Unchanged => unchanged += 1,
+                    UpdateOutcome::Recertified { .. } => recert += 1,
+                    UpdateOutcome::Recomputed => recomp += 1,
+                }
+                apply_delta_to_mirror(&mut mirror, d);
+                let cold = decompose_two_tier(&mirror).expect("churned graph decomposes");
+                assert_eq!(
+                    session.current().expect("session state"),
+                    &cold,
+                    "incremental ≠ cold during churn verification"
+                );
+                graphs.push(mirror.clone());
+            }
+            (graphs, unchanged, recert, recomp)
+        };
+
+        let churn_ns: &[usize] = if quick { &[12] } else { &[16, 32] };
+        let events = if quick { 30 } else { 60 };
+        let mut named_scripts: Vec<(String, Graph, Vec<Delta>)> = Vec::new();
+        for &n in churn_ns {
+            let ring = ring_family(9300 + n as u64, 1, n, 1, 50).pop().unwrap();
+            named_scripts.push((
+                format!("zipf-weights/n={n}"),
+                ring.clone(),
+                weight_script(9300 + n as u64, n, events),
+            ));
+            named_scripts.push((
+                format!("join-leave/n={n}"),
+                ring,
+                join_leave_script(9400 + n as u64, n, events),
+            ));
+        }
+
+        for (name, g0, script) in &named_scripts {
+            let (graphs, unchanged, recert, recomp) = verify_and_tally(g0, script);
+            let cold_ms = median_ms(reps, || {
+                for g in &graphs {
+                    std::hint::black_box(decompose_two_tier(g).unwrap());
+                }
+            }) / events as f64;
+            let incr_ms = median_ms(reps, || {
+                let mut s = DecompositionSession::new(g0.clone());
+                s.current().unwrap();
+                for d in script {
+                    std::hint::black_box(s.apply(d.clone()).unwrap());
+                }
+            }) / events as f64;
+            let speedup = cold_ms / incr_ms;
+            tch.row(vec![
+                name.clone(),
+                events.to_string(),
+                format!("{cold_ms:.4}"),
+                format!("{incr_ms:.4}"),
+                format!("{speedup:.2}×"),
+                unchanged.to_string(),
+                recert.to_string(),
+                recomp.to_string(),
+            ]);
+            churn_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"events\": {}, ",
+                    "\"cold_ms_per_event\": {:.5}, \"incremental_ms_per_event\": {:.5}, ",
+                    "\"speedup\": {:.3}, \"unchanged\": {}, \"recertified\": {}, ",
+                    "\"recomputed\": {}}}"
+                ),
+                name, events, cold_ms, incr_ms, speedup, unchanged, recert, recomp,
+            ));
+        }
+
+        // The no-op probe: every event must be answered `Unchanged` with
+        // zero flow-engine invocations — the O(1) tier of the acceptance
+        // criteria, asserted on the real counters.
+        {
+            let n = churn_ns[0];
+            let ring = ring_family(9300 + n as u64, 1, n, 1, 50).pop().unwrap();
+            let script = noop_script(n, events);
+            let mut session = DecompositionSession::new(ring.clone());
+            session.current().unwrap();
+            let before = stats::snapshot();
+            let t0 = std::time::Instant::now();
+            for d in &script {
+                assert_eq!(
+                    session.apply(d.clone()).unwrap(),
+                    UpdateOutcome::Unchanged,
+                    "no-op probe must stay on the Unchanged tier"
+                );
+            }
+            let noop_ms = t0.elapsed().as_secs_f64() * 1e3 / events as f64;
+            let delta = stats::snapshot().since(&before);
+            let flows = delta.exact_max_flows + delta.i128_max_flows;
+            assert_eq!(flows, 0, "Unchanged tier invoked the flow engine");
+            assert_eq!(delta.delta_unchanged, events as u64);
+            tch.row(vec![
+                format!("noop-probe/n={n}"),
+                events.to_string(),
+                "-".to_string(),
+                format!("{noop_ms:.4}"),
+                "-".to_string(),
+                events.to_string(),
+                "0".to_string(),
+                "0".to_string(),
+            ]);
+            churn_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"noop-probe/n={}\", \"events\": {}, ",
+                    "\"incremental_ms_per_event\": {:.5}, \"flow_invocations\": {}, ",
+                    "\"unchanged\": {}, \"recertified\": 0, \"recomputed\": 0}}"
+                ),
+                n, events, noop_ms, flows, events,
+            ));
+        }
+
+        // Join/leave over session pools: the same weight scripts fan out
+        // over a ShardPool's per-shard delta queues and drain in parallel.
+        {
+            let n = churn_ns[0];
+            let shards = 4usize;
+            let instances: Vec<Graph> = (0..shards)
+                .map(|s| ring_family(9500 + s as u64, 1, n, 1, 50).pop().unwrap())
+                .collect();
+            let scripts: Vec<Vec<Delta>> = (0..shards)
+                .map(|s| weight_script(9500 + s as u64, n, events))
+                .collect();
+            let total_events = shards * events;
+            // Cold baseline: every shard's every post-event graph, from
+            // scratch (sequential — the per-event unit cost).
+            let mut all_graphs: Vec<Graph> = Vec::with_capacity(total_events);
+            for (g0, script) in instances.iter().zip(&scripts) {
+                let mut mirror = g0.clone();
+                for d in script {
+                    apply_delta_to_mirror(&mut mirror, d);
+                    all_graphs.push(mirror.clone());
+                }
+            }
+            let cold_ms = median_ms(reps, || {
+                for g in &all_graphs {
+                    std::hint::black_box(decompose_two_tier(g).unwrap());
+                }
+            }) / total_events as f64;
+            let incr_ms = median_ms(reps, || {
+                let pool = ShardPool::new(instances.clone(), SessionConfig::new());
+                for (s, script) in scripts.iter().enumerate() {
+                    for d in script {
+                        assert!(pool.enqueue(s, d.clone()));
+                    }
+                }
+                for outcomes in pool.drain(shards) {
+                    for o in outcomes {
+                        std::hint::black_box(o.unwrap());
+                    }
+                }
+            }) / total_events as f64;
+            let speedup = cold_ms / incr_ms;
+            tch.row(vec![
+                format!("shard-pool/n={n}×{shards}"),
+                total_events.to_string(),
+                format!("{cold_ms:.4}"),
+                format!("{incr_ms:.4}"),
+                format!("{speedup:.2}×"),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+            churn_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"shard-pool/n={}x{}\", \"events\": {}, ",
+                    "\"cold_ms_per_event\": {:.5}, \"incremental_ms_per_event\": {:.5}, ",
+                    "\"speedup\": {:.3}}}"
+                ),
+                n, shards, total_events, cold_ms, incr_ms, speedup,
+            ));
+        }
+        tch.print();
+        churn_stats_json = stats::snapshot().since(&churn_window).to_json();
+    }
+
     // --- per-span-kind timings: one traced misreport sweep, aggregated ---
     //
     // Everything above ran with tracing disabled (the default), so those
@@ -1176,6 +1472,27 @@ fn bench_two_tier(quick: bool) {
         .with_refine_bits(20);
     prs_core::trace::install(&prs_core::trace::TraceConfig::new().with_enabled(true));
     let _ = sweep(&trace_fam, &trace_cfg);
+    // Replay a short churn burst under the same recorder so the delta
+    // tiers show up in the profile: `bd.delta_apply` for direct serves and
+    // `bd.shard_drain` for the pooled queue path.
+    {
+        let g = ring_family(9700 + trace_n as u64, 1, trace_n, 1, 50)
+            .pop()
+            .unwrap();
+        let mut s = DecompositionSession::new(g.clone());
+        s.current().unwrap();
+        for i in 0..8usize {
+            let w = int((i as i64 * 7) % 49 + 1);
+            s.apply(Delta::SetWeight { v: i % trace_n, w }).unwrap();
+        }
+        let pool = ShardPool::new(vec![g], SessionConfig::new());
+        assert!(pool.enqueue(0, Delta::AddEdge { u: 0, v: 1 }));
+        for outcomes in pool.drain(1) {
+            for o in outcomes {
+                o.unwrap();
+            }
+        }
+    }
     prs_core::trace::disable();
     let traced = prs_core::trace::take();
     let mut tt = Table::new(&["span", "count", "total ms", "p50 µs", "p90 µs", "p99 µs"]);
@@ -1197,7 +1514,7 @@ fn bench_two_tier(quick: bool) {
             s.layer, s.name, s.count, s.total_ns, s.p50_ns, s.p90_ns, s.p99_ns,
         ));
     }
-    println!("  traced workload: misreport-sweep/n={trace_n} (grid {sweep_grid})");
+    println!("  traced workload: misreport-sweep+churn/n={trace_n} (grid {sweep_grid})");
     tt.print();
 
     let json = format!(
@@ -1209,7 +1526,9 @@ fn bench_two_tier(quick: bool) {
             "  \"engines\": [\n{}\n  ],\n",
             "  \"cert_engines\": [\n{}\n  ],\n",
             "  \"session_workloads\": [\n{}\n  ],\n",
-            "  \"trace_spans\": {{\"workload\": \"misreport-sweep/n={}\", \"spans\": [\n{}\n  ]}},\n",
+            "  \"churn_workloads\": [\n{}\n  ],\n",
+            "  \"churn_stats\": {},\n",
+            "  \"trace_spans\": {{\"workload\": \"misreport-sweep+churn/n={}\", \"spans\": [\n{}\n  ]}},\n",
             "  \"sybil_attack_n{}\": {{\"two_tier_ms\": {:.4}, \"stats\": {}}}\n",
             "}}\n"
         ),
@@ -1218,6 +1537,8 @@ fn bench_two_tier(quick: bool) {
         rows.join(",\n"),
         cert_engine_rows.join(",\n"),
         session_rows.join(",\n"),
+        churn_rows.join(",\n"),
+        churn_stats_json,
         trace_n,
         span_rows.join(",\n"),
         attack_n,

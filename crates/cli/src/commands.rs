@@ -335,6 +335,262 @@ pub fn cmd_eg(g: &Graph, out: &mut dyn Write) -> std::io::Result<()> {
     Ok(())
 }
 
+/// `prs update`: replay a JSONL churn script against one long-lived
+/// incremental [`DecompositionSession`] that owns the instance. Each
+/// non-empty, non-`#` line is one event — a JSON object with an `"op"` of
+/// `set_weight` (`v`, `w`), `add_edge` / `remove_edge` (`u`, `v`), or
+/// `batch` (`deltas`: an array of such objects, applied atomically). The
+/// per-event line reports which serving tier answered it (unchanged /
+/// recertified / recomputed) or that the event was rejected and rolled
+/// back. With `stats = true`, the flow-engine counter delta accumulated by
+/// the replay (including the `bd.delta_*` tier counters) is printed after
+/// the final decomposition.
+pub fn cmd_update(
+    g: &Graph,
+    script: &str,
+    stats: bool,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let mut session = DecompositionSession::new(g.clone());
+    match session.current() {
+        Ok(bd) => writeln!(
+            out,
+            "initial decomposition: {} pairs over {} agents",
+            bd.k(),
+            g.n()
+        )?,
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(());
+        }
+    }
+    let before = prs_core::flow::stats::snapshot();
+    let (mut unchanged, mut recertified, mut recomputed, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+    for (idx, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let delta = match parse_delta(line) {
+            Ok(d) => d,
+            Err(msg) => {
+                writeln!(out, "error: script line {lineno}: {msg}")?;
+                return Ok(());
+            }
+        };
+        let ops = delta.len();
+        match session.apply(delta) {
+            Ok(UpdateOutcome::Unchanged) => {
+                unchanged += 1;
+                writeln!(out, "  event {lineno}: {ops} op(s) → unchanged")?;
+            }
+            Ok(UpdateOutcome::Recertified { rounds }) => {
+                recertified += 1;
+                writeln!(
+                    out,
+                    "  event {lineno}: {ops} op(s) → recertified ({rounds} round(s) re-ran a flow)"
+                )?;
+            }
+            Ok(UpdateOutcome::Recomputed) => {
+                recomputed += 1;
+                writeln!(out, "  event {lineno}: {ops} op(s) → recomputed")?;
+            }
+            Err(e) => {
+                rejected += 1;
+                writeln!(out, "  event {lineno}: rejected ({e})")?;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "replayed {} event(s): {unchanged} unchanged, {recertified} recertified, \
+         {recomputed} recomputed, {rejected} rejected",
+        unchanged + recertified + recomputed + rejected
+    )?;
+    let final_bd = match session.current() {
+        Ok(bd) => bd.clone(),
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(());
+        }
+    };
+    let final_g = session.graph().cloned().unwrap_or_else(|| g.clone());
+    writeln!(out, "final decomposition ({} pairs):", final_bd.k())?;
+    for (i, p) in final_bd.pairs().iter().enumerate() {
+        writeln!(
+            out,
+            "  (B_{i}, C_{i}) = ({:?}, {:?})   α_{i} = {}",
+            p.b.to_vec(),
+            p.c.to_vec(),
+            p.alpha
+        )?;
+    }
+    for v in 0..final_g.n() {
+        writeln!(
+            out,
+            "  agent {v}: w = {}, class {:?}, α_v = {}, U_v = {}",
+            final_g.weight(v),
+            final_bd.class_of(v),
+            final_bd.alpha_of(v),
+            final_bd.utility(&final_g, v)
+        )?;
+    }
+    if stats {
+        let delta = prs_core::flow::stats::snapshot().since(&before);
+        writeln!(out, "flow-engine stats:")?;
+        for line in delta.render().lines() {
+            writeln!(out, "  {line}")?;
+        }
+        writeln!(out, "  json {}", delta.to_json())?;
+    }
+    Ok(())
+}
+
+/// Parse one churn-script event (a JSON object; `batch` nests one level of
+/// objects inside a `deltas` array) into a [`Delta`]. Hand-rolled like
+/// every other JSON surface in this workspace.
+fn parse_delta(text: &str) -> Result<Delta, String> {
+    let t = text.trim();
+    let body = t
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "event must be a JSON object".to_string())?;
+    let pairs = split_top_level_pairs(body)?;
+    let op = unquote(field(&pairs, "op")?);
+    match op {
+        "set_weight" => Ok(Delta::SetWeight {
+            v: vertex_field(&pairs, "v")?,
+            w: weight_field(&pairs, "w")?,
+        }),
+        "add_edge" => Ok(Delta::AddEdge {
+            u: vertex_field(&pairs, "u")?,
+            v: vertex_field(&pairs, "v")?,
+        }),
+        "remove_edge" => Ok(Delta::RemoveEdge {
+            u: vertex_field(&pairs, "u")?,
+            v: vertex_field(&pairs, "v")?,
+        }),
+        "batch" => {
+            let arr = field(&pairs, "deltas")?;
+            let inner = arr
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| "`deltas` must be an array".to_string())?;
+            let deltas = split_top_level_objects(inner)?
+                .iter()
+                .map(|o| parse_delta(o))
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Delta::Batch(deltas))
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Split the inside of a JSON object into top-level `(key, raw value)`
+/// pairs; values keep their raw text (quoted strings, numbers, arrays).
+fn split_top_level_pairs(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let stripped = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected a quoted key at `{rest}`"))?;
+        let end = stripped
+            .find('"')
+            .ok_or_else(|| "unterminated key".to_string())?;
+        let key = stripped[..end].to_string();
+        let value_part = stripped[end + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected `:` after key `{key}`"))?
+            .trim_start();
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut split = value_part.len();
+        for (i, ch) in value_part.char_indices() {
+            match ch {
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or_else(|| "unbalanced brackets".to_string())?;
+                }
+                ',' if !in_str && depth == 0 => {
+                    split = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        pairs.push((key, value_part[..split].trim().to_string()));
+        rest = value_part[split..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(pairs)
+}
+
+/// Split the inside of a JSON array into its top-level `{…}` elements.
+fn split_top_level_objects(body: &str) -> Result<Vec<String>, String> {
+    let mut objs = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut start = None;
+    for (i, ch) in body.char_indices() {
+        match ch {
+            '"' => in_str = !in_str,
+            '{' if !in_str => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' if !in_str => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| "unbalanced braces in batch".to_string())?;
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        objs.push(body[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_str {
+        return Err("unterminated batch".to_string());
+    }
+    Ok(objs)
+}
+
+fn field<'a>(pairs: &'a [(String, String)], key: &str) -> Result<&'a str, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn unquote(raw: &str) -> &str {
+    raw.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .unwrap_or(raw)
+}
+
+fn vertex_field(pairs: &[(String, String)], key: &str) -> Result<usize, String> {
+    field(pairs, key)?
+        .parse::<usize>()
+        .map_err(|_| format!("field `{key}` must be a vertex index"))
+}
+
+fn weight_field(pairs: &[(String, String)], key: &str) -> Result<Rational, String> {
+    unquote(field(pairs, key)?)
+        .parse::<Rational>()
+        .map_err(|_| format!("field `{key}` must be a rational weight"))
+}
+
 fn mark(ok: bool) -> &'static str {
     if ok {
         "ok"
@@ -359,6 +615,9 @@ COMMANDS:
     certified-attack <file> <vertex> symbolic (certified) attack optimum
     eg <file>                     Eisenberg–Gale solve vs Proposition 6
     sweep <file> <vertex>         exact misreport sweep (Prop. 11 intervals)
+    update <file> <script.jsonl>  replay a churn script against one
+                                  incremental session; each line is an event
+                                  ({\"op\": set_weight|add_edge|remove_edge|batch})
     audit <file> [--stats]        run every paper-claim check on a ring
                                   (--stats: print flow-engine counters)
 
@@ -499,6 +758,89 @@ mod tests {
         let degenerate = Graph::new(vec![int(1), int(1), int(1)], &[(0, 1)]).unwrap();
         let out = capture(|w| cmd_decompose(&degenerate, w));
         assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn delta_parser_handles_nesting_and_rationals() {
+        use prs_core::numeric::ratio;
+        let d = parse_delta(
+            r#"{"op":"batch","deltas":[{"op":"set_weight","v":2,"w":"7/3"},{"op":"remove_edge","u":1,"v":2}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            d,
+            Delta::Batch(vec![
+                Delta::SetWeight {
+                    v: 2,
+                    w: ratio(7, 3)
+                },
+                Delta::RemoveEdge { u: 1, v: 2 },
+            ])
+        );
+        // Bare-number weights work too.
+        assert_eq!(
+            parse_delta(r#"{"op":"set_weight","v":0,"w":5}"#).unwrap(),
+            Delta::SetWeight { v: 0, w: int(5) }
+        );
+        assert!(parse_delta("[1,2]").is_err());
+        assert!(parse_delta(r#"{"op":"warp"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(parse_delta(r#"{"op":"set_weight","v":0}"#)
+            .unwrap_err()
+            .contains("missing field `w`"));
+    }
+
+    #[test]
+    fn update_replays_script_and_reports_tiers() {
+        // Ring edges are (0,1)…(4,0): re-adding (0,1) and a self-cancelling
+        // batch are both served `unchanged`; the weight moves re-decompose.
+        let script = r#"
+# churn script
+{"op":"set_weight","v":0,"w":"7/2"}
+{"op":"batch","deltas":[{"op":"add_edge","u":0,"v":2},{"op":"remove_edge","u":0,"v":2}]}
+{"op":"add_edge","u":0,"v":1}
+{"op":"set_weight","v":4,"w":6}
+"#;
+        let out = capture(|w| cmd_update(&ring(), script, false, w));
+        assert!(out.contains("initial decomposition"), "{out}");
+        assert!(out.contains("→ unchanged"), "{out}");
+        assert!(out.contains("replayed 4 event(s)"), "{out}");
+        assert!(out.contains("2 unchanged"), "{out}");
+        assert!(out.contains("0 rejected"), "{out}");
+        assert!(out.contains("final decomposition"), "{out}");
+        assert!(out.contains("agent 0: w = 7/2"), "{out}");
+        assert!(out.contains("agent 4: w = 6"), "{out}");
+        assert!(!out.contains("flow-engine stats"), "{out}");
+    }
+
+    #[test]
+    fn update_reports_rejections_and_continues() {
+        let script = "{\"op\":\"set_weight\",\"v\":99,\"w\":\"1\"}\n\
+                      {\"op\":\"set_weight\",\"v\":1,\"w\":\"2\"}\n";
+        let out = capture(|w| cmd_update(&ring(), script, false, w));
+        assert!(out.contains("event 1: rejected"), "{out}");
+        assert!(out.contains("1 rejected"), "{out}");
+        assert!(out.contains("replayed 2 event(s)"), "{out}");
+        assert!(out.contains("agent 1: w = 2"), "{out}");
+    }
+
+    #[test]
+    fn update_script_errors_abort_with_line_numbers() {
+        let out = capture(|w| cmd_update(&ring(), "{\"op\":\"warp\"}", false, w));
+        assert!(out.contains("error: script line 1"), "{out}");
+        assert!(out.contains("unknown op"), "{out}");
+    }
+
+    #[test]
+    fn update_with_stats_prints_delta_tier_counters() {
+        let script = "{\"op\":\"set_weight\",\"v\":0,\"w\":\"2\"}\n\
+                      {\"op\":\"add_edge\",\"u\":0,\"v\":1}\n";
+        let out = capture(|w| cmd_update(&ring(), script, true, w));
+        assert!(out.contains("flow-engine stats"), "{out}");
+        assert!(out.contains("delta unchanged"), "{out}");
+        assert!(out.contains("delta recertified"), "{out}");
+        assert!(out.contains("\"delta_unchanged\""), "{out}");
     }
 
     #[test]

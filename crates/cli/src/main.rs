@@ -81,6 +81,14 @@ fn run(args: &[String]) -> Result<(), String> {
         "eg" => commands::cmd_eg(&graph, &mut stdout),
         "general-attack" => commands::cmd_general_attack(&graph, vertex_arg(2)?, &mut stdout),
         "sweep" => commands::cmd_sweep(&graph, vertex_arg(2)?, &mut stdout),
+        "update" => {
+            let script = args
+                .get(2)
+                .ok_or_else(|| format!("missing churn script file\n\n{}", commands::USAGE))?;
+            let text = std::fs::read_to_string(script)
+                .map_err(|e| format!("cannot read {script}: {e}"))?;
+            commands::cmd_update(&graph, &text, stats, &mut stdout)
+        }
         "audit" => commands::cmd_audit(&graph, stats, &mut stdout),
         other => return Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
     };

@@ -25,6 +25,7 @@ pub mod family;
 pub mod moebius;
 pub mod prop11;
 pub mod prop12;
+pub mod stability;
 pub mod sweep;
 pub mod theorem10;
 
@@ -32,5 +33,6 @@ pub use family::{GraphFamily, MisreportFamily};
 pub use moebius::{exact_breakpoint, exact_breakpoints, pair_moebius, Moebius};
 pub use prop11::{classify_prop11, Prop11Case};
 pub use prop12::{classify_events, BreakpointEvent, EventKind};
+pub use stability::{interval_cell, stability_cells};
 pub use sweep::{sweep, AlphaSample, ShapeInterval, SweepConfig, SweepResult};
 pub use theorem10::{check_theorem10_monotonicity, Theorem10Report};

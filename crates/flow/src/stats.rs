@@ -58,6 +58,15 @@ pub struct FlowStats {
     pub session_misses: u64,
     /// Session rounds seeded from a cached shape (hits plus failed probes).
     pub session_warm_starts: u64,
+    /// Delta mutations answered `Unchanged` without any flow invocation
+    /// (no-op deltas, idempotent edge ops, C–C edge insertions).
+    pub delta_unchanged: u64,
+    /// Delta mutations served by round-scoped recertification (seeded
+    /// certification flows only, previous round structure confirmed).
+    pub delta_recertified: u64,
+    /// Delta mutations that fell back to a full recompute (cold state,
+    /// vertex-count change, or a descent somewhere in the replay).
+    pub delta_recomputed: u64,
 }
 
 impl FlowStats {
@@ -127,6 +136,13 @@ impl FlowStats {
             session_warm_starts: self
                 .session_warm_starts
                 .saturating_sub(earlier.session_warm_starts),
+            delta_unchanged: self.delta_unchanged.saturating_sub(earlier.delta_unchanged),
+            delta_recertified: self
+                .delta_recertified
+                .saturating_sub(earlier.delta_recertified),
+            delta_recomputed: self
+                .delta_recomputed
+                .saturating_sub(earlier.delta_recomputed),
         }
     }
 
@@ -154,6 +170,9 @@ impl FlowStats {
             ("session hits", self.session_hits),
             ("session misses", self.session_misses),
             ("session warm-starts", self.session_warm_starts),
+            ("delta unchanged", self.delta_unchanged),
+            ("delta recertified", self.delta_recertified),
+            ("delta recomputed", self.delta_recomputed),
         ];
         for (k, v) in rows {
             out.push_str(&format!("  {k:<24} {v}\n"));
@@ -194,7 +213,9 @@ impl FlowStats {
                 "\"dinkelbach_iterations\": {}, \"fast_path_hits\": {}, ",
                 "\"fast_path_fallbacks\": {}, \"networks_built\": {}, ",
                 "\"networks_reused\": {}, \"session_hits\": {}, ",
-                "\"session_misses\": {}, \"session_warm_starts\": {}"
+                "\"session_misses\": {}, \"session_warm_starts\": {}, ",
+                "\"delta_unchanged\": {}, \"delta_recertified\": {}, ",
+                "\"delta_recomputed\": {}"
             ),
             self.exact_max_flows,
             self.exact_bfs_phases,
@@ -214,6 +235,9 @@ impl FlowStats {
             self.session_hits,
             self.session_misses,
             self.session_warm_starts,
+            self.delta_unchanged,
+            self.delta_recertified,
+            self.delta_recomputed,
         );
         let fast = self.fast_path_rate();
         if fast.is_finite() {
@@ -276,6 +300,9 @@ counters! {
     SESSION_HITS("bd.session_hits") => session_hits, record_session_hits;
     SESSION_MISSES("bd.session_misses") => session_misses, record_session_misses;
     SESSION_WARM("bd.session_warm_starts") => session_warm_starts, record_session_warm_starts;
+    DELTA_UNCHANGED("bd.delta_unchanged") => delta_unchanged, record_delta_unchanged;
+    DELTA_RECERTIFIED("bd.delta_recertified") => delta_recertified, record_delta_recertified;
+    DELTA_RECOMPUTED("bd.delta_recomputed") => delta_recomputed, record_delta_recomputed;
 }
 
 #[cfg(test)]
@@ -395,6 +422,38 @@ mod tests {
         assert!(s.render().contains("session hits"));
         assert!(s.render().contains("75.0%"), "{}", s.render());
         assert!(s.to_json().contains("\"session_warm_starts\": 3"));
+    }
+
+    #[test]
+    fn delta_counters_round_trip() {
+        let before = snapshot();
+        record_delta_unchanged(2);
+        record_delta_recertified(3);
+        record_delta_recomputed(1);
+        let delta = snapshot().since(&before);
+        assert!(delta.delta_unchanged >= 2);
+        assert!(delta.delta_recertified >= 3);
+        assert!(delta.delta_recomputed >= 1);
+        let s = FlowStats {
+            delta_unchanged: 5,
+            delta_recertified: 2,
+            delta_recomputed: 1,
+            ..FlowStats::default()
+        };
+        assert!(s.render().contains("delta unchanged"));
+        assert!(s.render().contains("delta recertified"));
+        assert!(s.render().contains("delta recomputed"));
+        let json = s.to_json();
+        assert!(json.contains("\"delta_unchanged\": 5"), "{json}");
+        assert!(json.contains("\"delta_recertified\": 2"), "{json}");
+        assert!(json.contains("\"delta_recomputed\": 1"), "{json}");
+        let names: Vec<&str> = prs_trace::counter_values()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert!(names.contains(&"bd.delta_unchanged"), "{names:?}");
+        assert!(names.contains(&"bd.delta_recertified"), "{names:?}");
+        assert!(names.contains(&"bd.delta_recomputed"), "{names:?}");
     }
 
     #[test]

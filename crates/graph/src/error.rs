@@ -49,6 +49,13 @@ pub enum GraphError {
         /// Minimum required.
         min: usize,
     },
+    /// An edge removal referenced an edge that is not present.
+    MissingEdge {
+        /// Smaller endpoint.
+        u: usize,
+        /// Larger endpoint.
+        v: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -77,6 +84,7 @@ impl fmt::Display for GraphError {
             GraphError::TooFewVertices { n, min } => {
                 write!(f, "construction requires at least {min} vertices, got {n}")
             }
+            GraphError::MissingEdge { u, v } => write!(f, "edge ({u}, {v}) is not present"),
         }
     }
 }

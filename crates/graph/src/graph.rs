@@ -106,6 +106,80 @@ impl Graph {
         g
     }
 
+    /// Fallible weight replacement (the panic-free twin of [`Graph::set_weight`],
+    /// used by the delta-mutation path).
+    pub fn try_set_weight(&mut self, v: VertexId, w: Rational) -> Result<(), GraphError> {
+        if v >= self.n() {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n(),
+            });
+        }
+        if w.is_negative() {
+            return Err(GraphError::NegativeWeight { vertex: v });
+        }
+        self.weights[v] = w;
+        Ok(())
+    }
+
+    /// Insert the undirected edge `(u, v)`, keeping the sorted adjacency and
+    /// edge-list invariants. Rejects out-of-range endpoints, self-loops, and
+    /// edges already present.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        let n = self.n();
+        if u >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let slot_ab = match self.adj[a].binary_search(&b) {
+            Ok(_) => return Err(GraphError::DuplicateEdge { u: a, v: b }),
+            Err(i) => i,
+        };
+        self.adj[a].insert(slot_ab, b);
+        // Adjacency is symmetric by construction, so the mirror and the edge
+        // list cannot already hold the pair once the a→b slot was vacant.
+        if let Err(i) = self.adj[b].binary_search(&a) {
+            self.adj[b].insert(i, a);
+        }
+        if let Err(i) = self.edges.binary_search(&(a, b)) {
+            self.edges.insert(i, (a, b));
+        }
+        Ok(())
+    }
+
+    /// Remove the undirected edge `(u, v)`, keeping the sorted adjacency and
+    /// edge-list invariants. Rejects out-of-range endpoints and absent edges.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        let n = self.n();
+        if u >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n });
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let slot_ab = match self.adj[a].binary_search(&b) {
+            Ok(i) => i,
+            Err(_) => return Err(GraphError::MissingEdge { u: a, v: b }),
+        };
+        self.adj[a].remove(slot_ab);
+        // Symmetric invariant: the mirror entry and edge-list row exist
+        // whenever the a→b entry did.
+        if let Ok(i) = self.adj[b].binary_search(&a) {
+            self.adj[b].remove(i);
+        }
+        if let Ok(i) = self.edges.binary_search(&(a, b)) {
+            self.edges.remove(i);
+        }
+        Ok(())
+    }
+
     /// Neighbors of `v`, sorted ascending.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
@@ -349,6 +423,55 @@ mod tests {
         let disconnected = Graph::new(w(&[1; 4]), &[(0, 1), (2, 3)]).unwrap();
         assert!(!disconnected.is_connected());
         assert!(ring.is_connected());
+    }
+
+    #[test]
+    fn edge_mutation_keeps_invariants() {
+        let mut g = Graph::new(w(&[1, 2, 3, 4]), &[(0, 1), (1, 2)]).unwrap();
+        g.add_edge(3, 0).unwrap();
+        assert_eq!(g.edges(), &[(0, 1), (0, 3), (1, 2)]);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(3), &[0]);
+        assert!(matches!(
+            g.add_edge(0, 1),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        ));
+        assert!(matches!(g.add_edge(2, 2), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            g.add_edge(0, 9),
+            Err(GraphError::VertexOutOfRange { vertex: 9, n: 4 })
+        ));
+        g.remove_edge(1, 0).unwrap();
+        assert_eq!(g.edges(), &[(0, 3), (1, 2)]);
+        assert_eq!(g.neighbors(0), &[3]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert!(matches!(
+            g.remove_edge(0, 1),
+            Err(GraphError::MissingEdge { u: 0, v: 1 })
+        ));
+        assert!(matches!(
+            g.remove_edge(5, 0),
+            Err(GraphError::VertexOutOfRange { vertex: 5, n: 4 })
+        ));
+        // Round-trip equals a fresh construction of the same graph.
+        let fresh = Graph::new(w(&[1, 2, 3, 4]), &[(0, 3), (1, 2)]).unwrap();
+        assert_eq!(g, fresh);
+    }
+
+    #[test]
+    fn try_set_weight_validates() {
+        let mut g = Graph::new(w(&[1, 2]), &[(0, 1)]).unwrap();
+        g.try_set_weight(0, int(5)).unwrap();
+        assert_eq!(g.weight(0), &int(5));
+        assert!(matches!(
+            g.try_set_weight(0, int(-1)),
+            Err(GraphError::NegativeWeight { vertex: 0 })
+        ));
+        assert!(matches!(
+            g.try_set_weight(7, int(1)),
+            Err(GraphError::VertexOutOfRange { vertex: 7, n: 2 })
+        ));
+        assert_eq!(g.weight(0), &int(5));
     }
 
     #[test]

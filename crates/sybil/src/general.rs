@@ -106,7 +106,13 @@ pub fn attack_payoff(
     partition: &[usize],
     weights: &[Rational],
 ) -> Option<Rational> {
-    attack_payoff_in(g, v, partition, weights, &mut DecompositionSession::new())
+    attack_payoff_in(
+        g,
+        v,
+        partition,
+        weights,
+        &mut DecompositionSession::detached(),
+    )
 }
 
 /// [`attack_payoff`] through a caller-owned [`DecompositionSession`] — the
@@ -253,7 +259,7 @@ pub fn best_general_sybil(
     let mut evals = 0usize;
     // One session for the whole search: weight placements within (and often
     // across) partitions revisit the same decomposition shapes.
-    let mut session = DecompositionSession::with_config(cfg.session_config());
+    let mut session = DecompositionSession::detached_with_config(cfg.session_config());
 
     let max_m = d.min(cfg.max_copies).max(1);
     for partition in enumerate_partitions(d, max_m) {

@@ -62,7 +62,7 @@ impl SybilSplitFamily {
     /// `None` if the path decomposition is undefined there (degenerate
     /// boundary).
     pub fn payoff(&self, w1: &Rational) -> Option<(Rational, Rational)> {
-        self.payoff_in(w1, &mut prs_bd::DecompositionSession::new())
+        self.payoff_in(w1, &mut prs_bd::DecompositionSession::detached())
     }
 
     /// [`payoff`](Self::payoff) through a caller-owned

@@ -1,0 +1,24 @@
+//! Fixture: the delta-mutation path is an exact kernel — no floats, no
+//! numeric casts, no panicking calls outside tests.
+
+pub fn predict(alpha: u64) -> f64 {
+    let x = alpha as f64;
+    x * 0.5
+}
+
+pub fn rounds(n: u64) -> usize {
+    n as usize
+}
+
+pub fn first_round(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u64> = Some(3);
+        v.unwrap();
+    }
+}

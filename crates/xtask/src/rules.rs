@@ -126,9 +126,12 @@ impl LintConfig {
             // trait, and the exact backends. The one sanctioned float
             // module is carved back out via `float_boundary_exempt`.
             "crates/flow/src".to_string(),
-            // The decomposition driver and the session replay/certify paths.
+            // The decomposition driver, the session replay/certify paths,
+            // and the delta-mutation vocabulary (cells evaluate exact
+            // Möbius curves; a float anywhere here could skew an α̂).
             "crates/bd/src/decomposition.rs".to_string(),
             "crates/bd/src/session.rs".to_string(),
+            "crates/bd/src/delta.rs".to_string(),
             // The trace recorder: instrumented from inside the exact kernels,
             // so its own arithmetic (timing, percentiles, JSON export) must
             // stay integer-only too.

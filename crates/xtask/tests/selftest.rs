@@ -175,6 +175,24 @@ fn i128_backend_boundary_rules_fire() {
 }
 
 #[test]
+fn delta_module_boundary_rules_fire() {
+    // The delta-mutation vocabulary (`crates/bd/src/delta.rs`) joined the
+    // exact-kernel float set in ISSUE 7 (casts and panics were already
+    // covered directory-wide): a fixture twin leaking floats, lossy casts,
+    // or panics into the cell/α̂ arithmetic must trip every rule, while
+    // its test module stays exempt.
+    let r = fixture_report();
+    let file = "crates/bd/src/delta.rs";
+    assert_finding(&r, "float", file, 4); // `-> f64`
+    assert_finding(&r, "float", file, 5); // `as f64` target type
+    assert_finding(&r, "cast", file, 5); // `alpha as f64`
+    assert_finding(&r, "float", file, 6); // `0.5` literal
+    assert_finding(&r, "cast", file, 10); // `n as usize`
+    assert_finding(&r, "panic", file, 14); // `.unwrap()`
+    assert_no_finding_at(&r, "panic", file, 22); // test region exempt
+}
+
+#[test]
 fn float_boundary_module_is_exempt() {
     // The sanctioned f64 backend module is carved out of the float and
     // cast rules: its fixture twin is saturated with floats and casts and

@@ -15,8 +15,10 @@ use prs::prelude::{
     allocate, decompose, decompose_exact,
     AgentClass, Allocation, BdError, BottleneckDecomposition,
     DecompositionSession, SessionConfig, SessionPool, SessionStats,
+    // Delta mutation API (ISSUE 7).
+    CellMoebius, Delta, EdgeOp, ShardPool, StabilityCell, UpdateOutcome,
     // Misreport sweeps.
-    classify_prop11, sweep,
+    classify_prop11, stability_cells, sweep,
     AlphaSample, GraphFamily, MisreportFamily, Prop11Case, ShapeInterval,
     SweepConfig, SweepResult,
     // Dynamics engines.
@@ -63,6 +65,7 @@ fn surface_is_importable_and_coherent() {
         worst_case_search,
     );
     let _ = sweep::<MisreportFamily>;
+    let _ = stability_cells::<MisreportFamily>;
 
     // Type names must be type-typed (turbofish/`size_of` forces this).
     fn has_default<T: Default>() {}
@@ -141,7 +144,7 @@ fn surface_is_importable_and_coherent() {
 // touching component crates.
 #[test]
 fn prelude_alone_supports_the_session_workflow() {
-    let mut session = DecompositionSession::with_config(
+    let mut session = DecompositionSession::detached_with_config(
         SessionConfig::new()
             .with_warm_start(true)
             .with_cache_capacity(8),
@@ -151,4 +154,45 @@ fn prelude_alone_supports_the_session_workflow() {
     assert_eq!(bd.utilities(&g).iter().sum::<Rational>(), g.total_weight());
     let s = session.stats();
     assert_eq!(s.hits + s.misses, bd.k() as u64);
+}
+
+// The delta mutation surface (ISSUE 7): `DecompositionSession::new` owns
+// its instance, `apply` routes `Delta`s through the serving tiers, and the
+// vocabulary is pinned in the prelude.
+#[test]
+fn prelude_alone_supports_the_delta_workflow() {
+    let g = builders::ring(vec![int(5), int(1), int(4), int(2)]).unwrap();
+    let mut session = DecompositionSession::new(g);
+    let _: &BottleneckDecomposition = session.current().unwrap();
+    let out: UpdateOutcome = session
+        .apply(Delta::Batch(vec![
+            Delta::SetWeight { v: 0, w: int(6) },
+            Delta::AddEdge { u: 0, v: 2 },
+            Delta::RemoveEdge { u: 0, v: 2 },
+        ]))
+        .unwrap();
+    assert_ne!(out, UpdateOutcome::Unchanged);
+    let _ = session.update_weight(1, int(2)).unwrap();
+    let _ = session.update_edge(0, 2, EdgeOp::Add).unwrap();
+    // The tier vocabulary is part of the surface.
+    let _ = std::mem::size_of::<(Delta, UpdateOutcome, EdgeOp, StabilityCell, CellMoebius)>();
+    match out {
+        UpdateOutcome::Unchanged
+        | UpdateOutcome::Recertified { rounds: _ }
+        | UpdateOutcome::Recomputed => {}
+    }
+    // Detached sessions refuse the delta API with a dedicated error.
+    let mut detached = DecompositionSession::detached();
+    assert!(matches!(
+        detached.apply(Delta::Batch(vec![])),
+        Err(BdError::DetachedSession)
+    ));
+    // Sharded delta queues ride the same vocabulary.
+    let pool = ShardPool::new(
+        vec![builders::ring(vec![int(5), int(1), int(4), int(2)]).unwrap()],
+        SessionConfig::new(),
+    );
+    pool.enqueue(0, Delta::SetWeight { v: 0, w: int(3) });
+    let drained = pool.drain(1);
+    assert!(drained[0][0].is_ok());
 }

@@ -50,7 +50,7 @@ fn assert_identical(g: &Graph, session: &mut DecompositionSession, label: &str) 
 #[test]
 fn session_matches_cold_on_random_rings() {
     let mut rng = StdRng::seed_from_u64(2020);
-    let mut session = DecompositionSession::new();
+    let mut session = DecompositionSession::detached();
     for n in [3usize, 4, 5, 6, 8, 10] {
         for trial in 0..6 {
             let g = random::random_ring(&mut rng, n, 1, 20);
@@ -64,7 +64,7 @@ fn session_matches_cold_on_random_rings() {
 #[test]
 fn session_matches_cold_on_stars() {
     let mut rng = StdRng::seed_from_u64(77);
-    let mut session = DecompositionSession::new();
+    let mut session = DecompositionSession::detached();
     for n in [4usize, 5, 7, 9] {
         for trial in 0..4 {
             let g = builders::star(random::random_weights(&mut rng, n, 1, 15)).unwrap();
@@ -76,7 +76,7 @@ fn session_matches_cold_on_stars() {
 #[test]
 fn session_matches_cold_on_erdos_renyi() {
     let mut rng = StdRng::seed_from_u64(4242);
-    let mut session = DecompositionSession::new();
+    let mut session = DecompositionSession::detached();
     for n in [4usize, 6, 8] {
         for (trial, p) in [0.3, 0.5, 0.8].into_iter().enumerate() {
             let g = random::random_connected(&mut rng, n, p, 1, 12);
@@ -88,7 +88,7 @@ fn session_matches_cold_on_erdos_renyi() {
 #[test]
 fn session_matches_cold_on_every_shipped_instance() {
     let dir = format!("{}/instances", env!("CARGO_MANIFEST_DIR"));
-    let mut session = DecompositionSession::new();
+    let mut session = DecompositionSession::detached();
     let mut checked = 0usize;
     for entry in std::fs::read_dir(dir).expect("instances/ exists") {
         let path = entry.expect("readable entry").path();
@@ -127,7 +127,7 @@ fn session_matches_cold_on_near_tie_fallback_ring() {
     ])
     .unwrap();
 
-    let mut session = DecompositionSession::new();
+    let mut session = DecompositionSession::detached();
     // Prime the cache with a *nearby* ring whose optimal bottleneck is the
     // gadget-A vertex {1}, so the session warm-starts the near-tie ring
     // from a plausible-but-wrong shape and must recover via certification.
@@ -166,7 +166,7 @@ fn shared_session_sweep_sequence_is_bit_identical() {
         .map(|k| &lo + &(&span * &ratio(k as i64, grid as i64)))
         .collect();
 
-    let mut session = DecompositionSession::new();
+    let mut session = DecompositionSession::detached();
     for x in xs.iter().chain(xs.iter().rev().step_by(3)) {
         let g = fam.graph_at(x);
         assert_identical(&g, &mut session, &format!("misreport x={x}"));
@@ -181,7 +181,7 @@ fn shared_session_sweep_sequence_is_bit_identical() {
 #[test]
 fn session_counters_are_monotone_over_a_mixed_workload() {
     let mut rng = StdRng::seed_from_u64(9);
-    let mut session = DecompositionSession::new();
+    let mut session = DecompositionSession::detached();
     let mut prev = session.stats();
     let mut rounds_served = 0u64;
     for n in [3usize, 5, 4, 5, 3] {

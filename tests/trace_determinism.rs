@@ -75,7 +75,7 @@ fn flow_spans_pin_engine_names_and_attrs() {
     let g = ring();
     let bd = decompose(&g).unwrap();
     let _alloc = allocate(&g, &bd);
-    let mut session = DecompositionSession::new();
+    let mut session = DecompositionSession::detached();
     session.decompose(&ring()).unwrap();
     let reweighted = builders::ring(vec![int(4), int(1), int(4), int(1), int(5), int(9)]).unwrap();
     session.decompose(&reweighted).unwrap();
