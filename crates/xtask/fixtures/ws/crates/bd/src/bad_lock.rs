@@ -1,0 +1,32 @@
+//! Fixture: `lock-order` violations — an `a`→`b` / `b`→`a` acquisition-
+//! order cycle and a flow-engine invocation made while a pool lock is held.
+
+use std::sync::Mutex;
+
+struct Shards {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Shards {
+    fn ab(&self) -> u64 {
+        let _g = self.a.lock();
+        let _h = self.b.lock();
+        1
+    }
+
+    fn ba(&self) -> u64 {
+        let _h = self.b.lock();
+        let _g = self.a.lock();
+        2
+    }
+
+    fn flow_under_lock(&self) -> u64 {
+        let _g = self.a.lock();
+        self.max_flow()
+    }
+
+    fn max_flow(&self) -> u64 {
+        3
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: `panic-reach` violations — the public surface reaches an
+//! unwrap through two private helpers (the lexical `panic` rule sees only
+//! the site in `deep_helper`), plus an indexing chain behind the
+//! `panic_reach_index_sites` gate.
+
+pub struct Reach;
+
+impl Reach {
+    pub fn surface_entry(&self) -> u64 {
+        mid_hop(7)
+    }
+}
+
+fn mid_hop(x: u64) -> u64 {
+    deep_helper(x)
+}
+
+fn deep_helper(x: u64) -> u64 {
+    let v: Option<u64> = Some(x);
+    v.unwrap()
+}
+
+pub fn pick_first(v: &[u64]) -> u64 {
+    index_helper(v)
+}
+
+fn index_helper(v: &[u64]) -> u64 {
+    v[0]
+}

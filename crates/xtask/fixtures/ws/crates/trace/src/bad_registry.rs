@@ -1,0 +1,8 @@
+//! Fixture: `trace-registry` violations — one registered span plus a rogue
+//! span and a rogue counter the fixture registry does not list.
+
+pub fn traced() {
+    let _sp = span("flow", "good_span");
+    let _sq = span("flow", "rogue_span");
+    let _c = Counter::new("fixture.rogue_counter");
+}

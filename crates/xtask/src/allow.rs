@@ -28,6 +28,9 @@ pub const RULE_NAMES: &[&str] = &[
     "api-doc",
     "non-exhaustive",
     "proptest-regressions",
+    "panic-reach",
+    "lock-order",
+    "trace-registry",
 ];
 
 /// One parsed allow annotation.

@@ -1,0 +1,1263 @@
+//! Workspace call-graph extraction and linking for the semantic lint rules.
+//!
+//! The original `prs-lint` rules are per-file token passes; the three
+//! workspace rules (`panic-reach`, `lock-order`, `trace-registry`) must see
+//! across call boundaries. This module recovers just enough structure from
+//! the token stream (the offline build has no `syn`) to build an
+//! *approximate* call graph:
+//!
+//! * per-file item tables ([`FileTable`]): every `fn` definition with the
+//!   `impl`/`trait` type that owns it, every call site, every
+//!   `Mutex`/`RwLock` acquisition with the set of locks already held at
+//!   that point (scope-depth tracking over the token stream), every
+//!   panic-family site, and every span / counter name literal;
+//! * a linker ([`link`]) that resolves call sites to definitions by name
+//!   and module convention, **over-approximating** on ambiguity: a method
+//!   call links to every same-named method in the workspace, and a bare
+//!   call with no same-crate definition links to every same-named
+//!   definition anywhere. A qualified path whose qualifier matches no
+//!   workspace type or module (`Vec::new`, `String::from`) is treated as
+//!   external and produces no edge — qualified names are the one place the
+//!   resolver can be precise without types, which also gives code a way to
+//!   *disambiguate deliberately* (UFCS at the call site).
+//!
+//! The soundness stance is deliberate: the reachability rules would rather
+//! report a false chain (silenced with a reasoned allow, or disambiguated
+//! with UFCS) than miss a real one through an edge the resolver could not
+//! prove. Known precision limits are documented in `docs/ANALYSIS.md`
+//! under "workspace analyses".
+
+use crate::lexer::{Lexed, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A span or counter name literal collected for the `trace-registry` rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceName {
+    /// The registry line this site demands: `span <layer>.<name>` or
+    /// `counter <dotted.name>`.
+    pub entry: String,
+    /// 1-based line of the name literal.
+    pub line: u32,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (the identifier directly before the `(`).
+    pub name: String,
+    /// `Q` for `Q::name(...)` paths; `Self` is rewritten to the owner.
+    pub qualifier: Option<String>,
+    /// True for `.name(...)` method syntax.
+    pub method: bool,
+    /// 1-based line.
+    pub line: u32,
+    /// Names of locks held when the call executes (sorted, deduped).
+    pub held: Vec<String>,
+}
+
+/// One panic-family site.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What the site is (`.unwrap()`, `panic!`, indexing).
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// True for slice/array indexing (gated separately: the lexical rules
+    /// never covered indexing, so it is opt-in for `panic-reach`).
+    pub indexing: bool,
+}
+
+/// One lock acquisition (`.lock()` / `.read()` / `.write()`, empty parens).
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// The receiver name standing in for the lock (`free`, `shards`, …).
+    pub lock: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Locks already held when this one is acquired.
+    pub held: Vec<String>,
+}
+
+/// One `fn` definition with everything the workspace rules need.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// The `impl`/`trait` self-type it is defined on, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// True for unrestricted `pub` (`pub(crate)` is not library surface).
+    pub is_pub: bool,
+    /// Call sites in body order.
+    pub calls: Vec<CallSite>,
+    /// Panic-family sites in body order.
+    pub panics: Vec<PanicSite>,
+    /// Lock acquisitions in body order.
+    pub locks: Vec<LockSite>,
+}
+
+/// The extracted table for one file.
+#[derive(Debug, Clone)]
+pub struct FileTable {
+    /// File path relative to the lint root.
+    pub file: String,
+    /// Crate name derived from the path (`crates/<name>/…`, else `root`).
+    pub krate: String,
+    /// Function definitions outside test regions.
+    pub fns: Vec<FnDef>,
+    /// Span / counter name literals outside test regions.
+    pub names: Vec<TraceName>,
+}
+
+/// Keywords and variant constructors that look like calls but never are.
+const NON_CALLEES: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "ref", "else", "break",
+    "continue", "await", "where", "let", "mut", "Some", "None", "Ok", "Err",
+];
+
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const BINDING_HEADS: &[&str] = &["let", "match", "if", "while", "for"];
+
+/// One lock acquisition located in the token stream. The guard counts as
+/// held for token indices in the exclusive range `(index, until)`.
+struct Acq {
+    name: String,
+    index: usize,
+    until: usize,
+}
+
+/// A lexical scope frame (pushed per `{`).
+struct Frame {
+    /// `Some(T)` directly inside `impl T` / `trait T`.
+    owner: Option<String>,
+    /// Index into the file's `fns` if this brace opened a function body.
+    fn_idx: Option<usize>,
+}
+
+/// Extract the item table for one file.
+///
+/// `test_spans` are the `#[cfg(test)]` / `#[test]` line regions; nothing
+/// inside them is recorded. `span_const_layers` maps `const` name prefixes
+/// to trace layers, for span names that reach the recorder through trait
+/// consts rather than call-site literals (`const SPAN_BFS: &'static str =
+/// "exact_bfs_phase"` on a `Capacity` impl → `span flow.exact_bfs_phase`).
+pub fn extract(
+    file: &str,
+    krate: &str,
+    lexed: &Lexed,
+    depths: &[u32],
+    test_spans: &[(u32, u32)],
+    span_const_layers: &[(String, String)],
+) -> FileTable {
+    let toks = &lexed.tokens;
+    let mask = attr_mask(toks);
+    let in_test = |line: u32| test_spans.iter().any(|&(s, e)| line >= s && line <= e);
+    let acqs = collect_acquisitions(toks, depths, &mask, &in_test);
+    let held_at = |idx: usize| -> Vec<String> {
+        let mut v: Vec<String> = acqs
+            .iter()
+            .filter(|a| a.index < idx && idx < a.until)
+            .map(|a| a.name.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut names: Vec<TraceName> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending_impl: Option<String> = None;
+    let mut pending_fn: Option<(String, u32, bool)> = None;
+
+    let ident = |i: usize| match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize, c: char| toks.get(i).map(|t| &t.kind) == Some(&TokKind::Punct(c));
+    let strlit = |i: usize| match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Str(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    // The innermost enclosing function body, as an index into `fns`.
+    let cur = |stack: &[Frame]| stack.iter().rev().find_map(|f| f.fn_idx);
+
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        let line = toks[i].line;
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                let frame = if let Some((name, fline, is_pub)) = pending_fn.take() {
+                    // An `impl Trait` in the signature must not leak into
+                    // the body's ownership context.
+                    pending_impl = None;
+                    if in_test(fline) {
+                        Frame {
+                            owner: None,
+                            fn_idx: None,
+                        }
+                    } else {
+                        let owner = stack.iter().rev().find_map(|f| f.owner.clone());
+                        fns.push(FnDef {
+                            name,
+                            owner,
+                            line: fline,
+                            is_pub,
+                            calls: Vec::new(),
+                            panics: Vec::new(),
+                            locks: Vec::new(),
+                        });
+                        Frame {
+                            owner: None,
+                            fn_idx: Some(fns.len() - 1),
+                        }
+                    }
+                } else {
+                    Frame {
+                        owner: pending_impl.take(),
+                        fn_idx: None,
+                    }
+                };
+                stack.push(frame);
+            }
+            TokKind::Punct('}') => {
+                stack.pop();
+            }
+            TokKind::Punct(';') => {
+                // Bodyless signatures (trait methods, `extern` decls).
+                pending_fn = None;
+                pending_impl = None;
+            }
+            TokKind::Punct('[') if !in_test(line) => {
+                // Indexing: `expr[` where expr ends in an identifier, `]`,
+                // or `)`. Attribute brackets, slice types (`: [u8; 4]`),
+                // array literals, and macro brackets (`vec![`) all have a
+                // different predecessor.
+                let is_index = i > 0
+                    && !mask[i - 1]
+                    && match &toks[i - 1].kind {
+                        TokKind::Ident(s) => !NON_CALLEES.contains(&s.as_str()),
+                        TokKind::Punct(']') | TokKind::Punct(')') => true,
+                        _ => false,
+                    };
+                if is_index {
+                    if let Some(fi) = cur(&stack) {
+                        fns[fi].panics.push(PanicSite {
+                            what: "indexing `[`".into(),
+                            line,
+                            indexing: true,
+                        });
+                    }
+                }
+            }
+            TokKind::Ident(name) => {
+                if in_test(line) {
+                    continue;
+                }
+                match name.as_str() {
+                    "fn" => {
+                        if let Some(fname) = ident(i + 1) {
+                            pending_fn =
+                                Some((fname.to_string(), toks[i + 1].line, is_pub_fn(toks, i)));
+                        }
+                        continue;
+                    }
+                    "impl" => {
+                        pending_impl = scan_owner(toks, i, false);
+                        continue;
+                    }
+                    "trait" => {
+                        pending_impl = scan_owner(toks, i, true);
+                        continue;
+                    }
+                    _ => {}
+                }
+
+                // Trace-name literals -------------------------------------
+                if (name == "span" || name == "instant")
+                    && punct(i + 1, '(')
+                    && !(i > 0 && punct(i - 1, '.'))
+                {
+                    if let (Some(layer), true, Some(n)) =
+                        (strlit(i + 2), punct(i + 3, ','), strlit(i + 4))
+                    {
+                        names.push(TraceName {
+                            entry: format!("span {layer}.{n}"),
+                            line,
+                        });
+                    }
+                }
+                if name == "new" && i >= 3 && ident(i - 3) == Some("Counter") && punct(i + 1, '(') {
+                    if let Some(n) = strlit(i + 2) {
+                        names.push(TraceName {
+                            entry: format!("counter {n}"),
+                            line,
+                        });
+                    }
+                }
+                // Declarative counter tables: `IDENT("dotted.name") => …`
+                // rows inside the `counters!` macro. The dotted-name
+                // requirement keeps `Some("x") =>` match arms out.
+                if punct(i + 1, '(') && punct(i + 3, ')') && punct(i + 4, '=') && punct(i + 5, '>')
+                {
+                    if let Some(n) = strlit(i + 2) {
+                        if n.contains('.') {
+                            names.push(TraceName {
+                                entry: format!("counter {n}"),
+                                line,
+                            });
+                        }
+                    }
+                }
+                // Span names bound to consts: `const SPAN_X: &str = "…";`.
+                if i > 0 && ident(i - 1) == Some("const") {
+                    for (prefix, layer) in span_const_layers {
+                        if !name.starts_with(prefix.as_str()) {
+                            continue;
+                        }
+                        for k in i + 1..(i + 8).min(toks.len()) {
+                            if punct(k, '=') {
+                                if let Some(n) = strlit(k + 1) {
+                                    names.push(TraceName {
+                                        entry: format!("span {layer}.{n}"),
+                                        line,
+                                    });
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+
+                // Lock acquisitions ---------------------------------------
+                if let Some(acq) = acqs.iter().find(|a| a.index == i) {
+                    if let Some(fi) = cur(&stack) {
+                        fns[fi].locks.push(LockSite {
+                            lock: acq.name.clone(),
+                            line,
+                            held: held_at(i),
+                        });
+                    }
+                    continue; // a lock call is not also a call site
+                }
+
+                // Panic sites ---------------------------------------------
+                if PANIC_METHODS.contains(&name.as_str())
+                    && i > 0
+                    && punct(i - 1, '.')
+                    && punct(i + 1, '(')
+                {
+                    if let Some(fi) = cur(&stack) {
+                        fns[fi].panics.push(PanicSite {
+                            what: format!(".{name}()"),
+                            line,
+                            indexing: false,
+                        });
+                    }
+                }
+                if PANIC_MACROS.contains(&name.as_str()) && punct(i + 1, '!') {
+                    if let Some(fi) = cur(&stack) {
+                        fns[fi].panics.push(PanicSite {
+                            what: format!("{name}!"),
+                            line,
+                            indexing: false,
+                        });
+                    }
+                }
+
+                // Call sites ----------------------------------------------
+                if punct(i + 1, '(')
+                    && !NON_CALLEES.contains(&name.as_str())
+                    && !(i > 0 && ident(i - 1) == Some("fn"))
+                {
+                    let method = i > 0 && punct(i - 1, '.');
+                    let qualifier = if !method && i >= 3 && punct(i - 1, ':') && punct(i - 2, ':') {
+                        ident(i - 3).map(|q| {
+                            if q == "Self" {
+                                stack
+                                    .iter()
+                                    .rev()
+                                    .find_map(|f| f.owner.clone())
+                                    .unwrap_or_else(|| q.to_string())
+                            } else {
+                                q.to_string()
+                            }
+                        })
+                    } else {
+                        None
+                    };
+                    let held = held_at(i);
+                    if let Some(fi) = cur(&stack) {
+                        fns[fi].calls.push(CallSite {
+                            name: name.clone(),
+                            qualifier,
+                            method,
+                            line,
+                            held,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    FileTable {
+        file: file.to_string(),
+        krate: krate.to_string(),
+        fns,
+        names,
+    }
+}
+
+/// Token indices covered by `#[...]` attributes (nothing inside an
+/// attribute is a call, a lock, or a panic site).
+fn attr_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        let starts_attr = toks[i].kind == TokKind::Punct('#')
+            && toks.get(i + 1).map(|t| &t.kind) == Some(&TokKind::Punct('['));
+        if !starts_attr {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = (j + 1).min(toks.len());
+        for m in &mut mask[i..end] {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Find every `.lock()` / `.read()` / `.write()` (empty parens — the
+/// `Mutex`/`RwLock` signatures) and compute how long each guard is held:
+///
+/// * statement starts with `let` / `match` / `if` / `while` / `for` — the
+///   guard is bound (or borrowed by the expression) and held to the end of
+///   the enclosing block;
+/// * otherwise it is a temporary, dropped at the statement's `;`.
+///
+/// Both are over-approximations in the binding case (an explicit
+/// `drop(guard)` is not modeled) and exact for temporaries.
+fn collect_acquisitions(
+    toks: &[Token],
+    depths: &[u32],
+    mask: &[bool],
+    in_test: &dyn Fn(u32) -> bool,
+) -> Vec<Acq> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || i < 2 {
+            continue;
+        }
+        let TokKind::Ident(name) = &toks[i].kind else {
+            continue;
+        };
+        if !LOCK_METHODS.contains(&name.as_str())
+            || toks[i - 1].kind != TokKind::Punct('.')
+            || toks.get(i + 1).map(|t| &t.kind) != Some(&TokKind::Punct('('))
+            || toks.get(i + 2).map(|t| &t.kind) != Some(&TokKind::Punct(')'))
+            || in_test(toks[i].line)
+        {
+            continue;
+        }
+        let lock = receiver_name(toks, i - 2);
+        // Statement head: the first token after the previous `;`/`{`/`}`.
+        let mut head = i;
+        while head > 0
+            && !matches!(
+                toks[head - 1].kind,
+                TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}')
+            )
+        {
+            head -= 1;
+        }
+        let binding = matches!(&toks[head].kind,
+            TokKind::Ident(s) if BINDING_HEADS.contains(&s.as_str()));
+        let stmt_depth = depths[head];
+        let mut until = toks.len();
+        for (k, t) in toks.iter().enumerate().skip(i + 1) {
+            if depths[k] > stmt_depth {
+                continue;
+            }
+            match t.kind {
+                TokKind::Punct('}') => {
+                    until = k;
+                    break;
+                }
+                TokKind::Punct(';') if !binding => {
+                    until = k;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        out.push(Acq {
+            name: lock,
+            index: i,
+            until,
+        });
+    }
+    out
+}
+
+/// The identifier naming the receiver of `<recv>.lock()`: the last path
+/// component, skipping index (`[…]`) and call (`(…)`) suffixes. Tuple
+/// fields (`self.0.lock()`) become `_field`, anything else `_expr`.
+fn receiver_name(toks: &[Token], mut k: usize) -> String {
+    loop {
+        match &toks[k].kind {
+            TokKind::Punct(']') => match open_before(toks, k, '[', ']') {
+                Some(o) if o > 0 => k = o - 1,
+                _ => return "_expr".into(),
+            },
+            TokKind::Punct(')') => match open_before(toks, k, '(', ')') {
+                Some(o) if o > 0 => k = o - 1,
+                _ => return "_expr".into(),
+            },
+            TokKind::Ident(s) => return s.clone(),
+            TokKind::Int => return "_field".into(),
+            _ => return "_expr".into(),
+        }
+    }
+}
+
+/// Index of the `open` delimiter matching the `close` at `close_idx`,
+/// scanning backward.
+fn open_before(toks: &[Token], close_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = close_idx;
+    loop {
+        if toks[k].kind == TokKind::Punct(close) {
+            depth += 1;
+        } else if toks[k].kind == TokKind::Punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+}
+
+/// Whether the `fn` at token `fn_idx` is unrestricted `pub`: walk back over
+/// modifiers (`const unsafe async extern "C"`) to the visibility.
+fn is_pub_fn(toks: &[Token], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].kind {
+            TokKind::Ident(s) if matches!(s.as_str(), "const" | "unsafe" | "async" | "extern") => {
+                continue
+            }
+            TokKind::Str(_) => continue, // the ABI string of `extern "C"`
+            TokKind::Punct(')') => {
+                // `pub(crate) fn` / `pub(super) fn`: restricted, not surface.
+                return false;
+            }
+            TokKind::Ident(s) => return s == "pub",
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// The self-type of an `impl`/`trait` header starting at `start`.
+///
+/// For `impl`: the first path's last identifier after the final top-level
+/// `for` (so `impl Capacity for i128` → `i128`, `impl<C> Network<C>` →
+/// `Network`). For `trait`: the first identifier (bounds after `:` are not
+/// the owner).
+fn scan_owner(toks: &[Token], start: usize, is_trait: bool) -> Option<String> {
+    let limit = (start + 64).min(toks.len());
+    if is_trait {
+        return toks[start + 1..limit].iter().find_map(|t| match &t.kind {
+            TokKind::Ident(s) => Some(s.clone()),
+            _ => None,
+        });
+    }
+    let mut angle = 0i32;
+    let mut seg_start = start + 1;
+    let mut stop = limit;
+    for (k, t) in toks.iter().enumerate().take(limit).skip(start + 1) {
+        match &t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle -= 1,
+            TokKind::Punct('{') | TokKind::Punct(';') => {
+                stop = k;
+                break;
+            }
+            TokKind::Ident(s) if s == "for" && angle == 0 => seg_start = k + 1,
+            TokKind::Ident(s) if s == "where" && angle == 0 => {
+                stop = k;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let mut angle = 0i32;
+    let mut owner: Option<String> = None;
+    for t in toks.iter().take(stop).skip(seg_start) {
+        match &t.kind {
+            TokKind::Punct('<') => {
+                if owner.is_some() {
+                    break;
+                }
+                angle += 1;
+            }
+            TokKind::Punct('>') => angle -= 1,
+            TokKind::Punct('&') | TokKind::Punct('*') | TokKind::Punct(':') => {}
+            TokKind::Lifetime => {}
+            TokKind::Ident(s) if angle == 0 => {
+                if s != "dyn" && s != "mut" {
+                    // A path keeps overwriting: `a::b::C` ends at `C`.
+                    owner = Some(s.clone());
+                }
+            }
+            _ => {
+                if owner.is_some() {
+                    break;
+                }
+            }
+        }
+    }
+    owner
+}
+
+// ---------------------------------------------------------------------------
+// Linking and graph analyses
+// ---------------------------------------------------------------------------
+
+/// One function definition in the linked workspace view.
+#[derive(Debug, Clone)]
+pub struct Def {
+    /// File path relative to the lint root.
+    pub file: String,
+    /// Crate name.
+    pub krate: String,
+    /// Function name.
+    pub name: String,
+    /// Owning `impl`/`trait` type.
+    pub owner: Option<String>,
+    /// 1-based definition line.
+    pub line: u32,
+    /// Unrestricted `pub`.
+    pub is_pub: bool,
+    /// Call sites.
+    pub calls: Vec<CallSite>,
+    /// Panic sites.
+    pub panics: Vec<PanicSite>,
+    /// Lock acquisitions.
+    pub locks: Vec<LockSite>,
+}
+
+impl Def {
+    /// `Owner::name` or bare `name`, for findings.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The linked workspace call graph.
+#[derive(Debug, Default)]
+pub struct Linked {
+    /// All function definitions, in file order.
+    pub defs: Vec<Def>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Per-definition transitive lock facts (see [`Linked::lock_facts`]).
+#[derive(Debug, Clone, Default)]
+pub struct LockFacts {
+    /// Every lock name this function may acquire, directly or transitively.
+    pub acquires: BTreeSet<String>,
+    /// A flow-engine sink name reachable from this function, if any.
+    pub sink: Option<String>,
+}
+
+/// Link per-file tables into one workspace view.
+pub fn link(tables: Vec<FileTable>) -> Linked {
+    let mut linked = Linked::default();
+    for t in tables {
+        for f in t.fns {
+            linked
+                .by_name
+                .entry(f.name.clone())
+                .or_default()
+                .push(linked.defs.len());
+            linked.defs.push(Def {
+                file: t.file.clone(),
+                krate: t.krate.clone(),
+                name: f.name,
+                owner: f.owner,
+                line: f.line,
+                is_pub: f.is_pub,
+                calls: f.calls,
+                panics: f.panics,
+                locks: f.locks,
+            });
+        }
+    }
+    linked
+}
+
+impl Linked {
+    /// Resolve a call site to candidate definitions (see the module docs
+    /// for the over-approximation rules).
+    pub fn resolve(&self, call: &CallSite, caller_krate: &str) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        if call.method {
+            // `.name(...)`: any same-named method anywhere — conservative.
+            return cands
+                .iter()
+                .copied()
+                .filter(|&i| self.defs[i].owner.is_some())
+                .collect();
+        }
+        if let Some(q) = &call.qualifier {
+            // `Q::name(...)`: precise — owner type, crate, or module file.
+            return cands
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let d = &self.defs[i];
+                    d.owner.as_deref() == Some(q.as_str())
+                        || d.krate == *q
+                        || d.file.ends_with(&format!("/{q}.rs"))
+                        || d.file.contains(&format!("/{q}/"))
+                })
+                .collect();
+        }
+        // Bare `name(...)`: prefer same-crate free functions; if the crate
+        // has none, the name was imported — link to every definition.
+        let same: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| self.defs[i].krate == caller_krate && self.defs[i].owner.is_none())
+            .collect();
+        if !same.is_empty() {
+            return same;
+        }
+        cands.clone()
+    }
+
+    /// Breadth-first search from `start` for the shortest call chain
+    /// reaching an unsanctioned panic site in *another* definition (direct
+    /// sites are the lexical `panic` rule's job). `sanctioned(file, line)`
+    /// reports whether an allow annotation already covers the site.
+    pub fn panic_chain(
+        &self,
+        start: usize,
+        include_indexing: bool,
+        sanctioned: &dyn Fn(&str, u32) -> bool,
+    ) -> Option<(Vec<usize>, PanicSite)> {
+        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut visited: BTreeSet<usize> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        visited.insert(start);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            if u != start {
+                let d = &self.defs[u];
+                let hit = d
+                    .panics
+                    .iter()
+                    .find(|p| (include_indexing || !p.indexing) && !sanctioned(&d.file, p.line));
+                if let Some(p) = hit {
+                    let mut path = vec![u];
+                    let mut cur = u;
+                    while cur != start {
+                        let pr = prev[&cur];
+                        path.push(pr);
+                        cur = pr;
+                    }
+                    path.reverse();
+                    return Some((path, p.clone()));
+                }
+            }
+            for c in &self.defs[u].calls {
+                for v in self.resolve(c, &self.defs[u].krate) {
+                    if visited.insert(v) {
+                        prev.insert(v, u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Transitive lock facts per definition, by fixpoint over the call
+    /// graph: which lock names each function may acquire, and whether a
+    /// flow-engine sink (a call whose *name* is in `sinks`) is reachable.
+    pub fn lock_facts(&self, sinks: &[String]) -> Vec<LockFacts> {
+        let n = self.defs.len();
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let mut out: Vec<usize> = self.defs[i]
+                    .calls
+                    .iter()
+                    .flat_map(|c| self.resolve(c, &self.defs[i].krate))
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        let mut facts: Vec<LockFacts> = self
+            .defs
+            .iter()
+            .map(|d| LockFacts {
+                acquires: d.locks.iter().map(|l| l.lock.clone()).collect(),
+                sink: d
+                    .calls
+                    .iter()
+                    .find(|c| sinks.iter().any(|s| s == &c.name))
+                    .map(|c| c.name.clone()),
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                for &j in &adj[i] {
+                    if i == j {
+                        continue;
+                    }
+                    let (extra, sink) = {
+                        let fj = &facts[j];
+                        (
+                            fj.acquires
+                                .iter()
+                                .filter(|l| !facts[i].acquires.contains(*l))
+                                .cloned()
+                                .collect::<Vec<_>>(),
+                            fj.sink.clone(),
+                        )
+                    };
+                    if !extra.is_empty() {
+                        facts[i].acquires.extend(extra);
+                        changed = true;
+                    }
+                    if facts[i].sink.is_none() && sink.is_some() {
+                        facts[i].sink = sink;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return facts;
+            }
+        }
+    }
+}
+
+/// Acquisition-order cycles in a lock digraph. `edges` maps
+/// `(held, acquired)` to the earliest `(file, line)` witness. Returns one
+/// entry per strongly-connected lock group (including self-loops): the
+/// sorted lock names plus the group's internal edges with witnesses.
+#[allow(clippy::type_complexity)]
+pub fn lock_cycles(
+    edges: &BTreeMap<(String, String), (String, u32)>,
+) -> Vec<(Vec<String>, Vec<((String, String), (String, u32))>)> {
+    // Transitive closure over the (tiny) lock-name digraph.
+    let mut reach: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        reach.entry(a).or_default().insert(b);
+        reach.entry(b).or_default();
+    }
+    loop {
+        let mut changed = false;
+        let nodes: Vec<&str> = reach.keys().copied().collect();
+        for a in &nodes {
+            let step: BTreeSet<&str> = reach[a]
+                .iter()
+                .flat_map(|b| reach[b].iter().copied())
+                .collect();
+            let before = reach[a].len();
+            if let Some(s) = reach.get_mut(a) {
+                s.extend(step);
+            }
+            if reach[a].len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Cyclic nodes reach themselves; group them by mutual reachability.
+    let cyclic: Vec<&str> = reach
+        .iter()
+        .filter(|(a, set)| set.contains(**a))
+        .map(|(a, _)| *a)
+        .collect();
+    let mut groups: Vec<Vec<String>> = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for &a in &cyclic {
+        if seen.contains(a) {
+            continue;
+        }
+        let group: Vec<&str> = cyclic
+            .iter()
+            .copied()
+            .filter(|&b| reach[a].contains(b) && reach[b].contains(a))
+            .collect();
+        seen.extend(group.iter().copied());
+        groups.push(group.into_iter().map(String::from).collect());
+    }
+    groups
+        .into_iter()
+        .map(|g| {
+            let members: BTreeSet<&str> = g.iter().map(String::as_str).collect();
+            let ws: Vec<_> = edges
+                .iter()
+                .filter(|((a, b), _)| members.contains(a.as_str()) && members.contains(b.as_str()))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            (g, ws)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_regions;
+
+    fn table(file: &str, krate: &str, src: &str) -> FileTable {
+        let lexed = lex(src);
+        let depths = lexed.depths();
+        let spans = test_regions(&lexed, &depths);
+        extract(file, krate, &lexed, &depths, &spans, &[])
+    }
+
+    fn def<'a>(l: &'a Linked, name: &str) -> (usize, &'a Def) {
+        l.defs
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.name == name)
+            .unwrap_or_else(|| panic!("no def {name}"))
+    }
+
+    #[test]
+    fn method_calls_resolve_to_every_same_named_method() {
+        // The deliberately ambiguous case: `.helper()` must link to BOTH
+        // impls — over-approximate rather than guess a receiver type.
+        let a = table(
+            "crates/a/src/lib.rs",
+            "a",
+            "impl Pool { pub fn grab(&self) { self.helper(); } fn helper(&self) {} }",
+        );
+        let b = table(
+            "crates/b/src/lib.rs",
+            "b",
+            "impl Other { fn helper(&self) {} }",
+        );
+        let l = link(vec![a, b]);
+        let (_, grab) = def(&l, "grab");
+        let call = &grab.calls[0];
+        assert!(call.method);
+        let resolved = l.resolve(call, "a");
+        let owners: Vec<_> = resolved
+            .iter()
+            .map(|&i| l.defs[i].owner.clone().unwrap())
+            .collect();
+        assert!(owners.contains(&"Pool".to_string()), "{owners:?}");
+        assert!(owners.contains(&"Other".to_string()), "{owners:?}");
+    }
+
+    #[test]
+    fn qualified_external_paths_produce_no_edges() {
+        // `Vec::new()` must NOT link to an unrelated workspace `new`.
+        let a = table(
+            "crates/a/src/lib.rs",
+            "a",
+            "impl Pool { pub fn new() -> Self { Pool } fn go(&self) { let v = Vec::new(); } }",
+        );
+        let l = link(vec![a]);
+        let (_, go) = def(&l, "go");
+        let call = go.calls.iter().find(|c| c.name == "new").unwrap();
+        assert_eq!(call.qualifier.as_deref(), Some("Vec"));
+        assert!(l.resolve(call, "a").is_empty());
+    }
+
+    #[test]
+    fn bare_cross_crate_calls_over_approximate() {
+        // `helper_x()` has no definition in crate b, so the resolver links
+        // it to every same-named definition in the workspace.
+        let a = table("crates/a/src/util.rs", "a", "pub fn helper_x() {}");
+        let b = table(
+            "crates/b/src/lib.rs",
+            "b",
+            "pub fn surface() { helper_x(); }",
+        );
+        let l = link(vec![a, b]);
+        let (_, surface) = def(&l, "surface");
+        let resolved = l.resolve(&surface.calls[0], "b");
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(l.defs[resolved[0]].krate, "a");
+    }
+
+    #[test]
+    fn scope_depth_lock_tracking() {
+        let src = "\
+impl P {
+    fn bound(&self) {
+        let g = self.m.lock();
+        self.after_bound();
+    }
+    fn temp(&self) {
+        self.m2.lock();
+        self.after_temp();
+    }
+    fn inner_block(&self) {
+        {
+            let g = self.m3.lock();
+            self.under();
+        }
+        self.after_block();
+    }
+    fn tuple_field(&self) {
+        let g = self.0.lock();
+        self.after_tuple();
+    }
+}
+";
+        let t = table("crates/a/src/lib.rs", "a", src);
+        let l = link(vec![t]);
+        let call = |holder: &str, callee: &str| {
+            let (_, d) = def(&l, holder);
+            d.calls
+                .iter()
+                .find(|c| c.name == callee)
+                .unwrap_or_else(|| panic!("no call {callee} in {holder}"))
+                .held
+                .clone()
+        };
+        // A bound guard is held to the end of its block…
+        assert_eq!(call("bound", "after_bound"), vec!["m".to_string()]);
+        // …a temporary only to its own statement's `;`…
+        assert_eq!(call("temp", "after_temp"), Vec::<String>::new());
+        // …and an inner-block guard does not leak past the block.
+        assert_eq!(call("inner_block", "under"), vec!["m3".to_string()]);
+        assert_eq!(call("inner_block", "after_block"), Vec::<String>::new());
+        // Tuple-field receivers collapse to a placeholder name.
+        assert_eq!(
+            call("tuple_field", "after_tuple"),
+            vec!["_field".to_string()]
+        );
+    }
+
+    #[test]
+    fn panic_chain_crosses_files() {
+        let a = table(
+            "crates/a/src/lib.rs",
+            "a",
+            "pub fn surface() { mid(); }\nfn mid() { helper(); }\n",
+        );
+        let b = table(
+            "crates/a/src/util.rs",
+            "a",
+            "pub fn helper() { let v: Option<u32> = None; v.unwrap(); }\n",
+        );
+        let l = link(vec![a, b]);
+        let (i, _) = def(&l, "surface");
+        let (path, site) = l
+            .panic_chain(i, false, &|_, _| false)
+            .expect("chain reaches the unwrap");
+        let names: Vec<_> = path.iter().map(|&j| l.defs[j].name.clone()).collect();
+        assert_eq!(names, vec!["surface", "mid", "helper"]);
+        assert_eq!(site.what, ".unwrap()");
+        // Direct sites in the start fn itself are the lexical rule's job.
+        let (h, _) = def(&l, "helper");
+        assert!(l.panic_chain(h, false, &|_, _| false).is_none());
+        // Sanctioned sites (allow-annotated) do not poison callers.
+        assert!(l.panic_chain(i, false, &|_, _| true).is_none());
+    }
+
+    #[test]
+    fn indexing_sites_are_gated() {
+        let a = table(
+            "crates/a/src/lib.rs",
+            "a",
+            "pub fn surface(v: &[u32]) { pick(v); }\nfn pick(v: &[u32]) -> u32 { v[0] }\n",
+        );
+        let l = link(vec![a]);
+        let (i, _) = def(&l, "surface");
+        assert!(l.panic_chain(i, false, &|_, _| false).is_none());
+        let (path, site) = l
+            .panic_chain(i, true, &|_, _| false)
+            .expect("indexing chain found when opted in");
+        assert_eq!(path.len(), 2);
+        assert!(site.indexing, "{site:?}");
+    }
+
+    #[test]
+    fn lock_facts_propagate_and_cycles_are_found() {
+        let src = "\
+impl L {
+    fn ab(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+    }
+    fn ba(&self) {
+        let h = self.b.lock();
+        self.via();
+    }
+    fn via(&self) {
+        let g = self.a.lock();
+    }
+}
+";
+        let t = table("crates/a/src/lib.rs", "a", src);
+        let l = link(vec![t]);
+        let facts = l.lock_facts(&[]);
+        let (via, _) = def(&l, "via");
+        let (ba, _) = def(&l, "ba");
+        assert!(facts[via].acquires.contains("a"));
+        assert!(facts[ba].acquires.contains("a"), "transitive via call");
+        assert!(facts[ba].acquires.contains("b"));
+
+        let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+        edges.insert(("a".into(), "b".into()), ("f.rs".into(), 3));
+        edges.insert(("b".into(), "a".into()), ("f.rs".into(), 8));
+        let cycles = lock_cycles(&edges);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].0, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cycles[0].1.len(), 2);
+        // A self-edge is a (re-entrancy) cycle on its own.
+        let mut selfed: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+        selfed.insert(("free".into(), "free".into()), ("g.rs".into(), 5));
+        assert_eq!(lock_cycles(&selfed).len(), 1);
+        // An acyclic order is not.
+        let mut acyclic: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+        acyclic.insert(("a".into(), "b".into()), ("f.rs".into(), 3));
+        acyclic.insert(("b".into(), "c".into()), ("f.rs".into(), 9));
+        assert!(lock_cycles(&acyclic).is_empty());
+    }
+
+    #[test]
+    fn sink_reachability_via_names() {
+        let src = "\
+impl S {
+    fn drain(&self) {
+        let g = self.shards.lock();
+        self.step(g);
+    }
+    fn step(&self, g: u32) {
+        self.session_apply(g);
+    }
+    fn session_apply(&self, g: u32) {
+        apply(g);
+    }
+}
+";
+        let t = table("crates/a/src/lib.rs", "a", src);
+        let l = link(vec![t]);
+        let facts = l.lock_facts(&["apply".to_string()]);
+        let (step, _) = def(&l, "step");
+        assert_eq!(facts[step].sink.as_deref(), Some("apply"));
+        let (_, d) = def(&l, "drain");
+        let call = d.calls.iter().find(|c| c.name == "step").unwrap();
+        assert_eq!(call.held, vec!["shards".to_string()]);
+    }
+
+    #[test]
+    fn impl_owner_and_pub_detection() {
+        let src = "\
+impl<C: Capacity> Network<C> {
+    pub fn run(&self) {}
+    pub(crate) fn internal(&self) {}
+}
+impl Capacity for i128 {
+    fn hook(&self) {}
+}
+trait Capacity: Clone {
+    fn defaulted(&self) { helper(); }
+}
+pub fn free() {}
+";
+        let t = table("crates/flow/src/kernel.rs", "flow", src);
+        let by: BTreeMap<&str, &FnDef> = t.fns.iter().map(|f| (f.name.as_str(), f)).collect();
+        assert_eq!(by["run"].owner.as_deref(), Some("Network"));
+        assert!(by["run"].is_pub);
+        assert!(!by["internal"].is_pub, "pub(crate) is not surface");
+        assert_eq!(by["hook"].owner.as_deref(), Some("i128"));
+        assert_eq!(by["defaulted"].owner.as_deref(), Some("Capacity"));
+        assert!(by["free"].is_pub);
+        assert!(by["free"].owner.is_none());
+    }
+
+    #[test]
+    fn trace_names_are_collected() {
+        let src = "\
+pub fn go() {
+    let mut sp = prs_trace::span(\"bd\", \"round\");
+    prs_trace::instant(\"bd\", \"checkpoint\", || vec![]);
+    let c = Counter::new(\"bd.session_hits\");
+}
+const SPAN_BFS: &'static str = \"exact_bfs_phase\";
+macro_rules! rows { () => {} }
+fn table() {
+    counters! { HITS(\"bd.fast_path_hits\") => hits, record_hit; }
+}
+#[cfg(test)]
+mod tests {
+    fn probe() { let c = Counter::new(\"test.probe\"); }
+}
+";
+        let lexed = lex(src);
+        let depths = lexed.depths();
+        let spans = test_regions(&lexed, &depths);
+        let t = extract(
+            "crates/trace/src/lib.rs",
+            "trace",
+            &lexed,
+            &depths,
+            &spans,
+            &[("SPAN_".to_string(), "flow".to_string())],
+        );
+        let entries: Vec<&str> = t.names.iter().map(|n| n.entry.as_str()).collect();
+        assert_eq!(
+            entries,
+            vec![
+                "span bd.round",
+                "span bd.checkpoint",
+                "counter bd.session_hits",
+                "span flow.exact_bfs_phase",
+                "counter bd.fast_path_hits",
+            ]
+        );
+    }
+}

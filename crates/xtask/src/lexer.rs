@@ -28,8 +28,10 @@ pub enum TokKind {
     Int,
     /// A float literal (`1.0`, `1e-9`, `2f64`, `1.`).
     Float,
-    /// A string literal of any flavor (`"x"`, `r#"x"#`, `b"x"`).
-    Str,
+    /// A string literal of any flavor (`"x"`, `r#"x"#`, `b"x"`), carrying
+    /// its uninterpreted body (escapes are not processed — the workspace
+    /// rules only ever match plain identifiers and dotted names).
+    Str(String),
     /// A char literal (`'a'`, `'\n'`).
     Char,
     /// A lifetime (`'a`, `'static`).
@@ -188,11 +190,12 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             '"' => {
-                i = consume_string(&chars, i, &mut line);
+                let end = consume_string(&chars, i, &mut line);
                 out.tokens.push(Token {
                     line,
-                    kind: TokKind::Str,
+                    kind: TokKind::Str(string_body(&chars, i, end)),
                 });
+                i = end;
             }
             c if c.is_ascii_digit() => {
                 let (j, float) = consume_number(&chars, i);
@@ -217,14 +220,22 @@ pub fn lex(src: &str) -> Lexed {
                         || (ident.contains('r') && chars.get(j) == Some(&'#')))
                 {
                     let raw = ident.contains('r');
-                    let end = if raw {
-                        consume_raw_string(&chars, j, &mut line)
+                    let (end, body) = if raw {
+                        let hashes = chars[j..].iter().take_while(|&&c| c == '#').count();
+                        let end = consume_raw_string(&chars, j, &mut line);
+                        let open = j + hashes; // the `"` after the hashes
+                        let stop = end.saturating_sub(hashes + 1).max(open + 1);
+                        let body = chars[(open + 1).min(end)..stop.min(chars.len())]
+                            .iter()
+                            .collect();
+                        (end, body)
                     } else {
-                        consume_string(&chars, j, &mut line)
+                        let end = consume_string(&chars, j, &mut line);
+                        (end, string_body(&chars, j, end))
                     };
                     out.tokens.push(Token {
                         line,
-                        kind: TokKind::Str,
+                        kind: TokKind::Str(body),
                     });
                     i = end;
                 } else {
@@ -245,6 +256,18 @@ pub fn lex(src: &str) -> Lexed {
         }
     }
     out
+}
+
+/// The body of a non-raw string lexed from `open` (the `"`) to `end` (just
+/// past the closing quote, or end of file if unterminated).
+fn string_body(chars: &[char], open: usize, end: usize) -> String {
+    let start = (open + 1).min(end);
+    let stop = if end > start && chars.get(end - 1) == Some(&'"') {
+        end - 1
+    } else {
+        end
+    };
+    chars[start..stop.min(chars.len())].iter().collect()
 }
 
 /// Consume a non-raw string starting at the opening `"`; returns the index
@@ -403,9 +426,30 @@ mod tests {
     #[test]
     fn raw_and_byte_strings() {
         let l = lex(r##"let s = r#"f64 "quoted" unwrap"#; let b = b"as"; let r = r"x";"##);
-        let n_str = l.tokens.iter().filter(|t| t.kind == TokKind::Str).count();
-        assert_eq!(n_str, 3);
+        let bodies: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bodies, vec![r#"f64 "quoted" unwrap"#, "as", "x"]);
         assert!(!idents(r##"r#"f64"#"##).contains(&"f64".to_string()));
+    }
+
+    #[test]
+    fn string_bodies_are_captured() {
+        let l = lex(r#"span("flow", "exact_bfs_phase"); Counter::new("bd.session_hits");"#);
+        let bodies: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bodies, vec!["flow", "exact_bfs_phase", "bd.session_hits"]);
     }
 
     #[test]

@@ -10,15 +10,19 @@
 //! * [`lexer`] — a small Rust tokenizer (comments, strings, lifetimes,
 //!   float vs. integer literals) that never fails;
 //! * [`allow`] — the `// prs-lint: allow(RULE, reason = "...")` grammar;
-//! * [`rules`] — the rule passes and the file walker.
+//! * [`graph`] — per-file item tables (fn defs, call/lock/panic sites,
+//!   trace-name literals) linked into an approximate workspace call graph;
+//! * [`rules`] — the per-file rule passes, the workspace (call-graph)
+//!   rules, and the file walker.
 //!
 //! The rules and their paper rationale are documented in `docs/ANALYSIS.md`.
 
 pub mod allow;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
 
-pub use rules::{run, AllowedSite, Finding, LintConfig, Report};
+pub use rules::{registry_content, run, AllowedSite, Finding, LintConfig, Report};
 
 use std::path::PathBuf;
 

@@ -1,9 +1,14 @@
 //! `cargo xtask <command>` — workspace automation driver.
 //!
 //! Commands:
-//! * `lint [-v|--verbose]` — run the `prs-lint` rule suite over the
-//!   workspace. Exit code 1 if any rule fires. `-v` additionally lists
-//!   every allow-annotated site with its reason.
+//! * `lint [-v|--verbose] [--json]` — run the `prs-lint` rule suite over
+//!   the workspace. Exit code 1 if any rule fires. `-v` additionally lists
+//!   every allow-annotated site with its reason; `--json` replaces the
+//!   human output with the machine-readable report (fixed key order,
+//!   sorted findings) that CI archives as an artifact.
+//! * `registry [--write]` — print the canonical trace-name registry for
+//!   the current tree; `--write` rewrites `docs/trace-registry.txt` in
+//!   place (the file the `trace-registry` lint diffs against).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -13,20 +18,22 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => {
             let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
-            lint(verbose)
+            let json = args.iter().any(|a| a == "--json");
+            lint(verbose, json)
         }
+        Some("registry") => registry(args.iter().any(|a| a == "--write")),
         Some(other) => {
-            eprintln!("unknown xtask command `{other}` (available: lint)");
+            eprintln!("unknown xtask command `{other}` (available: lint, registry)");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint [-v]");
+            eprintln!("usage: cargo xtask lint [-v] [--json] | registry [--write]");
             ExitCode::from(2)
         }
     }
 }
 
-fn lint(verbose: bool) -> ExitCode {
+fn lint(verbose: bool, json: bool) -> ExitCode {
     let root = workspace_root();
     let report = match prs_lint::run_lint(root) {
         Ok(r) => r,
@@ -35,6 +42,15 @@ fn lint(verbose: bool) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if json {
+        print!("{}", report.to_json());
+        return if report.findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     for f in &report.findings {
         println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
@@ -64,6 +80,39 @@ fn lint(verbose: bool) -> ExitCode {
     } else {
         println!("prs-lint: {} violation(s)", report.findings.len());
         ExitCode::FAILURE
+    }
+}
+
+fn registry(write: bool) -> ExitCode {
+    let root = workspace_root();
+    let cfg = prs_lint::LintConfig::workspace(root.clone());
+    let content = match prs_lint::registry_content(&cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask registry: i/o error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !write {
+        print!("{content}");
+        return ExitCode::SUCCESS;
+    }
+    let path = root.join(&cfg.trace_registry);
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("xtask registry: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match std::fs::write(&path, &content) {
+        Ok(()) => {
+            println!("wrote {}", cfg.trace_registry);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask registry: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 

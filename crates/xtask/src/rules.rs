@@ -27,8 +27,25 @@
 //!   files must not be gitignored (seeds stay stable across CI jobs).
 //! * `annotation` — a malformed or stale `prs-lint:` directive is itself a
 //!   violation, so the escape hatch cannot rot.
+//!
+//! On top of the per-file passes sit three *workspace* rules that walk the
+//! approximate call graph built by [`crate::graph`] (over-approximate by
+//! design — see the module docs there for the soundness stance):
+//!
+//! * `panic-reach` — the lexical `panic` rule sees only direct sites; this
+//!   rule flags any library-surface `pub fn` from which an unannotated
+//!   panic-family site is *reachable*, printing the offending call chain.
+//! * `lock-order` — `Mutex`/`RwLock` acquisitions are extracted with
+//!   scope-depth tracking, held-lock sets are propagated through the call
+//!   graph, and the rule reports acquisition-order cycles plus any
+//!   flow-engine invocation (`max_flow`/`decompose`/`apply`) reached while
+//!   a pool lock is held — the deadlock classes `prs serve` batching hits.
+//! * `trace-registry` — every static span/counter name is collected and
+//!   diffed against the checked-in `docs/trace-registry.txt`, so
+//!   trace-name drift fails CI without running instrumented binaries.
 
-use crate::allow::collect_allows;
+use crate::allow::{collect_allows, Allow};
+use crate::graph;
 use crate::lexer::{lex, Lexed, TokKind};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -77,6 +94,66 @@ impl Report {
         }
         out
     }
+
+    /// Machine-readable report for `cargo xtask lint --json`: fixed key
+    /// order, findings and allowed sites in their sorted order, so CI
+    /// artifacts diff cleanly across runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"allowed\": [");
+        for (i, a) in self.allowed.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+                json_str(&a.file),
+                a.line,
+                json_str(&a.rule),
+                json_str(&a.reason)
+            ));
+        }
+        if !self.allowed.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"summary\": {{\"findings\": {}, \"allowed\": {}}}\n}}\n",
+            self.findings.len(),
+            self.allowed.len()
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string encoding (the report carries no non-string values
+/// beyond line numbers, so this is the whole serializer).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Where each rule applies. Paths are `/`-separated and relative to `root`;
@@ -106,6 +183,24 @@ pub struct LintConfig {
     pub api_doc_files: Vec<String>,
     /// Snapshot of permitted public fields per `#[non_exhaustive]` struct.
     pub non_exhaustive_fields: BTreeMap<String, Vec<String>>,
+    /// Concurrency-bearing modules the `lock-order` rule covers. The cli
+    /// is deliberately out: its only "lock" is the stdout handle.
+    pub lock_paths: Vec<String>,
+    /// Call names that mean "the flow engine is running"; reaching one
+    /// while a pool lock is held is a `lock-order` finding.
+    pub flow_sinks: Vec<String>,
+    /// Opt-in: count slice/array indexing as a panic source for
+    /// `panic-reach`. Off in the workspace config — indexing is pervasive
+    /// and the lexical rules never covered it; the gate exists so the
+    /// tightening can be proven (selftest) before it is turned on.
+    pub panic_reach_index_sites: bool,
+    /// The checked-in trace-name registry the `trace-registry` rule diffs
+    /// against, relative to `root`.
+    pub trace_registry: String,
+    /// `const` name prefixes whose string initializers are span names,
+    /// with the layer they record under (the flow crate routes its span
+    /// names through `SPAN_*` consts on `Capacity` impls).
+    pub span_const_layers: Vec<(String, String)>,
 }
 
 const NUMERIC_TYPES: &[&str] = &[
@@ -221,6 +316,21 @@ impl LintConfig {
                         .to_vec(),
                 ),
             ]),
+            lock_paths: vec![
+                "crates/bd/src".into(),
+                "crates/dynamics/src".into(),
+                "crates/p2psim/src".into(),
+                "crates/sybil/src".into(),
+                "crates/trace/src".into(),
+                "crates/flow/src".into(),
+                "crates/deviation/src".into(),
+            ],
+            flow_sinks: ["max_flow", "decompose", "apply"]
+                .map(String::from)
+                .to_vec(),
+            panic_reach_index_sites: false,
+            trace_registry: "docs/trace-registry.txt".into(),
+            span_const_layers: vec![("SPAN_".to_string(), "flow".to_string())],
         }
     }
 
@@ -234,7 +344,102 @@ impl LintConfig {
     }
 }
 
-/// Run every rule over the configured tree.
+/// One lexed file plus the state every rule pass needs: allow annotations,
+/// test regions, crate attribution. Built once per file and shared by the
+/// per-file and workspace passes so allow bookkeeping stays in one place.
+struct FileCtx {
+    rel: String,
+    krate: String,
+    in_test_dir: bool,
+    lexed: Lexed,
+    depths: Vec<u32>,
+    allows: Vec<Allow>,
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl FileCtx {
+    fn new(rel: String, src: &str, report: &mut Report) -> FileCtx {
+        // Test-only code is exempt from the code rules; the regressions
+        // rule handles tests/ directories separately.
+        let in_test_dir = rel.split('/').any(|c| c == "tests" || c == "benches");
+        let lexed = lex(src);
+        let depths = lexed.depths();
+        let (allows, bad) = collect_allows(&lexed);
+        for b in bad {
+            report.findings.push(Finding {
+                rule: "annotation",
+                file: rel.clone(),
+                line: b.line,
+                message: b.message,
+            });
+        }
+        let test_spans = test_regions(&lexed, &depths);
+        FileCtx {
+            krate: krate_of(&rel),
+            rel,
+            in_test_dir,
+            lexed,
+            depths,
+            allows,
+            test_spans,
+        }
+    }
+
+    fn in_tests(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(s, e)| line >= s && line <= e)
+    }
+
+    /// Route a violation through the test exemption and allow machinery.
+    fn emit(&self, report: &mut Report, rule: &'static str, line: u32, message: String) {
+        if self.in_test_dir || self.in_tests(line) {
+            return;
+        }
+        if let Some(a) = self.allows.iter().find(|a| {
+            a.rules.iter().any(|r| r == rule) && line >= a.start_line && line <= a.end_line
+        }) {
+            a.used.set(true);
+            report.allowed.push(AllowedSite {
+                rule: rule.to_string(),
+                file: self.rel.clone(),
+                line,
+                reason: a.reason.clone(),
+            });
+            return;
+        }
+        report.findings.push(Finding {
+            rule,
+            file: self.rel.clone(),
+            line,
+            message,
+        });
+    }
+
+    /// Whether an allow for any of `rules` covers `line`, marking it used.
+    /// This is coverage *without* an emitted finding: the reachability
+    /// rules sanction panic **sites** this way, while their finding (if
+    /// any) lands at the reaching function's definition line.
+    fn sanctions(&self, rules: &[&str], line: u32) -> bool {
+        if self.in_test_dir || self.in_tests(line) {
+            return true;
+        }
+        match self.allows.iter().find(|a| {
+            a.rules.iter().any(|r| rules.contains(&r.as_str()))
+                && line >= a.start_line
+                && line <= a.end_line
+        }) {
+            Some(a) => {
+                a.used.set(true);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Run every rule over the configured tree: lex every file once, run the
+/// per-file passes, then the workspace (call-graph) passes, and only then
+/// report stale allows — a workspace rule is as entitled to use an allow
+/// annotation as a lexical one.
 pub fn run(cfg: &LintConfig) -> std::io::Result<Report> {
     let mut report = Report::default();
     let mut rs_files = Vec::new();
@@ -243,16 +448,37 @@ pub fn run(cfg: &LintConfig) -> std::io::Result<Report> {
     }
     rs_files.sort();
 
+    let mut files = Vec::new();
     for path in &rs_files {
         let rel = relative(&cfg.root, path);
         if cfg.skipped(&rel) {
             continue;
         }
         let src = std::fs::read_to_string(path)?;
-        lint_file(cfg, &rel, &src, &mut report);
+        files.push(FileCtx::new(rel, &src, &mut report));
     }
 
+    for fc in &files {
+        lexical_rules(cfg, fc, &mut report);
+    }
+    workspace_rules(cfg, &files, &mut report);
     proptest_regressions_rule(cfg, &rs_files, &mut report);
+
+    // Stale escape hatches are violations too — judged only after every
+    // pass (per-file and workspace) has had its chance to use them.
+    for fc in &files {
+        for a in fc.allows.iter().filter(|a| !a.used.get()) {
+            report.findings.push(Finding {
+                rule: "annotation",
+                file: fc.rel.clone(),
+                line: a.comment_line,
+                message: format!(
+                    "stale allow({}) — it silences nothing; remove it",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+    }
 
     report
         .findings
@@ -263,80 +489,384 @@ pub fn run(cfg: &LintConfig) -> std::io::Result<Report> {
     Ok(report)
 }
 
-/// Lint one file's source (exposed for the fixture self-tests).
-pub fn lint_file(cfg: &LintConfig, rel: &str, src: &str, report: &mut Report) {
-    // Test-only code is exempt from the code rules; the regressions rule
-    // handles tests/ directories separately.
-    let in_test_dir = rel.split('/').any(|c| c == "tests" || c == "benches");
-
-    let lexed = lex(src);
-    let depths = lexed.depths();
-    let (allows, bad) = collect_allows(&lexed);
-    for b in bad {
-        report.findings.push(Finding {
-            rule: "annotation",
-            file: rel.to_string(),
-            line: b.line,
-            message: b.message,
-        });
-    }
-    let test_spans = test_regions(&lexed, &depths);
-    let in_tests = |line: u32| test_spans.iter().any(|&(s, e)| line >= s && line <= e);
-
-    let mut emit = |rule: &'static str, line: u32, message: String| {
-        if in_test_dir || in_tests(line) {
-            return;
+/// Crate attribution from the path: `crates/<name>/…` → `<name>`, anything
+/// else (the umbrella `src/`, `tests/`) → `root`. New crates need no
+/// registration here, but they DO need adding to the rule path sets in
+/// [`LintConfig::workspace`] to be covered.
+fn krate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(k) = parts.next() {
+            return k.to_string();
         }
-        if let Some(a) = allows.iter().find(|a| {
-            a.rules.iter().any(|r| r == rule) && line >= a.start_line && line <= a.end_line
-        }) {
-            a.used.set(true);
-            report.allowed.push(AllowedSite {
-                rule: rule.to_string(),
-                file: rel.to_string(),
+    }
+    "root".to_string()
+}
+
+/// The per-file (lexical) passes.
+fn lexical_rules(cfg: &LintConfig, fc: &FileCtx, report: &mut Report) {
+    let mut emit =
+        |rule: &'static str, line: u32, message: String| fc.emit(report, rule, line, message);
+
+    let boundary_exempt = cfg.matches(&cfg.float_boundary_exempt, &fc.rel);
+    if !boundary_exempt && cfg.matches(&cfg.float_paths, &fc.rel) {
+        float_rule(&fc.lexed, &mut emit);
+    }
+    if !boundary_exempt && cfg.matches(&cfg.cast_paths, &fc.rel) {
+        cast_rule(&fc.lexed, &mut emit);
+    }
+    if cfg.matches(&cfg.panic_paths, &fc.rel) {
+        panic_rule(&fc.lexed, &mut emit);
+    }
+    if cfg.matches(&cfg.hash_paths, &fc.rel) {
+        hash_rule(&fc.lexed, &mut emit);
+    }
+    if cfg.api_doc_files.iter().any(|f| f == &fc.rel) {
+        api_doc_rule(&fc.lexed, &fc.depths, &mut emit);
+    }
+    non_exhaustive_rule(cfg, &fc.lexed, &fc.depths, &mut emit);
+}
+
+/// The workspace (call-graph) passes: extract item tables for every
+/// non-test file, link them, then run `panic-reach`, `lock-order`, and
+/// `trace-registry`.
+fn workspace_rules(cfg: &LintConfig, files: &[FileCtx], report: &mut Report) {
+    let mut tables = Vec::new();
+    for fc in files {
+        if fc.in_test_dir {
+            continue;
+        }
+        tables.push(graph::extract(
+            &fc.rel,
+            &fc.krate,
+            &fc.lexed,
+            &fc.depths,
+            &fc.test_spans,
+            &cfg.span_const_layers,
+        ));
+    }
+    let names: Vec<(String, Vec<graph::TraceName>)> = tables
+        .iter()
+        .map(|t| (t.file.clone(), t.names.clone()))
+        .collect();
+    let linked = graph::link(tables);
+    let by_rel: BTreeMap<&str, &FileCtx> = files.iter().map(|f| (f.rel.as_str(), f)).collect();
+
+    panic_reach_rule(cfg, &linked, &by_rel, report);
+    lock_order_rule(cfg, &linked, &by_rel, report);
+    trace_registry_rule(cfg, &names, &by_rel, report);
+}
+
+/// `panic-reach`: every library-surface `pub fn` in the panic path set must
+/// not reach a panic-family site in another function. Direct sites are the
+/// lexical `panic` rule's job; sites sanctioned by an allow for `panic` or
+/// `panic-reach` do not poison callers.
+fn panic_reach_rule(
+    cfg: &LintConfig,
+    linked: &graph::Linked,
+    by_rel: &BTreeMap<&str, &FileCtx>,
+    report: &mut Report,
+) {
+    let sanctioned = |file: &str, line: u32| -> bool {
+        by_rel
+            .get(file)
+            .is_some_and(|fc| fc.sanctions(&["panic", "panic-reach"], line))
+    };
+    for (i, d) in linked.defs.iter().enumerate() {
+        if !d.is_pub || !cfg.matches(&cfg.panic_paths, &d.file) {
+            continue;
+        }
+        let Some(fc) = by_rel.get(d.file.as_str()) else {
+            continue;
+        };
+        if let Some((path, site)) = linked.panic_chain(i, cfg.panic_reach_index_sites, &sanctioned)
+        {
+            let chain = path
+                .iter()
+                .map(|&j| linked.defs[j].display())
+                .collect::<Vec<_>>()
+                .join(" → ");
+            let last = *path.last().expect("chain is nonempty");
+            fc.emit(
+                report,
+                "panic-reach",
+                d.line,
+                format!(
+                    "`{}` can reach a panic through the call graph: {chain} — {} at {}:{}",
+                    d.display(),
+                    site.what,
+                    linked.defs[last].file,
+                    site.line
+                ),
+            );
+        }
+    }
+}
+
+/// `lock-order`: flow-engine sinks reached while a lock is held, and
+/// acquisition-order cycles over the lock digraph (edges `held → acquired`
+/// from both direct nesting and call-mediated acquisition).
+fn lock_order_rule(
+    cfg: &LintConfig,
+    linked: &graph::Linked,
+    by_rel: &BTreeMap<&str, &FileCtx>,
+    report: &mut Report,
+) {
+    let facts = linked.lock_facts(&cfg.flow_sinks);
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    let add_edge = |edges: &mut BTreeMap<(String, String), (String, u32)>,
+                    held: &str,
+                    acq: &str,
+                    file: &str,
+                    line: u32| {
+        let key = (held.to_string(), acq.to_string());
+        let witness = (file.to_string(), line);
+        match edges.get(&key) {
+            Some(old) if *old <= witness => {}
+            _ => {
+                edges.insert(key, witness);
+            }
+        }
+    };
+
+    for d in &linked.defs {
+        if !cfg.matches(&cfg.lock_paths, &d.file) {
+            continue;
+        }
+        let Some(fc) = by_rel.get(d.file.as_str()) else {
+            continue;
+        };
+        for l in &d.locks {
+            for h in &l.held {
+                add_edge(&mut edges, h, &l.lock, &d.file, l.line);
+            }
+        }
+        for c in &d.calls {
+            if c.held.is_empty() {
+                continue;
+            }
+            let resolved = linked.resolve(c, &d.krate);
+            if cfg.flow_sinks.iter().any(|s| s == &c.name) {
+                fc.emit(
+                    report,
+                    "lock-order",
+                    c.line,
+                    format!(
+                        "flow-engine `{}` invoked while holding lock(s) {{{}}} — release the \
+                         pool lock before engine work",
+                        c.name,
+                        c.held.join(", ")
+                    ),
+                );
+            } else if let Some(sink) = resolved.iter().find_map(|&j| facts[j].sink.clone()) {
+                fc.emit(
+                    report,
+                    "lock-order",
+                    c.line,
+                    format!(
+                        "call to `{}` reaches flow-engine `{sink}` while holding lock(s) \
+                         {{{}}} — release the pool lock before engine work",
+                        c.name,
+                        c.held.join(", ")
+                    ),
+                );
+            }
+            for &j in &resolved {
+                for l in &facts[j].acquires {
+                    for h in &c.held {
+                        add_edge(&mut edges, h, l, &d.file, c.line);
+                    }
+                }
+            }
+        }
+    }
+
+    for (locks, witnesses) in graph::lock_cycles(&edges) {
+        let Some((_, (file, line))) = witnesses.iter().min_by_key(|(_, w)| w.clone()).cloned()
+        else {
+            continue;
+        };
+        let detail = witnesses
+            .iter()
+            .map(|((a, b), (f, l))| format!("{a}→{b} at {f}:{l}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let message = format!(
+            "lock acquisition-order cycle among {{{}}}: {} — pick one global order",
+            locks.join(", "),
+            detail
+        );
+        match by_rel.get(file.as_str()) {
+            Some(fc) => fc.emit(report, "lock-order", line, message),
+            None => report.findings.push(Finding {
+                rule: "lock-order",
+                file,
                 line,
-                reason: a.reason.clone(),
+                message,
+            }),
+        }
+    }
+}
+
+/// `trace-registry`: the statically collected span/counter names and the
+/// checked-in registry must agree, and the registry must be sorted and
+/// duplicate-free (so CI artifact diffs are stable).
+fn trace_registry_rule(
+    cfg: &LintConfig,
+    names: &[(String, Vec<graph::TraceName>)],
+    by_rel: &BTreeMap<&str, &FileCtx>,
+    report: &mut Report,
+) {
+    // First site wins per entry; `names` arrives in sorted file order.
+    let mut sites: BTreeMap<&str, (&str, u32)> = BTreeMap::new();
+    for (file, ns) in names {
+        for n in ns {
+            sites
+                .entry(n.entry.as_str())
+                .or_insert((file.as_str(), n.line));
+        }
+    }
+
+    let reg_rel = cfg.trace_registry.clone();
+    let content = match std::fs::read_to_string(cfg.root.join(&cfg.trace_registry)) {
+        Ok(c) => c,
+        Err(_) => {
+            report.findings.push(Finding {
+                rule: "trace-registry",
+                file: reg_rel,
+                line: 1,
+                message: format!(
+                    "trace registry `{}` is missing — run `cargo xtask registry --write`",
+                    cfg.trace_registry
+                ),
             });
             return;
         }
-        report.findings.push(Finding {
-            rule,
-            file: rel.to_string(),
-            line,
-            message,
-        });
     };
 
-    let boundary_exempt = cfg.matches(&cfg.float_boundary_exempt, rel);
-    if !boundary_exempt && cfg.matches(&cfg.float_paths, rel) {
-        float_rule(&lexed, &mut emit);
+    let mut registered: BTreeMap<String, u32> = BTreeMap::new();
+    let mut prev: Option<(String, u32)> = None;
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let well_formed = l
+            .strip_prefix("span ")
+            .or_else(|| l.strip_prefix("counter "))
+            .map(|r| r.contains('.'))
+            .unwrap_or(false);
+        if !well_formed {
+            report.findings.push(Finding {
+                rule: "trace-registry",
+                file: reg_rel.clone(),
+                line: line_no,
+                message: format!(
+                    "malformed registry entry `{l}` — expected `span <layer>.<name>` or \
+                     `counter <dotted.name>`"
+                ),
+            });
+            continue;
+        }
+        if let Some(first) = registered.get(l) {
+            report.findings.push(Finding {
+                rule: "trace-registry",
+                file: reg_rel.clone(),
+                line: line_no,
+                message: format!("duplicate registry entry `{l}` (first at line {first})"),
+            });
+            continue;
+        }
+        if let Some((p, pl)) = &prev {
+            if l < p.as_str() {
+                report.findings.push(Finding {
+                    rule: "trace-registry",
+                    file: reg_rel.clone(),
+                    line: line_no,
+                    message: format!(
+                        "registry out of order: `{l}` sorts before `{p}` (line {pl}) — keep \
+                         the file sorted so CI diffs are stable"
+                    ),
+                });
+            }
+        }
+        prev = Some((l.to_string(), line_no));
+        registered.insert(l.to_string(), line_no);
     }
-    if !boundary_exempt && cfg.matches(&cfg.cast_paths, rel) {
-        cast_rule(&lexed, &mut emit);
-    }
-    if cfg.matches(&cfg.panic_paths, rel) {
-        panic_rule(&lexed, &mut emit);
-    }
-    if cfg.matches(&cfg.hash_paths, rel) {
-        hash_rule(&lexed, &mut emit);
-    }
-    if cfg.api_doc_files.iter().any(|f| f == rel) {
-        api_doc_rule(&lexed, &depths, &mut emit);
-    }
-    non_exhaustive_rule(cfg, &lexed, &depths, &mut emit);
 
-    // Stale escape hatches are violations too.
-    for a in allows.iter().filter(|a| !a.used.get()) {
-        report.findings.push(Finding {
-            rule: "annotation",
-            file: rel.to_string(),
-            line: a.comment_line,
-            message: format!(
-                "stale allow({}) — it silences nothing; remove it",
-                a.rules.join(", ")
-            ),
-        });
+    for (entry, line_no) in &registered {
+        if !sites.contains_key(entry.as_str()) {
+            report.findings.push(Finding {
+                rule: "trace-registry",
+                file: reg_rel.clone(),
+                line: *line_no,
+                message: format!(
+                    "stale registry entry `{entry}` — no span/counter site emits it; run \
+                     `cargo xtask registry --write`"
+                ),
+            });
+        }
     }
+    for (entry, (file, line)) in &sites {
+        if registered.contains_key(*entry) {
+            continue;
+        }
+        if let Some(fc) = by_rel.get(*file) {
+            fc.emit(
+                report,
+                "trace-registry",
+                *line,
+                format!(
+                    "`{entry}` is not in `{}` — add it (or run `cargo xtask registry --write`)",
+                    cfg.trace_registry
+                ),
+            );
+        }
+    }
+}
+
+/// The canonical trace-name registry content for the configured tree:
+/// every static span/counter site, one `span <layer>.<name>` or
+/// `counter <dotted.name>` line, sorted and deduplicated. `cargo xtask
+/// registry --write` regenerates the checked-in file from this.
+pub fn registry_content(cfg: &LintConfig) -> std::io::Result<String> {
+    let mut rs_files = Vec::new();
+    for scan in &cfg.scan_roots {
+        walk(&cfg.root.join(scan), &mut rs_files)?;
+    }
+    rs_files.sort();
+    let mut entries = std::collections::BTreeSet::new();
+    for path in &rs_files {
+        let rel = relative(&cfg.root, path);
+        if cfg.skipped(&rel) || rel.split('/').any(|c| c == "tests" || c == "benches") {
+            continue;
+        }
+        let src = std::fs::read_to_string(path)?;
+        let lexed = lex(&src);
+        let depths = lexed.depths();
+        let spans = test_regions(&lexed, &depths);
+        let table = graph::extract(
+            &rel,
+            &krate_of(&rel),
+            &lexed,
+            &depths,
+            &spans,
+            &cfg.span_const_layers,
+        );
+        entries.extend(table.names.into_iter().map(|n| n.entry));
+    }
+    let mut out = String::from(
+        "# Trace-name registry — every static span/counter name in the tree.\n\
+         # Regenerate with `cargo xtask registry --write`; the `trace-registry`\n\
+         # lint diffs the instrumented tree against this file (sorted, one\n\
+         # `span <layer>.<name>` or `counter <dotted.name>` per line).\n",
+    );
+    for e in entries {
+        out.push_str(&e);
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// `f64`/`f32` tokens and float literals.
@@ -573,7 +1103,7 @@ fn non_exhaustive_rule(
 }
 
 /// Line spans covered by `#[cfg(test)]` or `#[test]` items.
-fn test_regions(lexed: &Lexed, depths: &[u32]) -> Vec<(u32, u32)> {
+pub(crate) fn test_regions(lexed: &Lexed, depths: &[u32]) -> Vec<(u32, u32)> {
     let toks = &lexed.tokens;
     let mut spans = Vec::new();
     for i in 0..toks.len() {

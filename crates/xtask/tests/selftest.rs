@@ -262,6 +262,117 @@ fn proptest_regressions_rule_fires() {
     assert_finding(&r, "proptest-regressions", ".gitignore", 3);
 }
 
+fn finding_message(report: &Report, rule: &str, file: &str, line: u32) -> String {
+    report
+        .findings
+        .iter()
+        .find(|f| f.rule == rule && f.file == file && f.line == line)
+        .map(|f| f.message.clone())
+        .unwrap_or_else(|| panic!("no [{rule}] at {file}:{line}:\n{}", render(report)))
+}
+
+#[test]
+fn panic_reach_fires_with_call_chain() {
+    let r = fixture_report();
+    let file = "crates/bd/src/bad_reach.rs";
+    // The finding lands at the surface fn's definition line and prints the
+    // whole offending chain plus the site location.
+    assert_finding(&r, "panic-reach", file, 9);
+    let msg = finding_message(&r, "panic-reach", file, 9);
+    assert!(
+        msg.contains("Reach::surface_entry → mid_hop → deep_helper"),
+        "chain missing from message: {msg}"
+    );
+    assert!(
+        msg.contains(".unwrap() at crates/bd/src/bad_reach.rs:20"),
+        "site missing from message: {msg}"
+    );
+    // The direct site stays the lexical rule's finding…
+    assert_finding(&r, "panic", file, 20);
+    // …and the indexing chain is silent while the gate is off.
+    assert_no_finding_at(&r, "panic-reach", file, 23);
+}
+
+#[test]
+fn panic_reach_indexing_sites_are_gated() {
+    let mut cfg = LintConfig::workspace(fixture_root());
+    cfg.panic_reach_index_sites = true;
+    let r = run(&cfg).expect("fixture tree lints");
+    let file = "crates/bd/src/bad_reach.rs";
+    assert_finding(&r, "panic-reach", file, 23); // pick_first → index_helper → v[0]
+    let msg = finding_message(&r, "panic-reach", file, 23);
+    assert!(msg.contains("index_helper"), "chain missing: {msg}");
+}
+
+#[test]
+fn lock_order_cycle_and_flow_sink_fire() {
+    let r = fixture_report();
+    let file = "crates/bd/src/bad_lock.rs";
+    // The a→b / b→a cycle reports at the earliest witness line…
+    assert_finding(&r, "lock-order", file, 14);
+    let msg = finding_message(&r, "lock-order", file, 14);
+    assert!(
+        msg.contains("a→b at crates/bd/src/bad_lock.rs:14")
+            && msg.contains("b→a at crates/bd/src/bad_lock.rs:20"),
+        "cycle witnesses missing: {msg}"
+    );
+    // …and the flow-engine call under a held pool lock reports at the call.
+    assert_finding(&r, "lock-order", file, 26);
+    let msg = finding_message(&r, "lock-order", file, 26);
+    assert!(msg.contains("max_flow") && msg.contains("{a}"), "{msg}");
+}
+
+#[test]
+fn trace_registry_diffs_both_directions() {
+    let r = fixture_report();
+    let file = "crates/trace/src/bad_registry.rs";
+    // Sites missing from the registry report at the site…
+    assert_finding(&r, "trace-registry", file, 6); // span flow.rogue_span
+    assert_finding(&r, "trace-registry", file, 7); // counter fixture.rogue_counter
+    assert_no_finding_at(&r, "trace-registry", file, 5); // registered span
+
+    // …registry entries with no site report as stale, and an unsorted
+    // registry is itself a finding (a shuffled file fails CI).
+    let reg = "docs/trace-registry.txt";
+    assert_finding(&r, "trace-registry", reg, 2); // stale: flow.zzz_late
+    assert_finding(&r, "trace-registry", reg, 3); // stale: flow.ghost_span
+    assert!(
+        r.findings.iter().any(|f| f.rule == "trace-registry"
+            && f.file == reg
+            && f.line == 3
+            && f.message.contains("out of order")),
+        "expected an out-of-order finding at {reg}:3:\n{}",
+        render(&r)
+    );
+}
+
+#[test]
+fn json_report_has_fixed_key_order() {
+    let r = fixture_report();
+    let json = r.to_json();
+    assert!(json.starts_with("{\n  \"findings\": ["), "{json}");
+    let fpos = json.find("\"findings\"").expect("findings key");
+    let apos = json.find("\"allowed\"").expect("allowed key");
+    let spos = json.find("\"summary\"").expect("summary key");
+    assert!(fpos < apos && apos < spos, "top-level key order drifted");
+    // Entries keep file → line → rule → message order and sorted position.
+    assert!(
+        json.contains(
+            "{\"file\": \"crates/bd/src/bad_hash.rs\", \"line\": 3, \"rule\": \"hash-iter\", \
+             \"message\": "
+        ),
+        "{json}"
+    );
+    assert!(json.contains(&format!(
+        "\"summary\": {{\"findings\": {}, \"allowed\": {}}}",
+        r.findings.len(),
+        r.allowed.len()
+    )));
+    // Messages with quotes must be escaped (the panic rule quotes idents
+    // with backticks, but allow reasons may hold anything).
+    assert!(!json.contains("\n\""), "unescaped newline inside a string");
+}
+
 #[test]
 fn every_rule_fires_on_the_fixture_tree() {
     let r = fixture_report();
@@ -275,6 +386,9 @@ fn every_rule_fires_on_the_fixture_tree() {
         "non-exhaustive",
         "annotation",
         "proptest-regressions",
+        "panic-reach",
+        "lock-order",
+        "trace-registry",
     ] {
         assert!(
             fired.contains(rule),

@@ -26,6 +26,19 @@ fn ring() -> Graph {
     builders::ring(vec![int(3), int(1), int(4), int(1), int(5), int(9)]).unwrap()
 }
 
+/// The flow-layer span vocabulary, read from the checked-in trace-name
+/// registry — the single source of truth the `trace-registry` lint keeps
+/// in sync with the instrumented tree (`cargo xtask registry --write`).
+fn registered_flow_spans() -> Vec<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/trace-registry.txt");
+    std::fs::read_to_string(path)
+        .expect("docs/trace-registry.txt is checked in")
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("span flow."))
+        .map(str::to_string)
+        .collect()
+}
+
 /// Drop the volatile `ts_ns`/`dur_ns` fields from one JSONL line. The
 /// exporter emits keys in a fixed order (`… "kind": …, "ts_ns": N,
 /// "dur_ns": N, "worker": …`), so the cut points are well-defined.
@@ -89,21 +102,17 @@ fn flow_spans_pin_engine_names_and_attrs() {
     trace::disable();
     let t = trace::take();
 
-    const ALLOWED: [&str; 8] = [
-        "exact_bfs_phase",
-        "exact_max_flow",
-        "int_bfs_phase",
-        "int_max_flow",
-        "i128_bfs_phase",
-        "i128_max_flow",
-        "f64_bfs_phase",
-        "f64_max_flow",
-    ];
+    let allowed = registered_flow_spans();
+    assert_eq!(
+        allowed.len(),
+        8,
+        "the registry should list the eight per-engine flow spans: {allowed:?}"
+    );
     let mut seen = std::collections::BTreeSet::new();
     for e in t.events.iter().filter(|e| e.layer == "flow") {
         assert!(
-            ALLOWED.contains(&e.name),
-            "unexpected flow-layer span name: {}",
+            allowed.iter().any(|n| n == e.name),
+            "flow-layer span name not in docs/trace-registry.txt: {}",
             e.name
         );
         seen.insert(e.name);
@@ -121,8 +130,11 @@ fn flow_spans_pin_engine_names_and_attrs() {
     }
     // All four backends actually ran (cold two-tier: f64 + exact; warm
     // replay: i128 fast tier; direct run: int).
-    for name in ALLOWED {
-        assert!(seen.contains(name), "engine span {name} never recorded");
+    for name in &allowed {
+        assert!(
+            seen.contains(name.as_str()),
+            "engine span {name} never recorded"
+        );
     }
 }
 
