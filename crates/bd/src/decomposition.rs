@@ -496,6 +496,7 @@ impl RoundNets {
             // Build-time promotion: some p·D-scaled capacity (or an endpoint
             // total) does not fit in i128 — go straight to BigInt.
             stats::record_i128_promotions(1);
+            prs_trace::metrics::anomaly("i128_promotion_build");
             self.build_arcs_int(g, alive, &caps);
         }
         self.int_scale = p * &d;
@@ -604,6 +605,7 @@ impl RoundNets {
                     // this round, so construct it outright (same arc order →
                     // the recorded EdgeIds stay valid).
                     stats::record_i128_promotions(1);
+                    prs_trace::metrics::anomaly("i128_promotion_descent");
                     self.build_arcs_int(g, alive, &caps);
                 }
             },
@@ -643,8 +645,11 @@ impl RoundNets {
                 // The admission check bounds every partial sum by an endpoint
                 // total that fits, so this is defense-in-depth rather than an
                 // expected path — but soundness must not depend on that
-                // argument staying true under refactors.
+                // argument staying true under refactors. (The poison flag
+                // itself already tripped the flight recorder inside
+                // `prs_flow`; this anomaly marks the promotion decision.)
                 stats::record_i128_promotions(1);
+                prs_trace::metrics::anomaly("i128_promotion_runtime");
                 let p = alpha.numer();
                 let q = BigInt::from_parts(Sign::Plus, alpha.denom().clone());
                 let caps: Vec<(BigInt, BigInt)> = self

@@ -480,6 +480,10 @@ impl DecompositionSession {
             Ok(UpdateOutcome::Recomputed) => {
                 sp.attr("tier", || "recomputed".to_string());
                 stats::record_delta_recomputed(1);
+                // A full recompute under a delta that was expected to serve
+                // incrementally is the service-level anomaly the flight
+                // recorder exists for: capture the rounds leading up to it.
+                prs_trace::metrics::anomaly("delta_recomputed");
             }
             Err(_) => {
                 sp.attr("tier", || "rejected".to_string());

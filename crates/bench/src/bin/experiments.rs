@@ -1471,6 +1471,11 @@ fn bench_two_tier(quick: bool) {
         .with_grid(sweep_grid)
         .with_refine_bits(20);
     prs_core::trace::install(&prs_core::trace::TraceConfig::new().with_enabled(true));
+    // Arm the streaming histograms over the same window, so the snapshot
+    // rows below describe exactly the spans `trace_spans` aggregates
+    // post-hoc — the live-vs-post-hoc agreement the metrics layer promises.
+    prs_core::trace::metrics::reset();
+    prs_core::trace::metrics::install(&prs_core::trace::metrics::MetricsConfig::new());
     let _ = sweep(&trace_fam, &trace_cfg);
     // Replay a short churn burst under the same recorder so the delta
     // tiers show up in the profile: `bd.delta_apply` for direct serves and
@@ -1493,6 +1498,8 @@ fn bench_two_tier(quick: bool) {
             }
         }
     }
+    let metrics_rows = prs_core::trace::metrics::snapshot();
+    prs_core::trace::metrics::disable();
     prs_core::trace::disable();
     let traced = prs_core::trace::take();
     let mut tt = Table::new(&["span", "count", "total ms", "p50 µs", "p90 µs", "p99 µs"]);
@@ -1517,6 +1524,145 @@ fn bench_two_tier(quick: bool) {
     println!("  traced workload: misreport-sweep+churn/n={trace_n} (grid {sweep_grid})");
     tt.print();
 
+    // --- live metrics: snapshot rows + agreement with the post-hoc rows ---
+    //
+    // The streaming histograms watched the same window `trace_spans`
+    // aggregates post-hoc; their quantiles must under-report each exact
+    // nearest-rank value by less than the documented 1/2^SUB_BITS bound.
+    let mut metrics_snapshot_rows: Vec<String> = Vec::new();
+    for r in &metrics_rows {
+        metrics_snapshot_rows.push(format!(
+            concat!(
+                "    {{\"layer\": \"{}\", \"name\": \"{}\", \"count\": {}, ",
+                "\"sum_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}"
+            ),
+            r.layer, r.name, r.count, r.sum_ns, r.p50_ns, r.p90_ns, r.p99_ns,
+        ));
+    }
+    for s in traced.span_stats() {
+        let Some(r) = metrics_rows
+            .iter()
+            .find(|r| (r.layer, r.name) == (s.layer, s.name))
+        else {
+            continue;
+        };
+        if r.count != s.count {
+            continue; // dropped events would shift ranks; nothing to compare
+        }
+        for (q, est, exact) in [
+            (50, r.p50_ns, s.p50_ns),
+            (90, r.p90_ns, s.p90_ns),
+            (99, r.p99_ns, s.p99_ns),
+        ] {
+            assert!(
+                est <= exact && (exact - est).saturating_mul(64) <= exact,
+                "{}.{} p{q}: streaming {est} vs post-hoc {exact} breaks the 1/64 bound",
+                s.layer,
+                s.name
+            );
+        }
+    }
+
+    // --- metrics_overhead: span open+close cost per configuration ---
+    //
+    // The "disabled" row is the acceptance criterion: with every subsystem
+    // off, `span()` is a single relaxed atomic load and must stay in the
+    // nanosecond noise; the enabled rows price the histogram update.
+    prs_core::trace::metrics::disable();
+    prs_core::trace::disable();
+    let overhead_reps: u64 = if quick { 2_000_000 } else { 8_000_000 };
+    let ns_per_span = |n: u64| {
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let _s = std::hint::black_box(prs_core::trace::span("bench", "overhead_probe"));
+        }
+        t0.elapsed().as_nanos() as f64 / n as f64
+    };
+    let disabled_ns = ns_per_span(overhead_reps);
+    prs_core::trace::metrics::install(&prs_core::trace::metrics::MetricsConfig::new());
+    let metrics_ns = ns_per_span(overhead_reps / 8);
+    prs_core::trace::metrics::disable();
+    prs_core::trace::install(&prs_core::trace::TraceConfig::new().with_enabled(true));
+    let record_ns = ns_per_span(overhead_reps / 8);
+    prs_core::trace::disable();
+    prs_core::trace::clear();
+    prs_core::trace::metrics::reset();
+    let mut to = Table::new(&["config", "ns/span"]);
+    let overhead_rows: Vec<String> = [
+        ("disabled", disabled_ns),
+        ("metrics", metrics_ns),
+        ("record", record_ns),
+    ]
+    .iter()
+    .map(|(cfg_name, ns)| {
+        to.row(vec![cfg_name.to_string(), format!("{ns:.2}")]);
+        format!("    {{\"config\": \"{cfg_name}\", \"ns_per_span\": {ns:.3}}}")
+    })
+    .collect();
+    println!("  metrics overhead (span open+close):");
+    to.print();
+
+    // --- histogram accuracy: streaming quantiles vs exact sorted ranks ---
+    let mut accuracy_rows: Vec<String> = Vec::new();
+    let mut ta = Table::new(&["samples", "p50 err ‰", "p90 err ‰", "p99 err ‰", "bound ‰"]);
+    for &samples in &[1_000u64, 100_000] {
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut vals: Vec<u64> = Vec::with_capacity(samples as usize);
+        let mut h = prs_core::trace::metrics::Histogram::new();
+        for i in 0..samples {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            // Durations spread over eight decades, like real span traffic.
+            let v = (x >> 32) % (1u64 << (6 + (i % 8) * 4));
+            vals.push(v);
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let err_permille = |q: u64| {
+            let rank = (samples * q).div_ceil(100).clamp(1, samples) as usize;
+            let exact = vals[rank - 1];
+            let est = h.quantile(q);
+            assert!(est <= exact, "streaming quantile must lower-bound exact");
+            if exact == 0 {
+                0.0
+            } else {
+                (exact - est) as f64 * 1000.0 / exact as f64
+            }
+        };
+        let (e50, e90, e99) = (err_permille(50), err_permille(90), err_permille(99));
+        let bound = 1000.0 / 64.0;
+        for e in [e50, e90, e99] {
+            assert!(e <= bound, "accuracy {e}‰ exceeds the {bound}‰ bound");
+        }
+        ta.row(vec![
+            samples.to_string(),
+            format!("{e50:.2}"),
+            format!("{e90:.2}"),
+            format!("{e99:.2}"),
+            format!("{bound:.2}"),
+        ]);
+        accuracy_rows.push(format!(
+            concat!(
+                "    {{\"samples\": {}, \"p50_err_permille\": {:.3}, ",
+                "\"p90_err_permille\": {:.3}, \"p99_err_permille\": {:.3}, ",
+                "\"bound_permille\": {:.3}}}"
+            ),
+            samples, e50, e90, e99, bound
+        ));
+    }
+    println!(
+        "  histogram accuracy (log-linear, SUB_BITS={}):",
+        prs_core::trace::metrics::SUB_BITS
+    );
+    ta.print();
+    let metrics_counters = format!(
+        "{{\"slo_breaches\": {}, \"anomalies\": {}, \"flight_dumps\": {}}}",
+        prs_core::trace::metrics::slo_breach_count(),
+        prs_core::trace::metrics::anomaly_count(),
+        prs_core::trace::metrics::flight_dump_count(),
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -1529,6 +1675,10 @@ fn bench_two_tier(quick: bool) {
             "  \"churn_workloads\": [\n{}\n  ],\n",
             "  \"churn_stats\": {},\n",
             "  \"trace_spans\": {{\"workload\": \"misreport-sweep+churn/n={}\", \"spans\": [\n{}\n  ]}},\n",
+            "  \"metrics_snapshot\": {{\"workload\": \"misreport-sweep+churn/n={}\", \"spans\": [\n{}\n  ]}},\n",
+            "  \"metrics_counters\": {},\n",
+            "  \"metrics_overhead\": [\n{}\n  ],\n",
+            "  \"histogram_accuracy\": [\n{}\n  ],\n",
             "  \"sybil_attack_n{}\": {{\"two_tier_ms\": {:.4}, \"stats\": {}}}\n",
             "}}\n"
         ),
@@ -1541,6 +1691,11 @@ fn bench_two_tier(quick: bool) {
         churn_stats_json,
         trace_n,
         span_rows.join(",\n"),
+        trace_n,
+        metrics_snapshot_rows.join(",\n"),
+        metrics_counters,
+        overhead_rows.join(",\n"),
+        accuracy_rows.join(",\n"),
         attack_n,
         attack_ms,
         attack_stats.to_json(),

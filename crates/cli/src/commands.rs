@@ -447,6 +447,105 @@ pub fn cmd_update(
     Ok(())
 }
 
+/// How many processed events between live snapshot prints in
+/// [`cmd_watch`].
+const WATCH_SNAPSHOT_EVERY: u64 = 8;
+
+/// `prs watch`: replay a churn script (the [`cmd_update`] format) with
+/// the live metrics layer armed — streaming histograms feeding
+/// mid-replay JSONL snapshot lines (printed every
+/// [`WATCH_SNAPSHOT_EVERY`] events and at the end, each line a JSON
+/// object starting with `{"layer":`), the SLO watchdog (when `slo_ms`
+/// sets a latency ceiling on the session's delta spans), and the flight
+/// recorder (dumping anomaly excerpts under `dump_dir` when given).
+/// This is the `take()`-free service-operation mode: no trace buffer
+/// grows, yet p50/p90/p99 per span stay visible throughout.
+pub fn cmd_watch(
+    g: &Graph,
+    script: &str,
+    dump_dir: Option<&str>,
+    slo_ms: Option<u64>,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    use prs_core::trace::metrics;
+    let mut flight = metrics::FlightConfig::new();
+    if let Some(dir) = dump_dir {
+        flight = flight.with_dump_dir(dir);
+    }
+    let mut slo = metrics::SloConfig::new();
+    if let Some(ms) = slo_ms {
+        let ns = ms.saturating_mul(1_000_000);
+        slo = slo
+            .with_latency("bd.delta_apply", ns)
+            .with_latency("bd.session_round", ns);
+    }
+    let breaches0 = metrics::slo_breach_count();
+    let anomalies0 = metrics::anomaly_count();
+    let dumps0 = metrics::flight_dump_count();
+    metrics::reset();
+    metrics::install(
+        &metrics::MetricsConfig::new()
+            .with_slo(slo)
+            .with_flight(flight),
+    );
+
+    let mut session = DecompositionSession::new(g.clone());
+    match session.current() {
+        Ok(bd) => writeln!(
+            out,
+            "initial decomposition: {} pairs over {} agents",
+            bd.k(),
+            g.n()
+        )?,
+        Err(e) => {
+            metrics::disable();
+            writeln!(out, "error: {e}")?;
+            return Ok(());
+        }
+    }
+    let mut processed = 0u64;
+    for (idx, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let delta = match parse_delta(line) {
+            Ok(d) => d,
+            Err(msg) => {
+                metrics::disable();
+                writeln!(out, "error: script line {lineno}: {msg}")?;
+                return Ok(());
+            }
+        };
+        let ops = delta.len();
+        let tier = match session.apply(delta) {
+            Ok(UpdateOutcome::Unchanged) => "unchanged".to_string(),
+            Ok(UpdateOutcome::Recertified { rounds }) => {
+                format!("recertified ({rounds} round(s))")
+            }
+            Ok(UpdateOutcome::Recomputed) => "recomputed".to_string(),
+            Err(e) => format!("rejected ({e})"),
+        };
+        writeln!(out, "  event {lineno}: {ops} op(s) → {tier}")?;
+        processed += 1;
+        if processed.is_multiple_of(WATCH_SNAPSHOT_EVERY) {
+            write!(out, "{}", metrics::snapshot_jsonl())?;
+        }
+    }
+    // Final snapshot: the live state of every histogram, unconditionally.
+    write!(out, "{}", metrics::snapshot_jsonl())?;
+    writeln!(
+        out,
+        "watch: {processed} event(s), {} SLO breach(es), {} anomaly(ies), {} flight dump(s)",
+        metrics::slo_breach_count().saturating_sub(breaches0),
+        metrics::anomaly_count().saturating_sub(anomalies0),
+        metrics::flight_dump_count().saturating_sub(dumps0),
+    )?;
+    metrics::disable();
+    Ok(())
+}
+
 /// Parse one churn-script event (a JSON object; `batch` nests one level of
 /// objects inside a `deltas` array) into a [`Delta`]. Hand-rolled like
 /// every other JSON surface in this workspace.
@@ -618,6 +717,12 @@ COMMANDS:
     update <file> <script.jsonl>  replay a churn script against one
                                   incremental session; each line is an event
                                   ({\"op\": set_weight|add_edge|remove_edge|batch})
+    watch <file> <script.jsonl> [dump-dir] [slo-ms]
+                                  replay a churn script with live metrics:
+                                  streaming p50/p90/p99 snapshot lines
+                                  mid-replay, SLO watchdog (slo-ms = latency
+                                  ceiling on the delta spans), and anomaly
+                                  flight-recorder dumps under dump-dir
     audit <file> [--stats]        run every paper-claim check on a ring
                                   (--stats: print flow-engine counters)
 
@@ -841,6 +946,51 @@ mod tests {
         assert!(out.contains("delta unchanged"), "{out}");
         assert!(out.contains("delta recertified"), "{out}");
         assert!(out.contains("\"delta_unchanged\""), "{out}");
+    }
+
+    // The metrics layer is process-global; the watch tests install/reset
+    // it, so they must not interleave with each other.
+    static WATCH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn watch_prints_live_snapshots_and_summary() {
+        let _g = WATCH_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let script = "{\"op\":\"set_weight\",\"v\":0,\"w\":\"7/2\"}\n\
+                      {\"op\":\"set_weight\",\"v\":4,\"w\":6}\n";
+        // Generous 10s SLO: watchdog armed but quiet, output deterministic.
+        let out = capture(|w| cmd_watch(&ring(), script, None, Some(10_000), w));
+        assert!(out.contains("initial decomposition"), "{out}");
+        assert!(out.contains("event 1:"), "{out}");
+        let snaps: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with("{\"layer\": \""))
+            .collect();
+        assert!(!snaps.is_empty(), "live snapshot lines expected:\n{out}");
+        assert!(
+            snaps
+                .iter()
+                .any(|l| l.contains("\"name\": \"delta_apply\"")),
+            "{out}"
+        );
+        for l in &snaps {
+            assert!(
+                l.contains("\"count\": ")
+                    && l.contains("\"p50_ns\": ")
+                    && l.contains("\"p99_ns\": "),
+                "snapshot schema: {l}"
+            );
+        }
+        assert!(out.contains("watch: 2 event(s)"), "{out}");
+        assert!(out.contains("flight dump(s)"), "{out}");
+    }
+
+    #[test]
+    fn watch_zero_slo_fires_watchdog() {
+        let _g = WATCH_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let script = "{\"op\":\"set_weight\",\"v\":0,\"w\":\"9/2\"}\n";
+        let out = capture(|w| cmd_watch(&ring(), script, None, Some(0), w));
+        assert!(out.contains("watch: 1 event(s)"), "{out}");
+        assert!(!out.contains(" 0 SLO breach(es)"), "{out}");
     }
 
     #[test]

@@ -89,6 +89,22 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("cannot read {script}: {e}"))?;
             commands::cmd_update(&graph, &text, stats, &mut stdout)
         }
+        "watch" => {
+            let script = args
+                .get(2)
+                .ok_or_else(|| format!("missing churn script file\n\n{}", commands::USAGE))?;
+            let text = std::fs::read_to_string(script)
+                .map_err(|e| format!("cannot read {script}: {e}"))?;
+            let dump_dir = args.get(3).map(String::as_str);
+            let slo_ms = args
+                .get(4)
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| "slo-ms must be a non-negative integer".to_string())
+                })
+                .transpose()?;
+            commands::cmd_watch(&graph, &text, dump_dir, slo_ms, &mut stdout)
+        }
         "audit" => commands::cmd_audit(&graph, stats, &mut stdout),
         other => return Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
     };

@@ -73,7 +73,13 @@ pub fn overflow_detected() -> bool {
 }
 
 fn poison() {
-    OVERFLOW.with(|f| f.set(true));
+    // Flight-recorder hook on the transition only: once poisoned, every
+    // subsequent checked_* failure in the same run also lands here, and a
+    // single anomaly dump per run is the useful granularity.
+    let fresh = OVERFLOW.with(|f| !f.replace(true));
+    if fresh {
+        prs_trace::metrics::anomaly("i128_overflow_poison");
+    }
 }
 
 impl Capacity for i128 {

@@ -128,18 +128,25 @@ impl Trace {
     /// spans become `"ph": "X"` complete events, instants become
     /// `"ph": "i"` thread-scoped markers; attributes ride in `"args"`.
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
-        let mut first = true;
-        for ev in &self.events {
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            push_chrome_event(&mut out, ev);
-        }
-        out.push_str("\n]}\n");
-        out
+        chrome_json_of(&self.events)
     }
+}
+
+/// Chrome trace-event JSON over a bare event slice — shared between
+/// [`Trace::to_chrome_json`] and the flight recorder's anomaly dumps
+/// (`crate::metrics`), which excerpt a ring rather than a drained trace.
+pub(crate) fn chrome_json_of(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    for ev in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        push_chrome_event(&mut out, ev);
+    }
+    out.push_str("\n]}\n");
+    out
 }
 
 fn push_jsonl_line(out: &mut String, ev: &TraceEvent) {
@@ -223,17 +230,30 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice.
+/// Nearest-rank percentile over an ascending-sorted slice, defined for
+/// every input size:
+///
+/// * **empty** → `0` (there is no observation to report);
+/// * **one element** → that element, for every `p`;
+/// * in general the value at 1-based rank `ceil(len·p/100)`, clamped to
+///   `[1, len]` — so p50 of a 2-element set is the lower element and p99
+///   the upper one (the floor-indexed variant this replaced collapsed
+///   both onto the lower element).
+///
+/// The streaming histograms (`crate::metrics`) use the same rank
+/// convention, so live and post-hoc quantiles are comparable
+/// rank-for-rank.
 fn percentile(sorted: &[u64], p: u64) -> u64 {
-    if sorted.is_empty() {
+    let Some(&last) = sorted.last() else {
         return 0;
-    }
-    let last = u64::try_from(sorted.len() - 1).unwrap_or(u64::MAX);
-    let idx = usize::try_from(last * p / 100).unwrap_or(0);
-    sorted.get(idx).copied().unwrap_or(0)
+    };
+    let n = u64::try_from(sorted.len()).unwrap_or(u64::MAX);
+    let rank = n.saturating_mul(p.min(100)).div_ceil(100).clamp(1, n);
+    let idx = usize::try_from(rank - 1).unwrap_or(usize::MAX);
+    sorted.get(idx).copied().unwrap_or(last)
 }
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -323,20 +343,35 @@ mod tests {
         assert_eq!((rows[0].layer, rows[0].name), ("bd", "round"));
         assert_eq!(rows[0].count, 2);
         assert_eq!(rows[0].total_ns, 130_456);
-        // Floor-indexed nearest rank: both p50 and p99 of a 2-element set
-        // land on the lower value (matches `percentile_is_nearest_rank`).
+        // Nearest rank: of a 2-element set, p50 (rank 1) is the lower
+        // value and p99 (rank 2) the upper (matches
+        // `percentile_is_nearest_rank`).
         assert_eq!(rows[0].p50_ns, 7_000);
-        assert_eq!(rows[0].p99_ns, 7_000);
+        assert_eq!(rows[0].p99_ns, 123_456);
     }
 
     #[test]
     fn percentile_is_nearest_rank() {
+        // Empty: defined as 0 for every p.
+        assert_eq!(percentile(&[], 0), 0);
         assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[], 100), 0);
+        // Single element: it is every percentile.
+        assert_eq!(percentile(&[5], 0), 5);
+        assert_eq!(percentile(&[5], 50), 5);
         assert_eq!(percentile(&[5], 99), 5);
+        assert_eq!(percentile(&[5], 100), 5);
+        // Two elements: p≤50 is the lower, p>50 the upper.
+        assert_eq!(percentile(&[7_000, 123_456], 0), 7_000);
+        assert_eq!(percentile(&[7_000, 123_456], 50), 7_000);
+        assert_eq!(percentile(&[7_000, 123_456], 51), 123_456);
+        assert_eq!(percentile(&[7_000, 123_456], 99), 123_456);
         let v: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&v, 50), 50);
         assert_eq!(percentile(&v, 99), 99);
         assert_eq!(percentile(&v, 90), 90);
+        // Out-of-range p clamps rather than indexing past the end.
+        assert_eq!(percentile(&v, 300), 100);
     }
 
     #[test]

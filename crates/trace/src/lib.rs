@@ -25,11 +25,19 @@
 //! The recorder also hosts the process-wide [`Counter`] registry that
 //! `prs_flow::stats` is built on: counters are always live (independent of
 //! span recording) and surface in the human summary.
+//!
+//! The [`metrics`] module adds the *streaming* half of the story:
+//! log-linear histograms updated at span close (bounded state, callable
+//! mid-run), an SLO watchdog, and a per-thread flight recorder — all
+//! gated by the same single state word as event recording, so the
+//! disabled path stays one relaxed atomic load no matter how many
+//! subsystems hang off span close.
 
 pub mod export;
+pub mod metrics;
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -120,7 +128,17 @@ pub struct Trace {
 // Global recorder state.
 // ---------------------------------------------------------------------------
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Recorder state bits, packed into one word so the disabled fast path in
+/// [`span`] / [`instant`] is a *single* relaxed atomic load regardless of
+/// which subsystems are armed. `BIT_RECORD` is classic event buffering;
+/// the other bits belong to the [`metrics`] module and are set/cleared by
+/// [`metrics::install`].
+pub(crate) const BIT_RECORD: u32 = 1 << 0;
+pub(crate) const BIT_METRICS: u32 = 1 << 1;
+pub(crate) const BIT_FLIGHT: u32 = 1 << 2;
+pub(crate) const BIT_SLO: u32 = 1 << 3;
+
+static STATE: AtomicU32 = AtomicU32::new(0);
 static MAX_PER_THREAD: AtomicUsize = AtomicUsize::new(1 << 20);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
 static NEXT_WORKER: AtomicU64 = AtomicU64::new(0);
@@ -143,10 +161,28 @@ fn lock_sink() -> std::sync::MutexGuard<'static, Vec<TraceEvent>> {
     }
 }
 
+#[inline]
+pub(crate) fn state_bits() -> u32 {
+    STATE.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_state_bits(bits: u32) {
+    STATE.fetch_or(bits, Ordering::Relaxed);
+}
+
+pub(crate) fn clear_state_bits(bits: u32) {
+    STATE.fetch_and(!bits, Ordering::Relaxed);
+}
+
 /// Install a configuration: sets the buffer cap and flips recording.
+/// Metrics/flight/SLO state is independent — see [`metrics::install`].
 pub fn install(cfg: &TraceConfig) {
     MAX_PER_THREAD.store(cfg.max_events_per_thread, Ordering::Relaxed);
-    ENABLED.store(cfg.enabled, Ordering::Relaxed);
+    if cfg.enabled {
+        set_state_bits(BIT_RECORD);
+    } else {
+        clear_state_bits(BIT_RECORD);
+    }
 }
 
 /// Turn recording on with the default configuration.
@@ -156,13 +192,14 @@ pub fn enable() {
 
 /// Turn recording off (buffered events stay until [`take`] or [`clear`]).
 pub fn disable() {
-    ENABLED.store(false, Ordering::Relaxed);
+    clear_state_bits(BIT_RECORD);
 }
 
-/// Whether the recorder is currently on.
+/// Whether event recording is currently on (metrics-only operation — see
+/// [`metrics`] — does not count: no events are buffered there).
 #[inline]
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    state_bits() & BIT_RECORD != 0
 }
 
 // ---------------------------------------------------------------------------
@@ -248,14 +285,20 @@ struct OpenSpan {
     name: &'static str,
     start_ns: u64,
     attrs: Vec<(&'static str, String)>,
+    /// State bits captured at open; a mid-span `install` does not change
+    /// where this span's close is routed.
+    bits: u32,
 }
 
 /// Open a span. The returned guard records the span (with its duration)
-/// when it goes out of scope. When recording is off this is one relaxed
-/// atomic load and returns an inert guard.
+/// when it goes out of scope — into the event buffer, the streaming
+/// [`metrics`] histograms, and/or the flight-recorder ring, per the state
+/// bits at open. When everything is off this is one relaxed atomic load
+/// and returns an inert guard.
 #[inline]
 pub fn span(layer: &'static str, name: &'static str) -> SpanGuard {
-    if !is_enabled() {
+    let bits = state_bits();
+    if bits == 0 {
         return SpanGuard { open: None };
     }
     SpanGuard {
@@ -264,24 +307,31 @@ pub fn span(layer: &'static str, name: &'static str) -> SpanGuard {
             name,
             start_ns: now_ns(),
             attrs: Vec::new(),
+            bits,
         }),
     }
 }
 
 impl SpanGuard {
-    /// Whether this guard will record (i.e. the recorder was on at
-    /// creation). Lets callers skip expensive attribute prep.
+    /// Whether this guard will record the span *event* (buffer or flight
+    /// ring) — i.e. whether attribute prep is worth doing. Metrics-only
+    /// operation answers `false`: histograms only consume the duration.
     #[inline]
     pub fn is_recording(&self) -> bool {
-        self.open.is_some()
+        self.open
+            .as_ref()
+            .is_some_and(|o| o.bits & (BIT_RECORD | BIT_FLIGHT) != 0)
     }
 
-    /// Attach an attribute. The value closure only runs while recording,
-    /// so formatting costs nothing when tracing is off.
+    /// Attach an attribute. The value closure only runs while the span
+    /// event is going somewhere (recording or flight ring), so formatting
+    /// costs nothing when tracing is off or metrics-only.
     #[inline]
     pub fn attr(&mut self, key: &'static str, value: impl FnOnce() -> String) {
         if let Some(open) = self.open.as_mut() {
-            open.attrs.push((key, value()));
+            if open.bits & (BIT_RECORD | BIT_FLIGHT) != 0 {
+                open.attrs.push((key, value()));
+            }
         }
     }
 }
@@ -290,32 +340,46 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(open) = self.open.take() {
             let end_ns = now_ns();
-            record(TraceEvent {
-                layer: open.layer,
-                name: open.name,
-                kind: EventKind::Span,
-                start_ns: open.start_ns,
-                dur_ns: end_ns.saturating_sub(open.start_ns),
-                worker: 0,
-                seq: 0,
-                attrs: open.attrs,
-            });
+            let dur_ns = end_ns.saturating_sub(open.start_ns);
+            if open.bits & (BIT_METRICS | BIT_SLO) != 0 {
+                metrics::on_span_close(open.layer, open.name, dur_ns, open.bits);
+            }
+            if open.bits & (BIT_RECORD | BIT_FLIGHT) != 0 {
+                let ev = TraceEvent {
+                    layer: open.layer,
+                    name: open.name,
+                    kind: EventKind::Span,
+                    start_ns: open.start_ns,
+                    dur_ns,
+                    worker: 0,
+                    seq: 0,
+                    attrs: open.attrs,
+                };
+                if open.bits & BIT_FLIGHT != 0 {
+                    metrics::flight_record(&ev);
+                }
+                if open.bits & BIT_RECORD != 0 {
+                    record(ev);
+                }
+            }
         }
     }
 }
 
 /// Record a point-in-time event. The attribute closure only runs while
-/// recording; when tracing is off this is one relaxed atomic load.
+/// the event is going somewhere (recording or the flight-recorder ring);
+/// when tracing is off this is one relaxed atomic load.
 #[inline]
 pub fn instant(
     layer: &'static str,
     name: &'static str,
     attrs: impl FnOnce() -> Vec<(&'static str, String)>,
 ) {
-    if !is_enabled() {
+    let bits = state_bits();
+    if bits & (BIT_RECORD | BIT_FLIGHT) == 0 {
         return;
     }
-    record(TraceEvent {
+    let ev = TraceEvent {
         layer,
         name,
         kind: EventKind::Instant,
@@ -324,7 +388,13 @@ pub fn instant(
         worker: 0,
         seq: 0,
         attrs: attrs(),
-    });
+    };
+    if bits & BIT_FLIGHT != 0 {
+        metrics::flight_record(&ev);
+    }
+    if bits & BIT_RECORD != 0 {
+        record(ev);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -460,16 +530,23 @@ pub fn counter_values() -> Vec<(&'static str, u64)> {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
 
     // The recorder is process-global, so tests that enable/drain it must
-    // not interleave; this lock serializes them.
+    // not interleave; this lock serializes them (shared with the metrics
+    // module's tests, which toggle the same state word).
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
-    fn locked() -> std::sync::MutexGuard<'static, ()> {
+    pub(crate) fn locked() -> MutexGuard<'static, ()> {
         TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::locked;
+    use super::*;
 
     #[test]
     fn disabled_recorder_is_inert() {

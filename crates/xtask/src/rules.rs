@@ -315,6 +315,16 @@ impl LintConfig {
                         .map(String::from)
                         .to_vec(),
                 ),
+                (
+                    "MetricsConfig".to_string(),
+                    ["enabled", "slo", "flight"].map(String::from).to_vec(),
+                ),
+                (
+                    "FlightConfig".to_string(),
+                    ["capacity", "dump_dir", "max_dumps"]
+                        .map(String::from)
+                        .to_vec(),
+                ),
             ]),
             lock_paths: vec![
                 "crates/bd/src".into(),
@@ -330,7 +340,12 @@ impl LintConfig {
                 .to_vec(),
             panic_reach_index_sites: false,
             trace_registry: "docs/trace-registry.txt".into(),
-            span_const_layers: vec![("SPAN_".to_string(), "flow".to_string())],
+            span_const_layers: vec![
+                ("SPAN_".to_string(), "flow".to_string()),
+                // `MSPAN_*` consts in the metrics module name spans the
+                // recorder opens about itself (e.g. the flight-dump span).
+                ("MSPAN_".to_string(), "metrics".to_string()),
+            ],
         }
     }
 
