@@ -546,6 +546,283 @@ pub fn cmd_watch(
     Ok(())
 }
 
+/// Exact-BD cross-checks on the post-churn swarm are only attempted when
+/// the live population fits a closed-form decomposition run.
+const SWARM_BD_CHECK_MAX: usize = 512;
+
+/// The empirical Sybil probe runs `n × 7` full swarm simulations, so it is
+/// reserved for small rings.
+const SWARM_SYBIL_PROBE_MAX: usize = 12;
+
+/// `prs swarm`: run the struct-of-arrays engine to convergence, optionally
+/// replicating the ring to `--agents N` and replaying a JSONL membership
+/// script (`{"op": join|leave|rewire, ...}` with an optional `round` field
+/// naming the protocol round the event fires at). Reports the convergence
+/// round, the max utility deviation from the exact BD allocation on the
+/// surviving topology, and the empirical incentive ratio (a grid-probed
+/// Sybil best response on small rings, plus the in-vivo fairness spread).
+pub fn cmd_swarm(
+    g: &Graph,
+    agents: Option<usize>,
+    rounds: Option<usize>,
+    churn: Option<&str>,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    // `--agents N`: tile the instance's weight pattern around an N-ring.
+    let expanded;
+    let g = match agents {
+        Some(n) if n != g.n() => {
+            if !g.is_ring() {
+                writeln!(out, "error: --agents replication requires a ring instance")?;
+                return Ok(());
+            }
+            if n < 3 {
+                writeln!(out, "error: --agents must be at least 3")?;
+                return Ok(());
+            }
+            let tiled: Vec<Rational> = (0..n).map(|v| g.weight(v % g.n()).clone()).collect();
+            expanded = match builders::ring(tiled) {
+                Ok(big) => big,
+                Err(e) => {
+                    writeln!(out, "error: {e}")?;
+                    return Ok(());
+                }
+            };
+            &expanded
+        }
+        _ => g,
+    };
+
+    // Parse the whole script up front so a typo on line 7 fails before any
+    // rounds run, matching `cmd_update`'s replay discipline.
+    let mut events: Vec<(usize, usize, MembershipEvent)> = Vec::new();
+    if let Some(script) = churn {
+        for (idx, raw) in script.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = idx + 1;
+            match parse_membership_event(line) {
+                Ok((round, ev)) => events.push((lineno, round, ev)),
+                Err(msg) => {
+                    writeln!(out, "error: script line {lineno}: {msg}")?;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    let max_rounds = rounds.unwrap_or(100_000);
+    let mut swarm = SoaSwarm::new(g);
+    writeln!(
+        out,
+        "struct-of-arrays swarm: {} agent(s), {} edge(s)",
+        g.n(),
+        g.edges().len()
+    )?;
+
+    // Replay churn in file order, stepping the protocol up to each event's
+    // round first (events never rewind; an earlier round fires immediately).
+    for (lineno, round, ev) in &events {
+        while swarm.round() < (*round).min(max_rounds) {
+            swarm.step();
+        }
+        match swarm.apply(ev) {
+            Ok(outcome) => writeln!(
+                out,
+                "  event {lineno} @ round {}: {} → {}",
+                swarm.round(),
+                describe_membership_event(ev),
+                describe_membership_outcome(&outcome)
+            )?,
+            Err(e) => writeln!(
+                out,
+                "  event {lineno} @ round {}: rejected ({e})",
+                swarm.round()
+            )?,
+        }
+    }
+
+    let cfg = SwarmConfig {
+        max_rounds: max_rounds.saturating_sub(swarm.round()),
+        ..SwarmConfig::default()
+    };
+    let m = swarm.run(&cfg);
+    writeln!(
+        out,
+        "proportional response: converged = {} after {} round(s); {} live agent(s)",
+        m.converged,
+        swarm.round(),
+        swarm.live_agents()
+    )?;
+
+    // Max deviation from the exact BD allocation on the surviving topology.
+    let live_snapshot = if swarm.live_agents() <= SWARM_BD_CHECK_MAX {
+        match swarm.to_graph() {
+            Ok(snap) => Some(snap),
+            Err(e) => {
+                writeln!(out, "BD cross-check skipped: {e}")?;
+                None
+            }
+        }
+    } else {
+        writeln!(
+            out,
+            "BD cross-check skipped ({} live agents > {SWARM_BD_CHECK_MAX})",
+            swarm.live_agents()
+        )?;
+        None
+    };
+    if let Some((live_g, slot_of)) = &live_snapshot {
+        match decompose(live_g) {
+            Ok(bd) => {
+                let mut max_dev = 0.0f64;
+                for (i, &slot) in slot_of.iter().enumerate() {
+                    let want = bd.utility(live_g, i).to_f64();
+                    max_dev = max_dev.max((m.utilities[slot] - want).abs());
+                }
+                writeln!(
+                    out,
+                    "max |U_swarm − U_BD| = {max_dev:.3e} over {} live agent(s)",
+                    slot_of.len()
+                )?;
+            }
+            Err(e) => writeln!(out, "BD cross-check skipped: {e}")?,
+        }
+    }
+
+    // Empirical incentive ratio. The in-vivo proxy (spread of the
+    // download-per-capacity rates) always prints; on small surviving rings
+    // a grid of Sybil splits probes the best protocol-level deviation.
+    let spread = swarm.fairness_spread();
+    if spread.is_nan() {
+        writeln!(out, "fairness spread max/min(Ū_v/w_v): n/a (no live capacity)")?;
+    } else {
+        writeln!(out, "fairness spread max/min(Ū_v/w_v) = {spread:.9}")?;
+    }
+    match &live_snapshot {
+        Some((live_g, _)) if live_g.is_ring() && live_g.n() <= SWARM_SYBIL_PROBE_MAX => {
+            let honest = {
+                let mut s = SoaSwarm::new(live_g);
+                s.run(&SwarmConfig::default()).utilities
+            };
+            let weights = live_g.weights_f64();
+            let mut best = 1.0f64;
+            let mut best_agent = 0usize;
+            let mut best_split = 4u32;
+            for v in 0..live_g.n() {
+                if weights[v] <= 0.0 || honest[v] <= 0.0 {
+                    continue;
+                }
+                for k in 1..8u32 {
+                    let w1 = weights[v] * f64::from(k) / 8.0;
+                    let w2 = weights[v] - w1;
+                    let mut s = SoaSwarm::with_strategies(live_g, |a| {
+                        if a == v {
+                            Strategy::Sybil { w1, w2 }
+                        } else {
+                            Strategy::Honest
+                        }
+                    });
+                    let ratio = s.run(&SwarmConfig::default()).utilities[v] / honest[v];
+                    if ratio > best {
+                        best = ratio;
+                        best_agent = v;
+                        best_split = k;
+                    }
+                }
+            }
+            writeln!(
+                out,
+                "empirical incentive ratio ζ̂ = {best:.6} \
+                 (Sybil grid: agent {best_agent}, split {best_split}/8·w; Theorem 8 bound: 2)"
+            )?;
+        }
+        Some((live_g, _)) if !live_g.is_ring() => {
+            writeln!(out, "Sybil probe skipped (surviving topology is not a ring)")?;
+        }
+        Some((live_g, _)) => {
+            writeln!(
+                out,
+                "Sybil probe skipped ({} live agents > {SWARM_SYBIL_PROBE_MAX})",
+                live_g.n()
+            )?;
+        }
+        None => {}
+    }
+    Ok(())
+}
+
+fn describe_membership_event(ev: &MembershipEvent) -> String {
+    match ev {
+        MembershipEvent::Join { capacity, peers } => {
+            format!("join(w = {capacity}, peers {peers:?})")
+        }
+        MembershipEvent::Leave { agent } => format!("leave(agent {agent})"),
+        MembershipEvent::Rewire { agent } => format!("rewire(agent {agent})"),
+    }
+}
+
+fn describe_membership_outcome(outcome: &MembershipOutcome) -> String {
+    match outcome {
+        MembershipOutcome::Joined(v) => format!("joined as agent {v}"),
+        MembershipOutcome::Left => "left".to_string(),
+        MembershipOutcome::Rewired { dropped, added } => {
+            format!("rewired: dropped {dropped}, added {added}")
+        }
+        MembershipOutcome::NoOp => "no-op".to_string(),
+    }
+}
+
+/// Parse one membership-script event (a JSON object per line) for
+/// [`cmd_swarm`]: `{"op": "join", "capacity": w, "peers": [..]}`,
+/// `{"op": "leave", "agent": v}`, or `{"op": "rewire", "agent": v}`, each
+/// with an optional `"round": r` naming the protocol round it fires at.
+fn parse_membership_event(text: &str) -> Result<(usize, MembershipEvent), String> {
+    let body = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "event must be a JSON object".to_string())?;
+    let pairs = split_top_level_pairs(body)?;
+    let round = match field(&pairs, "round") {
+        Ok(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| "field `round` must be a round number".to_string())?,
+        Err(_) => 0,
+    };
+    let ev = match unquote(field(&pairs, "op")?) {
+        "join" => {
+            let capacity = field(&pairs, "capacity")?
+                .parse::<f64>()
+                .map_err(|_| "field `capacity` must be a number".to_string())?;
+            let inner = field(&pairs, "peers")?
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| "`peers` must be an array".to_string())?;
+            let peers = inner
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| "`peers` entries must be agent ids".to_string())
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            MembershipEvent::Join { capacity, peers }
+        }
+        "leave" => MembershipEvent::Leave {
+            agent: vertex_field(&pairs, "agent")?,
+        },
+        "rewire" => MembershipEvent::Rewire {
+            agent: vertex_field(&pairs, "agent")?,
+        },
+        other => return Err(format!("unknown op `{other}`")),
+    };
+    Ok((round, ev))
+}
+
 /// Parse one churn-script event (a JSON object; `batch` nests one level of
 /// objects inside a `deltas` array) into a [`Delta`]. Hand-rolled like
 /// every other JSON surface in this workspace.
@@ -723,6 +1000,15 @@ COMMANDS:
                                   mid-replay, SLO watchdog (slo-ms = latency
                                   ceiling on the delta spans), and anomaly
                                   flight-recorder dumps under dump-dir
+    swarm <file> [--agents N] [--rounds R] [--churn script.jsonl]
+                                  run the struct-of-arrays swarm engine to
+                                  convergence (--agents: tile the ring's
+                                  weights to N agents; --churn: JSONL
+                                  membership events, one per line,
+                                  {\"op\": join|leave|rewire, \"round\": r});
+                                  reports the convergence round, max utility
+                                  deviation from the exact BD allocation,
+                                  and the empirical incentive ratio
     audit <file> [--stats]        run every paper-claim check on a ring
                                   (--stats: print flow-engine counters)
 
@@ -991,6 +1277,75 @@ mod tests {
         let out = capture(|w| cmd_watch(&ring(), script, None, Some(0), w));
         assert!(out.contains("watch: 1 event(s)"), "{out}");
         assert!(!out.contains(" 0 SLO breach(es)"), "{out}");
+    }
+
+    #[test]
+    fn swarm_reports_convergence_deviation_and_ratio() {
+        let out = capture(|w| cmd_swarm(&ring(), None, None, None, w));
+        assert!(out.contains("struct-of-arrays swarm: 5 agent(s)"), "{out}");
+        assert!(out.contains("converged = true"), "{out}");
+        assert!(out.contains("5 live agent(s)"), "{out}");
+        assert!(out.contains("max |U_swarm − U_BD| = "), "{out}");
+        assert!(out.contains("fairness spread"), "{out}");
+        assert!(out.contains("empirical incentive ratio ζ̂ = "), "{out}");
+        assert!(out.contains("Theorem 8 bound: 2"), "{out}");
+    }
+
+    #[test]
+    fn swarm_agents_flag_tiles_the_ring() {
+        let out = capture(|w| cmd_swarm(&ring(), Some(8), None, None, w));
+        assert!(out.contains("struct-of-arrays swarm: 8 agent(s)"), "{out}");
+        assert!(out.contains("converged = true"), "{out}");
+        let path = builders::path(vec![int(1), int(2), int(3)]).unwrap();
+        let out = capture(|w| cmd_swarm(&path, Some(8), None, None, w));
+        assert!(out.contains("requires a ring instance"), "{out}");
+    }
+
+    #[test]
+    fn swarm_rounds_cap_stops_early() {
+        let out = capture(|w| cmd_swarm(&ring(), None, Some(3), None, w));
+        assert!(out.contains("converged = false after 3 round(s)"), "{out}");
+    }
+
+    #[test]
+    fn swarm_churn_script_applies_events_between_rounds() {
+        let script = "# join a newcomer on arc (0,2), then retire agent 1\n\
+                      {\"op\":\"join\",\"capacity\":2,\"peers\":[0,2],\"round\":3}\n\
+                      {\"op\":\"leave\",\"agent\":1,\"round\":5}\n";
+        let out = capture(|w| cmd_swarm(&ring(), None, None, Some(script), w));
+        assert!(out.contains("event 2 @ round 3: join"), "{out}");
+        assert!(out.contains("joined as agent 5"), "{out}");
+        assert!(out.contains("event 3 @ round 5: leave(agent 1) → left"), "{out}");
+        assert!(out.contains("converged = true"), "{out}");
+        assert!(out.contains("5 live agent(s)"), "{out}");
+        // The surviving topology is a 5-ring again, so both cross-checks run.
+        assert!(out.contains("max |U_swarm − U_BD| = "), "{out}");
+        assert!(out.contains("empirical incentive ratio ζ̂ = "), "{out}");
+    }
+
+    #[test]
+    fn swarm_rejects_malformed_churn_lines() {
+        let out = capture(|w| {
+            cmd_swarm(&ring(), None, None, Some("{\"op\":\"frobnicate\"}"), w)
+        });
+        assert!(
+            out.contains("error: script line 1: unknown op `frobnicate`"),
+            "{out}"
+        );
+        let out = capture(|w| {
+            cmd_swarm(&ring(), None, None, Some("{\"op\":\"join\",\"peers\":[0]}"), w)
+        });
+        assert!(out.contains("missing field `capacity`"), "{out}");
+    }
+
+    #[test]
+    fn swarm_reports_rejected_events_without_dying() {
+        // Leaving an unknown agent is a domain error, not a crash; the run
+        // continues to convergence.
+        let script = "{\"op\":\"leave\",\"agent\":99}\n";
+        let out = capture(|w| cmd_swarm(&ring(), None, None, Some(script), w));
+        assert!(out.contains("rejected ("), "{out}");
+        assert!(out.contains("converged = true"), "{out}");
     }
 
     #[test]

@@ -105,6 +105,54 @@ fn run(args: &[String]) -> Result<(), String> {
                 .transpose()?;
             commands::cmd_watch(&graph, &text, dump_dir, slo_ms, &mut stdout)
         }
+        "swarm" => {
+            let mut agents = None;
+            let mut rounds = None;
+            let mut churn_path: Option<String> = None;
+            let mut i = 2;
+            while i < args.len() {
+                let (flag, inline) = match args[i].split_once('=') {
+                    Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                    None => (args[i].clone(), None),
+                };
+                let value = match inline {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        args.get(i)
+                            .cloned()
+                            .ok_or_else(|| format!("flag `{flag}` needs a value"))?
+                    }
+                };
+                match flag.as_str() {
+                    "--agents" => {
+                        agents = Some(value.parse::<usize>().map_err(|_| {
+                            "--agents must be a non-negative integer".to_string()
+                        })?);
+                    }
+                    "--rounds" => {
+                        rounds = Some(value.parse::<usize>().map_err(|_| {
+                            "--rounds must be a non-negative integer".to_string()
+                        })?);
+                    }
+                    "--churn" => churn_path = Some(value),
+                    other => {
+                        return Err(format!(
+                            "unknown swarm flag `{other}`\n\n{}",
+                            commands::USAGE
+                        ))
+                    }
+                }
+                i += 1;
+            }
+            let churn_text = match &churn_path {
+                Some(p) => Some(
+                    std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?,
+                ),
+                None => None,
+            };
+            commands::cmd_swarm(&graph, agents, rounds, churn_text.as_deref(), &mut stdout)
+        }
         "audit" => commands::cmd_audit(&graph, stats, &mut stdout),
         other => return Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
     };

@@ -63,7 +63,9 @@ pub mod prelude {
     pub use prs_dynamics::{ExactEngine, F64Engine};
     pub use prs_graph::{builders, Graph, GraphError, VertexId, VertexSet};
     pub use prs_numeric::{int, ratio, BigInt, BigUint, Rational};
-    pub use prs_p2psim::{Strategy, Swarm, SwarmConfig};
+    pub use prs_p2psim::{
+        MembershipEvent, MembershipOutcome, SoaSwarm, Strategy, Swarm, SwarmConfig,
+    };
     pub use prs_sybil::{
         best_sybil_split, check_ring_theorem8, classify_initial_path, honest_split,
         worst_case_search, AttackConfig, GeneralAttackConfig, InitialPathCase, SybilOutcome,

@@ -2,6 +2,7 @@
 
 use prs_bd::Allocation;
 use prs_graph::{Graph, VertexId};
+use prs_p2psim::CsrTopology;
 
 /// Outcome of a convergence run ([`F64Engine::run_until_close`]).
 #[derive(Clone, Debug, PartialEq)]
@@ -32,17 +33,17 @@ pub struct ConvergenceReport {
 /// assert_eq!(engine.utilities(), &[4.0, 1.0]);
 /// ```
 ///
-/// State is the full allocation `x_vu(t)` stored as per-vertex outgoing
-/// shares in neighbor-list order, plus the received totals (the utilities).
-/// The `rev` index maps arc `(v, i)` to the position of `v` in the neighbor
-/// list of `adj[v][i]`, so a round is two flat passes with no hashing.
+/// State is the full allocation `x_vu(t)` stored as one flat arc lane over
+/// the shared [`CsrTopology`] from `prs-p2psim` (the same struct-of-arrays
+/// layout the swarm engine runs on), plus the received totals (the
+/// utilities). `topo.rev(a)` maps each arc to its reverse, so a round is
+/// two flat passes with no hashing and no per-round allocation.
 pub struct F64Engine {
     w: Vec<f64>,
-    adj: Vec<Vec<VertexId>>,
-    rev: Vec<Vec<usize>>,
-    /// `x[v][i]`: what `v` currently sends to its i-th neighbor.
-    x: Vec<Vec<f64>>,
-    x_next: Vec<Vec<f64>>,
+    topo: CsrTopology,
+    /// `x[a]`: what arc `a`'s owner currently sends along it.
+    x: Vec<f64>,
+    x_next: Vec<f64>,
     /// `received[v] = U_v(t)` under the current `x`.
     received: Vec<f64>,
     /// Utilities one round earlier (for cycle-averaged convergence checks).
@@ -56,19 +57,19 @@ impl F64Engine {
     pub fn new(g: &Graph) -> Self {
         let n = g.n();
         let w = g.weights_f64();
-        let adj: Vec<Vec<VertexId>> = (0..n).map(|v| g.neighbors(v).to_vec()).collect();
-        let rev = build_rev(&adj);
-        let x: Vec<Vec<f64>> = (0..n)
-            .map(|v| {
-                let d = adj[v].len().max(1) as f64;
-                vec![w[v] / d; adj[v].len()]
-            })
-            .collect();
+        let topo = CsrTopology::from_graph(g);
+        let mut x = vec![0.0; topo.arena_len()];
+        for v in 0..n {
+            let d = topo.degree(v).max(1) as f64;
+            let even = w[v] / d;
+            for a in topo.range(v) {
+                x[a] = even;
+            }
+        }
         let x_next = x.clone();
         let mut eng = F64Engine {
             w,
-            adj,
-            rev,
+            topo,
             x,
             x_next,
             received: vec![0.0; n],
@@ -85,8 +86,8 @@ impl F64Engine {
     pub fn with_allocation(g: &Graph, alloc: &Allocation) -> Self {
         let mut eng = Self::new(g);
         for v in 0..g.n() {
-            for (i, &u) in eng.adj[v].clone().iter().enumerate() {
-                eng.x[v][i] = alloc.sent(v, u).to_f64();
+            for a in eng.topo.range(v) {
+                eng.x[a] = alloc.sent(v, eng.topo.peer_at(a)).to_f64();
             }
         }
         eng.recompute_received();
@@ -96,9 +97,9 @@ impl F64Engine {
 
     fn recompute_received(&mut self) {
         self.received.iter_mut().for_each(|r| *r = 0.0);
-        for v in 0..self.adj.len() {
-            for (i, &u) in self.adj[v].iter().enumerate() {
-                self.received[u] += self.x[v][i];
+        for v in 0..self.topo.n_slots() {
+            for a in self.topo.range(v) {
+                self.received[self.topo.peer_at(a)] += self.x[a];
             }
         }
     }
@@ -125,29 +126,30 @@ impl F64Engine {
 
     /// What `v` currently sends to `u` (0 if not adjacent).
     pub fn sent(&self, v: VertexId, u: VertexId) -> f64 {
-        match self.adj[v].binary_search(&u) {
-            Ok(i) => self.x[v][i],
-            Err(_) => 0.0,
+        match self.topo.find_arc(v, u) {
+            Some(a) => self.x[a],
+            None => 0.0,
         }
     }
 
     /// Execute one round of equation (1).
     pub fn step(&mut self) {
-        for v in 0..self.adj.len() {
+        for v in 0..self.topo.n_slots() {
             let total = self.received[v];
             if total > 0.0 {
                 let scale = self.w[v] / total;
-                for (i, &u) in self.adj[v].iter().enumerate() {
-                    // What u sent to v last round:
-                    let incoming = self.x[u][self.rev[v][i]];
-                    self.x_next[v][i] = incoming * scale;
+                for a in self.topo.range(v) {
+                    // What the peer sent to v last round:
+                    let incoming = self.x[self.topo.rev(a)];
+                    self.x_next[a] = incoming * scale;
                 }
             } else {
                 // Nothing received (all neighbors weightless): fall back to
                 // the even split; with w_v = 0 this is all zeros anyway.
-                let d = self.adj[v].len().max(1) as f64;
-                for slot in self.x_next[v].iter_mut() {
-                    *slot = self.w[v] / d;
+                let d = self.topo.degree(v).max(1) as f64;
+                let even = self.w[v] / d;
+                for a in self.topo.range(v) {
+                    self.x_next[a] = even;
                 }
             }
         }
@@ -227,7 +229,8 @@ impl F64Engine {
 }
 
 /// Reverse-arc index: `rev[v][i]` is the position of `v` in the neighbor
-/// list of `adj[v][i]`.
+/// list of `adj[v][i]`. (Nested-vec form, used by the async and exact
+/// engines; the f64 engine uses the flat `CsrTopology` equivalent.)
 pub(crate) fn build_rev(adj: &[Vec<VertexId>]) -> Vec<Vec<usize>> {
     adj.iter()
         .enumerate()

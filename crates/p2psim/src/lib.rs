@@ -18,6 +18,14 @@
 //!   fairness, and attacker gain against the honest baseline.
 //! * [`parallel`] — run many swarms concurrently (crossbeam scoped
 //!   threads), for the protocol-level Theorem 8 experiment (E13).
+//! * [`soa`] — the struct-of-arrays core behind [`swarm::Swarm`]: flat
+//!   capacity/utility lanes, CSR peer adjacency, contiguous per-edge
+//!   send/receive lanes, and a deterministic partitioned parallel runner.
+//!   Rounds are two allocation-free passes, which is what takes the
+//!   simulator from n = 64 rings to 10⁶-agent swarms.
+//! * [`membership`] — dynamic membership between rounds: join, leave, and
+//!   Tsoukatos-style reciprocity rewiring with free-list slot recycling
+//!   and incremental CSR patching.
 //!
 //! The simulator is deliberately *independent* of `prs-dynamics`: it models
 //! identities and messages rather than a global allocation vector, so
@@ -30,10 +38,14 @@
 //! topologies.
 
 pub mod agent;
+pub mod membership;
 pub mod metrics;
 pub mod parallel;
+pub mod soa;
 pub mod swarm;
 
 pub use agent::{AgentId, AgentState, Strategy};
+pub use membership::{MembershipError, MembershipEvent, MembershipOutcome};
 pub use metrics::{attack_impact, jain_fairness, AttackImpact};
+pub use soa::{CsrTopology, SoaSwarm};
 pub use swarm::{Swarm, SwarmConfig, SwarmMetrics};

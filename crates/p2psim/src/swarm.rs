@@ -1,6 +1,13 @@
 //! The swarm round loop and its metrics.
+//!
+//! [`Swarm`] is a thin facade over the struct-of-arrays engine in
+//! [`crate::soa`]: it keeps the original agent-oriented API (strategies,
+//! per-agent state snapshots, the `run` loop) while all round work happens
+//! in the flat-lane core. Code that needs scale, dynamic membership, or
+//! the deterministic parallel runner should use [`SoaSwarm`] directly.
 
 use crate::agent::{AgentId, AgentState, Strategy};
+use crate::soa::SoaSwarm;
 use prs_graph::Graph;
 
 /// Simulation parameters.
@@ -51,11 +58,12 @@ impl SwarmMetrics {
 }
 
 /// A swarm of agents exchanging bandwidth over an undirected topology.
+///
+/// Facade over [`SoaSwarm`]; trajectories are bit-identical to the
+/// original per-agent engine (pinned by `tests/swarm_soa_equivalence.rs`).
 pub struct Swarm {
-    agents: Vec<AgentState>,
-    /// Previous-round utilities (for cycle-averaged convergence).
-    prev_utilities: Vec<f64>,
-    round: usize,
+    core: SoaSwarm,
+    strategies: Vec<Strategy>,
 }
 
 impl Swarm {
@@ -66,136 +74,68 @@ impl Swarm {
 
     /// Build a swarm assigning each agent a strategy.
     pub fn with_strategies(g: &Graph, strategy: impl Fn(AgentId) -> Strategy) -> Self {
-        let w = g.weights_f64();
-        let agents: Vec<AgentState> = (0..g.n())
-            .map(|v| AgentState::new(w[v], g.neighbors(v).to_vec(), strategy(v)))
-            .collect();
-        let n = agents.len();
-        let mut swarm = Swarm {
-            agents,
-            prev_utilities: vec![0.0; n],
-            round: 0,
-        };
-        swarm.deliver();
-        swarm
+        let strategies: Vec<Strategy> = (0..g.n()).map(strategy).collect();
+        let core = SoaSwarm::with_strategies(g, |v| strategies[v].clone());
+        Swarm { core, strategies }
     }
 
     /// Number of agents.
     pub fn n(&self) -> usize {
-        self.agents.len()
+        self.core.n_slots()
     }
 
-    /// Read-only agent access.
-    pub fn agent(&self, v: AgentId) -> &AgentState {
-        &self.agents[v]
+    /// Snapshot of one agent's protocol state (capacity, peers, lanes,
+    /// strategy), materialized from the flat engine lanes.
+    pub fn agent(&self, v: AgentId) -> AgentState {
+        AgentState {
+            capacity: self.core.capacity(v),
+            peers: self.core.peers(v).to_vec(),
+            received: self.core.received_of(v).to_vec(),
+            outgoing: self.core.outgoing_of(v).to_vec(),
+            strategy: self.strategies[v].clone(),
+        }
     }
 
     /// Current utilities `U_v(t)`.
     pub fn utilities(&self) -> Vec<f64> {
-        self.agents.iter().map(|a| a.utility()).collect()
-    }
-
-    /// Deliver every agent's `outgoing` into its peers' `received`.
-    fn deliver(&mut self) {
-        for v in 0..self.agents.len() {
-            self.prev_utilities[v] = self.agents[v].utility();
-        }
-        // Two-phase: read all sends, then write receipts (avoids aliasing).
-        let sends: Vec<(AgentId, AgentId, f64)> = self
-            .agents
-            .iter()
-            .enumerate()
-            .flat_map(|(v, a)| {
-                a.peers
-                    .iter()
-                    .zip(&a.outgoing)
-                    .map(move |(&u, &amt)| (v, u, amt))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        for a in &mut self.agents {
-            a.received.iter_mut().for_each(|r| *r = 0.0);
-        }
-        for (v, u, amt) in sends {
-            let slot = self.agents[u].slot_of(v);
-            self.agents[u].received[slot] += amt;
-        }
+        self.core.utilities()
     }
 
     /// One protocol round: respond, then deliver.
     pub fn step(&mut self) {
-        for a in &mut self.agents {
-            a.respond();
-        }
-        self.deliver();
-        self.round += 1;
+        self.core.step();
     }
 
     /// Run until the cycle-averaged utilities stop moving (or `max_rounds`).
     pub fn run(&mut self, cfg: &SwarmConfig) -> SwarmMetrics {
-        // One span per simulation with doubling-round checkpoint instants
-        // (per-round spans would swamp the recorder on long runs).
-        let mut sp = prs_trace::span("p2psim", "swarm_run");
-        sp.attr("agents", || self.agents.len().to_string());
-        let mut checkpoint = 16usize;
-        let mut trace = Vec::new();
-        let mut converged = false;
-        let mut rounds = 0;
-        if cfg.record_trace {
-            trace.push(self.utilities());
-        }
-        for _ in 0..cfg.max_rounds {
-            let before_avg = self.averaged_utilities();
-            self.step();
-            rounds += 1;
-            if cfg.record_trace {
-                trace.push(self.utilities());
-            }
-            let after_avg = self.averaged_utilities();
-            let delta = before_avg
-                .iter()
-                .zip(&after_avg)
-                .map(|(a, b)| (a - b).abs() / (1.0 + b.abs()))
-                .fold(0.0, f64::max);
-            if rounds == checkpoint {
-                checkpoint = checkpoint.saturating_mul(2);
-                if prs_trace::is_enabled() {
-                    prs_trace::instant("p2psim", "round_checkpoint", || {
-                        vec![
-                            ("round", rounds.to_string()),
-                            ("delta", format!("{delta:e}")),
-                        ]
-                    });
-                }
-            }
-            if delta <= cfg.tol {
-                converged = true;
-                break;
-            }
-        }
-        sp.attr("rounds", || rounds.to_string());
-        sp.attr("converged", || converged.to_string());
-        SwarmMetrics {
-            rounds,
-            converged,
-            utilities: self.averaged_utilities(),
-            trace,
-        }
+        self.core.run(cfg)
     }
 
     /// Utilities averaged over the last two rounds (stable under the
     /// period-2 oscillation bipartite topologies can exhibit).
     pub fn averaged_utilities(&self) -> Vec<f64> {
-        self.agents
-            .iter()
-            .zip(&self.prev_utilities)
-            .map(|(a, p)| 0.5 * (a.utility() + p))
-            .collect()
+        self.core.averaged_utilities()
     }
 
     /// Rounds executed so far.
     pub fn round(&self) -> usize {
-        self.round
+        self.core.round()
+    }
+
+    /// The underlying struct-of-arrays engine.
+    pub fn soa(&self) -> &SoaSwarm {
+        &self.core
+    }
+
+    /// Mutable access to the underlying engine (membership events,
+    /// partitioned runs).
+    pub fn soa_mut(&mut self) -> &mut SoaSwarm {
+        &mut self.core
+    }
+
+    /// Unwrap into the underlying engine.
+    pub fn into_soa(self) -> SoaSwarm {
+        self.core
     }
 }
 
@@ -345,5 +285,17 @@ mod tests {
         });
         assert_eq!(m.trace.len(), m.rounds + 1);
         assert!(m.trace.iter().all(|row| row.len() == 4));
+    }
+
+    #[test]
+    fn agent_snapshot_matches_engine_lanes() {
+        let g = builders::ring(vec![int(3), int(1), int(4), int(1), int(5)]).unwrap();
+        let mut swarm = Swarm::new(&g);
+        swarm.step();
+        let a = swarm.agent(2);
+        assert_eq!(a.peers, vec![1, 3]);
+        assert_eq!(a.capacity, 4.0);
+        assert_eq!(a.utility(), swarm.utilities()[2]);
+        assert_eq!(a.strategy, Strategy::Honest);
     }
 }

@@ -1,0 +1,143 @@
+//! Property tests for dynamic membership: free-list recycling never
+//! aliases live state, and arbitrary event sequences preserve the
+//! engine's structural invariants.
+
+use proptest::prelude::*;
+use prs_graph::builders;
+use prs_numeric::int;
+use prs_p2psim::{MembershipEvent, SoaSwarm, SwarmConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_ring_weights() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(1i64..12, 4..10)
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A live slot drawn pseudo-randomly from the swarm.
+fn pick_live(s: &SoaSwarm, rng: &mut StdRng) -> usize {
+    let live: Vec<usize> = (0..s.n_slots()).filter(|&v| s.is_alive(v)).collect();
+    live[rng.gen_range(0..live.len())]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Leave-then-join reuses the freed slot (LIFO) and the recycled slot
+    /// starts cold: bystanders' lanes are bitwise untouched, and nothing
+    /// of the previous occupant's state leaks into the newcomer.
+    #[test]
+    fn leave_then_join_recycles_without_aliasing(
+        weights in arb_ring_weights(),
+        victim_pick in 0usize..64,
+        warmup in 1usize..6,
+    ) {
+        let n = weights.len();
+        let g = builders::ring(weights.iter().map(|&w| int(w)).collect()).unwrap();
+        let mut s = SoaSwarm::new(&g);
+        for _ in 0..warmup {
+            s.step();
+        }
+        let victim = victim_pick % n;
+        s.leave(victim).unwrap();
+        s.check_invariants().unwrap();
+
+        // Snapshot every surviving agent's lanes after the leave.
+        let survivors: Vec<usize> = (0..n).filter(|&v| v != victim).collect();
+        let before: Vec<(Vec<u64>, Vec<u64>)> = survivors
+            .iter()
+            .map(|&v| (bits(s.outgoing_of(v)), bits(s.received_of(v))))
+            .collect();
+
+        // Rejoin wired to the two ex-neighbors of the victim.
+        let peers: Vec<usize> = [(victim + n - 1) % n, (victim + 1) % n].to_vec();
+        let slot = s.join(3.0, &peers).unwrap();
+        prop_assert_eq!(slot, victim, "LIFO free list reuses the freed slot");
+        prop_assert_eq!(s.n_slots(), n, "no slot growth while the free list has room");
+
+        // The recycled slot is cold: even-split upload, zero receipts,
+        // zero utility — nothing survives from the previous occupant.
+        prop_assert_eq!(s.outgoing_of(slot), &[1.5, 1.5][..]);
+        prop_assert_eq!(s.received_of(slot), &[0.0, 0.0][..]);
+        prop_assert_eq!(s.utilities()[slot].to_bits(), 0.0f64.to_bits());
+
+        // Bystanders (everyone but the two re-wired peers) are bitwise
+        // untouched; the peers only gained one cold 0.0 cell each.
+        for (i, &v) in survivors.iter().enumerate() {
+            let (out_before, rcv_before) = &before[i];
+            let out_now = bits(s.outgoing_of(v));
+            let rcv_now = bits(s.received_of(v));
+            if peers.contains(&v) {
+                prop_assert_eq!(out_now.len(), out_before.len() + 1);
+                prop_assert_eq!(rcv_now.len(), rcv_before.len() + 1);
+                let p = s.peers(v).iter().position(|&u| u == slot).unwrap();
+                prop_assert_eq!(out_now[p], 0.0f64.to_bits(), "peer-side arc starts cold");
+                prop_assert_eq!(rcv_now[p], 0.0f64.to_bits());
+                let mut out_rest = out_now.clone();
+                out_rest.remove(p);
+                let mut rcv_rest = rcv_now.clone();
+                rcv_rest.remove(p);
+                prop_assert_eq!(&out_rest, out_before, "peer lanes shifted, not changed");
+                prop_assert_eq!(&rcv_rest, rcv_before);
+            } else {
+                prop_assert_eq!(&out_now, out_before, "bystander {} aliased", v);
+                prop_assert_eq!(&rcv_now, rcv_before);
+            }
+        }
+        s.check_invariants().unwrap();
+
+        // The churned swarm is still a healthy protocol instance.
+        let m = s.run(&SwarmConfig::default());
+        prop_assert!(m.converged);
+    }
+
+    /// Arbitrary interleavings of join/leave/rewire (failures tolerated)
+    /// keep every structural invariant intact, and freed slots are always
+    /// exhausted before the arena grows.
+    #[test]
+    fn random_event_sequences_preserve_invariants(
+        weights in arb_ring_weights(),
+        seed in 0u64..1u64 << 48,
+        events in 4usize..24,
+    ) {
+        let g = builders::ring(weights.iter().map(|&w| int(w)).collect()).unwrap();
+        let mut s = SoaSwarm::new(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..events {
+            let ev = match rng.gen_range(0u8..4) {
+                0 => {
+                    let a = pick_live(&s, &mut rng);
+                    let b = pick_live(&s, &mut rng);
+                    MembershipEvent::Join {
+                        capacity: f64::from(rng.gen_range(1u32..9)),
+                        peers: if a == b { vec![a] } else { vec![a, b] },
+                    }
+                }
+                1 => MembershipEvent::Leave { agent: pick_live(&s, &mut rng) },
+                _ => MembershipEvent::Rewire { agent: pick_live(&s, &mut rng) },
+            };
+            if s.live_agents() <= 2 && matches!(ev, MembershipEvent::Leave { .. }) {
+                continue;
+            }
+            let free_before = s.n_slots() - s.live_agents();
+            let grew = {
+                let slots_before = s.n_slots();
+                let _ = s.apply(&ev); // rejections are fine; state must hold
+                s.n_slots() > slots_before
+            };
+            if grew {
+                prop_assert_eq!(free_before, 0, "arena grew while free slots existed");
+            }
+            s.check_invariants().unwrap();
+            s.step(); // interleave protocol rounds with churn
+            s.check_invariants().unwrap();
+        }
+        // Utilities stay finite and non-negative through arbitrary churn.
+        for u in s.utilities() {
+            prop_assert!(u.is_finite() && u >= 0.0);
+        }
+    }
+}

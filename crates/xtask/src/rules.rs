@@ -274,6 +274,11 @@ impl LintConfig {
                 "crates/sybil/src".into(),
                 "crates/dynamics/src/parallel.rs".into(),
                 "crates/p2psim/src/parallel.rs".into(),
+                // The SoA core and membership layer: hashing anywhere in
+                // slot bookkeeping or rewiring would make round order (and
+                // hence the bit-identical trajectories) nondeterministic.
+                "crates/p2psim/src/soa.rs".into(),
+                "crates/p2psim/src/membership.rs".into(),
                 "crates/bench".into(),
                 // Exporters group spans; hash iteration order would make the
                 // summary / JSON output nondeterministic run to run.
@@ -345,6 +350,9 @@ impl LintConfig {
                 // `MSPAN_*` consts in the metrics module name spans the
                 // recorder opens about itself (e.g. the flight-dump span).
                 ("MSPAN_".to_string(), "metrics".to_string()),
+                // `PSPAN_*` consts in the SoA swarm engine and the
+                // membership layer (round, checkpoint, membership spans).
+                ("PSPAN_".to_string(), "p2psim".to_string()),
             ],
         }
     }

@@ -27,8 +27,8 @@ use prs::prelude::{
     builders, Graph, GraphError, VertexId, VertexSet,
     // Numerics.
     int, ratio, BigInt, BigUint, Rational,
-    // P2P simulation.
-    Strategy, Swarm, SwarmConfig,
+    // P2P simulation (struct-of-arrays core + membership, ISSUE 10).
+    MembershipEvent, MembershipOutcome, SoaSwarm, Strategy, Swarm, SwarmConfig,
     // Sybil attacks.
     best_sybil_split, check_ring_theorem8, classify_initial_path,
     honest_split, worst_case_search,
@@ -104,6 +104,8 @@ fn surface_is_importable_and_coherent() {
         SybilOutcome,
     )>();
     let _ = std::mem::size_of::<Swarm>();
+    let _ = std::mem::size_of::<SoaSwarm>();
+    let _ = std::mem::size_of::<(MembershipEvent, MembershipOutcome)>();
 
     // GraphFamily stays a public trait.
     fn takes_family<F: GraphFamily>(_: &F) {}
@@ -138,6 +140,24 @@ fn surface_is_importable_and_coherent() {
     let _ = dynamics::F64Engine::new;
     let _ = std::mem::size_of::<eg::EgSolution>();
     let _ = std::mem::size_of::<p2psim::Swarm>();
+}
+
+// The prelude alone supports the swarm workflow: build the SoA engine
+// from a graph, churn membership, run to convergence (ISSUE 10).
+#[test]
+fn prelude_alone_supports_the_swarm_workflow() {
+    let g = builders::ring(vec![int(3), int(1), int(4), int(1), int(5)]).unwrap();
+    let mut swarm = SoaSwarm::new(&g);
+    let out: MembershipOutcome = swarm
+        .apply(&MembershipEvent::Join {
+            capacity: 2.5,
+            peers: vec![0, 2],
+        })
+        .unwrap();
+    assert_eq!(out, MembershipOutcome::Joined(5));
+    let metrics = swarm.run(&SwarmConfig::default());
+    assert!(metrics.converged);
+    assert_eq!(swarm.live_agents(), 6);
 }
 
 // The session-first prelude must be enough to run the quickstart without
